@@ -1,0 +1,153 @@
+#include "bench/bench_util.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/clock.hpp"
+
+#include <iostream>
+
+namespace mm::bench {
+
+const std::vector<std::string> &
+methodNames()
+{
+    static const std::vector<std::string> names = {"MM", "SA", "GA", "RL",
+                                                   "Random"};
+    return names;
+}
+
+MindMappingsOptions
+benchOptions(const BenchEnv &env)
+{
+    MindMappingsOptions opts;
+    opts.phase1.preset = env.paperPreset ? SurrogatePreset::Paper
+                                         : SurrogatePreset::Fast;
+    opts.phase1.resolve();
+    opts.phase1.data.samples = size_t(
+        envInt("MM_TRAIN_SAMPLES", int64_t(opts.phase1.data.samples)));
+    opts.phase1.train.epochs =
+        int(envInt("MM_EPOCHS", opts.phase1.train.epochs));
+    opts.useCache = !SurrogateCache::disabled();
+    return opts;
+}
+
+std::unique_ptr<MindMappings>
+provisionSurrogate(const AlgorithmSpec &algo, const BenchEnv &env)
+{
+    auto mapper = std::make_unique<MindMappings>(
+        AcceleratorSpec::paperDefault(), algo, benchOptions(env));
+    std::cerr << "[phase1] preparing surrogate for " << algo.name
+              << " (samples=" << mapper->options().phase1.data.samples
+              << ", epochs=" << mapper->options().phase1.train.epochs
+              << ") ..." << std::endl;
+    WallTimer timer;
+    bool cached = mapper->prepare();
+    std::cerr << "[phase1] " << (cached ? "cache hit" : "trained") << " in "
+              << fmtDouble(timer.elapsedSec(), 3) << " s" << std::endl;
+    return mapper;
+}
+
+DdpgConfig
+benchDdpgConfig(const BenchEnv &env)
+{
+    DdpgConfig cfg;
+    if (env.paperPreset) {
+        cfg.hiddenWidth = 300; // Appendix A
+        cfg.updateEvery = 1;
+    } else {
+        cfg.hiddenWidth = int(envInt("MM_RL_WIDTH", 96));
+        cfg.batchSize = 24;
+        cfg.updateEvery = 2;
+    }
+    return cfg;
+}
+
+std::unique_ptr<Searcher>
+makeSearcher(const std::string &name, const CostModel &model,
+             Surrogate *surrogate, const BenchEnv &env)
+{
+    TimingModel timing = TimingModel::paperCalibrated();
+    if (name == "MM") {
+        MM_ASSERT(surrogate != nullptr, "MM requires a surrogate");
+        return std::make_unique<MindMappingsSearcher>(
+            model, *surrogate, GradientSearchConfig{}, timing);
+    }
+    if (name == "SA")
+        return std::make_unique<AnnealingSearcher>(model,
+                                                   AnnealingConfig{},
+                                                   timing);
+    if (name == "GA")
+        return std::make_unique<GeneticSearcher>(model, GeneticConfig{},
+                                                 timing);
+    if (name == "RL")
+        return std::make_unique<DdpgSearcher>(model, benchDdpgConfig(env),
+                                              timing);
+    if (name == "Random")
+        return std::make_unique<RandomSearcher>(model, timing);
+    fatal("unknown search method: " + name);
+}
+
+namespace {
+
+double
+geomeanBy(const std::vector<SearchResult> &runs,
+          const std::function<double(const SearchResult &)> &pick)
+{
+    std::vector<double> vals;
+    for (const auto &r : runs) {
+        double v = pick(r);
+        if (std::isfinite(v))
+            vals.push_back(v);
+    }
+    return vals.empty() ? std::numeric_limits<double>::infinity()
+                        : geomean(vals);
+}
+
+} // namespace
+
+double
+geomeanAtStep(const std::vector<SearchResult> &runs, int64_t step)
+{
+    return geomeanBy(runs,
+                     [&](const SearchResult &r) { return r.bestAtStep(step); });
+}
+
+double
+geomeanAtTime(const std::vector<SearchResult> &runs, double sec)
+{
+    return geomeanBy(runs, [&](const SearchResult &r) {
+        return r.bestAtVirtualTime(sec);
+    });
+}
+
+double
+geomeanFinal(const std::vector<SearchResult> &runs)
+{
+    return geomeanBy(runs,
+                     [](const SearchResult &r) { return r.bestNormEdp; });
+}
+
+std::vector<SearchResult>
+runMethod(const std::string &method, const CostModel &model,
+          Surrogate *surrogate, const SearchBudget &budget,
+          const BenchEnv &env, uint64_t baseSeed)
+{
+    std::vector<SearchResult> results;
+    for (int run = 0; run < env.runs; ++run) {
+        auto searcher = makeSearcher(method, model, surrogate, env);
+        Rng rng(baseSeed * 1000003ULL + uint64_t(run) * 7919ULL + 1);
+        results.push_back(searcher->run(budget, rng));
+    }
+    return results;
+}
+
+void
+banner(const std::string &title, const std::string &paperRef)
+{
+    std::cout << "=== " << title << "\n=== reproduces: " << paperRef
+              << "\n"
+              << std::endl;
+}
+
+} // namespace mm::bench

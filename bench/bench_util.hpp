@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Shared infrastructure for the figure/table bench harnesses.
+ *
+ * Every bench binary reproduces one table or figure of the paper's
+ * evaluation (see DESIGN.md, "Per-experiment index"). Binaries take no
+ * arguments, print aligned tables with machine-readable csv blocks, and
+ * scale through environment knobs:
+ *
+ *   MM_RUNS           independent search repetitions per point (def. 3;
+ *                     the paper uses 100)
+ *   MM_ITERS          iso-iteration step budget (def. 1000)
+ *   MM_VTIME          iso-time virtual horizon in seconds (def. 3000)
+ *   MM_TRAIN_SAMPLES  Phase-1 dataset size override
+ *   MM_EPOCHS         Phase-1 epoch override
+ *   MM_PRESET         fast (default) | paper
+ *   MM_CACHE_DIR      surrogate cache location (def. ./mm_cache)
+ *   MM_NO_CACHE       1 disables the cache
+ *
+ * Phase-1 surrogates are provisioned once per algorithm through the
+ * MindMappings facade and shared across benches via the disk cache.
+ */
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/env.hpp"
+#include "common/stats.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+#include "core/mind_mappings.hpp"
+#include "search/annealing.hpp"
+#include "search/ddpg.hpp"
+#include "search/genetic.hpp"
+#include "search/random_search.hpp"
+
+namespace mm::bench {
+
+/** Env-derived bench scale. */
+struct BenchEnv
+{
+    int runs = int(envInt("MM_RUNS", 3));
+    int64_t iters = envInt("MM_ITERS", 2000);
+    double vtime = envDouble("MM_VTIME", 3000.0);
+    bool paperPreset = envStr("MM_PRESET", "fast") == "paper";
+};
+
+/** The method names of Section 5.2, in the paper's order. */
+const std::vector<std::string> &methodNames();
+
+/** Phase-1 options used by all benches (preset + env overrides). */
+MindMappingsOptions benchOptions(const BenchEnv &env);
+
+/**
+ * Train-or-load the shared surrogate for @p algo, reporting progress to
+ * stderr. Returned facade owns the surrogate.
+ */
+std::unique_ptr<MindMappings> provisionSurrogate(const AlgorithmSpec &algo,
+                                                 const BenchEnv &env);
+
+/** DDPG configuration sized for the bench environment. */
+DdpgConfig benchDdpgConfig(const BenchEnv &env);
+
+/**
+ * Instantiate a searcher by method name ("MM", "SA", "GA", "RL",
+ * "Random"); @p surrogate is required for "MM" only.
+ */
+std::unique_ptr<Searcher> makeSearcher(const std::string &name,
+                                       const CostModel &model,
+                                       Surrogate *surrogate,
+                                       const BenchEnv &env);
+
+/** Geomean of best-so-far values at a step checkpoint across runs. */
+double geomeanAtStep(const std::vector<SearchResult> &runs, int64_t step);
+
+/** Geomean of best-so-far values at a virtual-time checkpoint. */
+double geomeanAtTime(const std::vector<SearchResult> &runs, double sec);
+
+/** Geomean of final best values across runs. */
+double geomeanFinal(const std::vector<SearchResult> &runs);
+
+/**
+ * Run @p method on @p model for env.runs independent repetitions with
+ * per-run seeds derived from @p baseSeed.
+ */
+std::vector<SearchResult>
+runMethod(const std::string &method, const CostModel &model,
+          Surrogate *surrogate, const SearchBudget &budget,
+          const BenchEnv &env, uint64_t baseSeed);
+
+/** Standard header line announcing a bench. */
+void banner(const std::string &title, const std::string &paperRef);
+
+} // namespace mm::bench

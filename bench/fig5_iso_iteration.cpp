@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Figure 5: iso-iteration search-quality comparison.
+ *
+ * All methods run for the same number of cost-function queries on every
+ * Table 1 problem; the series is the best-so-far EDP normalized to the
+ * algorithmic minimum, averaged (geomean) over MM_RUNS repetitions.
+ * The paper's headline numbers reproduced here:
+ *   - MM beats SA / GA / RL by 1.40x / 1.76x / 1.29x on average,
+ *   - MM converges within ~1000 iterations,
+ *   - MM lands ~5.3x above the (possibly unachievable) lower bound
+ *     (Section 5.4.3 "Optimality").
+ */
+#include <iostream>
+#include <map>
+
+#include "bench/bench_util.hpp"
+
+int
+main()
+{
+    using namespace mm;
+    using namespace mm::bench;
+
+    BenchEnv env;
+    banner("Figure 5: iso-iteration comparison (normalized EDP, lower "
+               "is better)",
+           strCat("Fig. 5 + Sec. 5.4.1; runs=", env.runs,
+                  " iters=", env.iters));
+
+    auto cnnMapper = provisionSurrogate(cnnLayerAlgo(), env);
+    auto mttMapper = provisionSurrogate(mttkrpAlgo(), env);
+
+    const std::vector<int64_t> checkpoints = {
+        env.iters / 100, env.iters / 10, env.iters / 4, env.iters / 2,
+        env.iters};
+
+    std::vector<std::string> cols = {"problem", "method"};
+    for (int64_t c : checkpoints)
+        cols.push_back(strCat("@", c));
+    Table table(cols);
+
+    // Per-method geomean across problems of the final quality.
+    std::map<std::string, std::vector<double>> finals;
+
+    AcceleratorSpec arch = AcceleratorSpec::paperDefault();
+    auto budget = SearchBudget::bySteps(env.iters);
+    uint64_t problemSeed = 1;
+    for (const Problem &p : table1All()) {
+        bool isCnn = p.algo == &cnnLayerAlgo();
+        Surrogate &sur =
+            (isCnn ? *cnnMapper : *mttMapper).surrogate();
+        MapSpace space(arch, p);
+        CostModel model(space);
+
+        for (const auto &method : methodNames()) {
+            auto runs =
+                runMethod(method, model, &sur, budget, env, problemSeed);
+            std::vector<std::string> row = {p.name, method};
+            for (int64_t c : checkpoints)
+                row.push_back(fmtDouble(geomeanAtStep(runs, c), 5));
+            table.addRow(row);
+            finals[method].push_back(geomeanFinal(runs));
+            std::cerr << "[fig5] " << p.name << " " << method << " -> "
+                      << fmtDouble(geomeanFinal(runs), 5) << std::endl;
+        }
+        ++problemSeed;
+    }
+    table.print(std::cout);
+
+    // Headline ratios (paper: 1.40x / 1.76x / 1.29x over SA / GA / RL).
+    Table summary({"metric", "value", "paper"});
+    double mm = geomean(finals["MM"]);
+    summary.addRow({"MM vs SA (iso-iteration)",
+                    fmtDouble(geomean(finals["SA"]) / mm, 4), "1.40x"});
+    summary.addRow({"MM vs GA (iso-iteration)",
+                    fmtDouble(geomean(finals["GA"]) / mm, 4), "1.76x"});
+    summary.addRow({"MM vs RL (iso-iteration)",
+                    fmtDouble(geomean(finals["RL"]) / mm, 4), "1.29x"});
+    summary.addRow({"MM vs Random (iso-iteration)",
+                    fmtDouble(geomean(finals["Random"]) / mm, 4), "-"});
+    summary.addRow({"MM gap to algorithmic minimum", fmtDouble(mm, 4),
+                    "5.3x"});
+    std::cout << "\n";
+    summary.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Figure 7c: sensitivity to training-set size.
+ *
+ * Trains surrogates on a geometric sweep of dataset sizes (the paper
+ * sweeps 1M/2M/5M/10M; we sweep a scaled-down ladder, overridable via
+ * MM_SIZES) and compares downstream Phase-2 search quality. The
+ * paper's finding to reproduce: quality saturates beyond a moderate
+ * dataset size, and even the smallest set is not catastrophic.
+ */
+#include <iostream>
+#include <sstream>
+
+#include "bench/bench_util.hpp"
+
+int
+main()
+{
+    using namespace mm;
+    using namespace mm::bench;
+
+    BenchEnv env;
+    banner("Figure 7c: search quality vs surrogate training-set size",
+           strCat("Fig. 7c + Sec. 5.5; runs=", env.runs));
+
+    std::vector<size_t> sizes;
+    {
+        std::stringstream ss(envStr("MM_SIZES", "3000,10000,30000,60000"));
+        std::string item;
+        while (std::getline(ss, item, ','))
+            sizes.push_back(size_t(std::stoll(item)));
+    }
+
+    AcceleratorSpec arch = AcceleratorSpec::paperDefault();
+    Problem target =
+        cnnProblem("Inception_Conv_2", 32, 192, 192, 56, 56, 3, 3);
+    MapSpace space(arch, target);
+    CostModel model(space);
+
+    Table table({"train_samples", "final_test_loss", "search_normEDP",
+                 "train_s"});
+    auto budget = SearchBudget::bySteps(env.iters);
+
+    for (size_t samples : sizes) {
+        Phase1Config cfg;
+        cfg.resolve();
+        cfg.data.samples = samples;
+        Phase1Result result = trainSurrogate(arch, cnnLayerAlgo(), cfg);
+        std::cerr << "[fig7c] trained on " << samples << " samples"
+                  << std::endl;
+
+        auto runs =
+            runMethod("MM", model, &result.surrogate, budget, env, 11);
+        table.addRow({strCat(samples),
+                      fmtDouble(result.history.back().testLoss, 5),
+                      fmtDouble(geomeanFinal(runs), 5),
+                      fmtDouble(result.trainSec, 4)});
+    }
+    table.print(std::cout);
+    std::cout << "\nPaper finding (Fig. 7c): beyond a moderate dataset "
+                 "size, search quality\nsaturates; small datasets degrade "
+                 "gracefully rather than catastrophically.\n";
+    return 0;
+}

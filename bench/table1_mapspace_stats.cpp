@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Table 1 + Section 5.1.3: target problems and map-space
+ * characterization.
+ *
+ * For every Table 1 problem: the problem shape, the estimated map-space
+ * size (paper: ~1e25 for ResNet Conv_4, ~1e19 for MTTKRP_0), and the
+ * (mean, std) of sampled energy normalized to the lower bound — the
+ * paper reports (44.2, 231.4) for CNN-Layer and (48.0, 51.2) for
+ * MTTKRP over 1 M samples; MM_SAMPLES scales our sample count.
+ */
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "costmodel/cost_model.hpp"
+
+int
+main()
+{
+    using namespace mm;
+    using namespace mm::bench;
+
+    const int64_t samples = envInt("MM_SAMPLES", 20000);
+    banner("Table 1 / Section 5.1.3: problems and map-space statistics",
+           strCat("Table 1 + Sec. 5.1.3; samples/problem=", samples));
+
+    AcceleratorSpec arch = AcceleratorSpec::paperDefault();
+    Table table({"problem", "bounds", "log10(|M|)", "normE_mean",
+                 "normE_std", "normEDP_p50", "normEDP_p90"});
+
+    RunningStat cnnEnergy, mttEnergy;
+    for (const Problem &p : table1All()) {
+        MapSpace space(arch, p);
+        CostModel model(space);
+        Rng rng(13);
+
+        RunningStat energy;
+        std::vector<double> edps;
+        edps.reserve(size_t(samples));
+        for (int64_t i = 0; i < samples; ++i) {
+            Mapping m = space.randomValid(rng);
+            CostResult res = model.evaluate(m);
+            double normE =
+                res.totalEnergyPj / model.lowerBound().energyPj;
+            energy.push(normE);
+            edps.push_back(res.edp() / model.lowerBound().edp());
+            if (p.algo == &cnnLayerAlgo())
+                cnnEnergy.push(normE);
+            else
+                mttEnergy.push(normE);
+        }
+
+        table.addRow({p.name, join(p.bounds, "x"),
+                      fmtDouble(space.log10Size(), 4),
+                      fmtDouble(energy.mean(), 4),
+                      fmtDouble(energy.stddev(), 4),
+                      fmtDouble(quantile(edps, 0.5), 4),
+                      fmtDouble(quantile(edps, 0.9), 4)});
+        std::cerr << "[table1] " << p.name << " done" << std::endl;
+    }
+    table.print(std::cout);
+
+    Table summary({"algorithm", "normE_mean", "normE_std", "paper"});
+    summary.addRow({"CNN-Layer", fmtDouble(cnnEnergy.mean(), 4),
+                    fmtDouble(cnnEnergy.stddev(), 4), "(44.2, 231.4)"});
+    summary.addRow({"MTTKRP", fmtDouble(mttEnergy.mean(), 4),
+                    fmtDouble(mttEnergy.stddev(), 4), "(48.0, 51.2)"});
+    std::cout << "\n";
+    summary.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,43 @@
+#include "arch/accelerator.hpp"
+
+#include <limits>
+
+namespace mm {
+
+AcceleratorSpec
+AcceleratorSpec::paperDefault()
+{
+    AcceleratorSpec a;
+    a.name = "mm-paper-256pe";
+    a.numPes = 256;
+    a.macsPerPePerCycle = 1;
+    a.frequencyGhz = 1.0;
+    a.wordBytes = 4.0;
+    a.macEnergyPj = 0.56;
+    a.nocEnergyPerWordPj = 1.0;
+    a.levels = {
+        // L1: 64 KB private scratchpad per PE, 16 banks.
+        {"L1", 64.0 * 1024.0, 16, 4.0, 2.5, true},
+        // L2: 512 KB shared buffer, 32 banks.
+        {"L2", 512.0 * 1024.0, 32, 32.0, 12.0, false},
+        // DRAM: unbounded capacity, 16 words/cycle (~64 GB/s @ 1 GHz).
+        {"DRAM", std::numeric_limits<double>::infinity(), 0, 16.0, 200.0,
+         false},
+    };
+    return a;
+}
+
+AcceleratorSpec
+AcceleratorSpec::tinyDefault()
+{
+    AcceleratorSpec a = paperDefault();
+    a.name = "mm-tiny-16pe";
+    a.numPes = 16;
+    a.levels[0].capacityBytes = 4.0 * 1024.0;
+    a.levels[0].banks = 8;
+    a.levels[1].capacityBytes = 32.0 * 1024.0;
+    a.levels[1].banks = 16;
+    return a;
+}
+
+} // namespace mm

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Programmable-accelerator description (Section 5.1.2, Figure 2).
+ *
+ * The evaluated accelerator: 256 PEs at 1 GHz behind a two-level on-chip
+ * buffer hierarchy (512 KB shared L2, 64 KB private L1 per PE) backed by
+ * DRAM. Buffers are banked and bank-allocatable per tensor; the NoC
+ * supports multicast, so a word needed by several PEs is read from L2
+ * once. Energy/bandwidth numbers are representative published values for
+ * a ~45 nm process (see README); all paper comparisons are made on EDP
+ * normalized to the algorithmic minimum, so only their relative
+ * magnitudes matter.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mm {
+
+/** Memory-hierarchy level indices used throughout the library. */
+enum class MemLevel : int { L1 = 0, L2 = 1, DRAM = 2 };
+
+/** Number of temporal tiling levels (L1, L2, DRAM). */
+inline constexpr int kNumMemLevels = 3;
+
+/** Number of bank-allocatable on-chip levels (L1, L2). */
+inline constexpr int kNumOnChipLevels = 2;
+
+/** Static parameters of one memory level. */
+struct MemLevelSpec
+{
+    std::string name;
+    double capacityBytes;         ///< per instance; +inf for DRAM
+    int banks;                    ///< allocatable banks (0 = fixed function)
+    double bandwidthWordsPerCycle; ///< aggregate read+write bandwidth
+    double energyPerWordPj;       ///< access energy per word
+    bool perPe;                   ///< true if private to each PE
+};
+
+/** Full accelerator description. */
+struct AcceleratorSpec
+{
+    std::string name;
+    int numPes = 256;
+    int macsPerPePerCycle = 1;
+    double frequencyGhz = 1.0;
+    double wordBytes = 4.0;
+    double macEnergyPj = 0.56;
+    /** Energy to deliver one word over the NoC to one PE. */
+    double nocEnergyPerWordPj = 1.0;
+    /** Levels indexed by MemLevel (0 = L1, 1 = L2, 2 = DRAM). */
+    std::vector<MemLevelSpec> levels;
+
+    const MemLevelSpec &
+    level(MemLevel l) const
+    {
+        return levels[size_t(l)];
+    }
+
+    /** Peak MACs per cycle across the whole array. */
+    double peakMacsPerCycle() const
+    {
+        return double(numPes) * double(macsPerPePerCycle);
+    }
+
+    /**
+     * The accelerator evaluated in the paper: 256 PEs, 64 KB private L1,
+     * 512 KB shared L2, DRAM.
+     */
+    static AcceleratorSpec paperDefault();
+
+    /** A small 16-PE variant used by tests and the quickstart example. */
+    static AcceleratorSpec tinyDefault();
+};
+
+} // namespace mm

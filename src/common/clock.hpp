@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Wall-clock timing helper.
+ */
+#pragma once
+
+#include <chrono>
+
+namespace mm {
+
+/** Monotonic stopwatch. */
+class WallTimer
+{
+  public:
+    WallTimer() : start(Clock::now()) {}
+
+    /** Seconds since construction or the last reset. */
+    double
+    elapsedSec() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start).count();
+    }
+
+    /** Restart the stopwatch. */
+    void reset() { start = Clock::now(); }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start;
+};
+
+} // namespace mm

@@ -1,0 +1,53 @@
+#include "common/env.hpp"
+
+#include <cstdlib>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace mm {
+
+namespace {
+
+const char *
+rawEnv(const std::string &name)
+{
+    return std::getenv(name.c_str());
+}
+
+} // namespace
+
+int64_t
+envInt(const std::string &name, int64_t fallback)
+{
+    const char *raw = rawEnv(name);
+    if (raw == nullptr)
+        return fallback;
+    char *end = nullptr;
+    int64_t value = std::strtoll(raw, &end, 10);
+    if (end == raw || *end != '\0')
+        fatal(strCat("env var ", name, "='", raw, "' is not an integer"));
+    return value;
+}
+
+double
+envDouble(const std::string &name, double fallback)
+{
+    const char *raw = rawEnv(name);
+    if (raw == nullptr)
+        return fallback;
+    char *end = nullptr;
+    double value = std::strtod(raw, &end);
+    if (end == raw || *end != '\0')
+        fatal(strCat("env var ", name, "='", raw, "' is not a number"));
+    return value;
+}
+
+std::string
+envStr(const std::string &name, const std::string &fallback)
+{
+    const char *raw = rawEnv(name);
+    return raw == nullptr ? fallback : std::string(raw);
+}
+
+} // namespace mm

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Environment-variable configuration knobs.
+ *
+ * Bench harnesses and examples scale their workloads through MM_* env
+ * variables so the same binaries run both as quick smoke checks and at
+ * paper scale (see DESIGN.md Section 5).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mm {
+
+/** Integer env var with default; throws FatalError on unparsable value. */
+int64_t envInt(const std::string &name, int64_t fallback);
+
+/** Double env var with default; throws FatalError on unparsable value. */
+double envDouble(const std::string &name, double fallback);
+
+/** String env var with default. */
+std::string envStr(const std::string &name, const std::string &fallback);
+
+} // namespace mm

@@ -1,0 +1,23 @@
+#include "common/error.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace mm {
+
+void
+fatal(const std::string &msg)
+{
+    throw FatalError(msg);
+}
+
+void
+panicImpl(const char *file, int line, const char *cond,
+          const std::string &msg)
+{
+    std::cerr << "panic: " << file << ":" << line << ": assertion `" << cond
+              << "' failed: " << msg << std::endl;
+    std::abort();
+}
+
+} // namespace mm

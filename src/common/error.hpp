@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Error-handling primitives.
+ *
+ * Follows the gem5 fatal/panic split: user-correctable errors (bad
+ * configuration, invalid arguments) raise mm::FatalError via mm::fatal(),
+ * while internal invariant violations abort the process via MM_ASSERT.
+ */
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mm {
+
+/** Raised for user-correctable errors (bad config, invalid arguments). */
+class FatalError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Throw a FatalError with the given message. */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Implementation detail of MM_ASSERT; aborts with a diagnostic. */
+[[noreturn]] void panicImpl(const char *file, int line, const char *cond,
+                            const std::string &msg);
+
+} // namespace mm
+
+/**
+ * Internal invariant check, active in all build types.
+ *
+ * Use for conditions that indicate a bug in this library, never for user
+ * input validation (use mm::fatal for that).
+ */
+#define MM_ASSERT(cond, msg)                                                 \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::mm::panicImpl(__FILE__, __LINE__, #cond, (msg));               \
+        }                                                                    \
+    } while (false)

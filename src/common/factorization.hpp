@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Integer-factorization machinery for tile-size map spaces.
+ *
+ * A loop dimension of size `bound` is split across `slots` loop levels
+ * (e.g. L1-temporal, spatial, L2-temporal, DRAM-temporal) as an ordered
+ * tuple of integer factors. Following Timeloop's imperfect-factor handling,
+ * a tuple is legal when the product lies in [bound, bound + max(1,
+ * bound/4)]: mildly over-approximate ("padded") factorizations are
+ * permitted — the ceil-division semantics of Timeloop's imperfect
+ * factors — and the cost model charges for the padded iteration space.
+ *
+ * FactorizationTable precomputes a dynamic-programming count of legal
+ * tuples which supports exactly-uniform sampling and map-space size
+ * estimation. Tables are memoized globally (keyed by bound/slots), since
+ * dataset generation draws millions of tuples.
+ */
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace mm {
+
+/** All divisors of @p n in increasing order. */
+std::vector<int64_t> divisors(int64_t n);
+
+/**
+ * Counting and uniform sampling of ordered factor tuples.
+ *
+ * Legal tuple: `slots` integers, each in [1, maxFactor], whose product p
+ * satisfies bound <= p <= padLimit, where padLimit is bound + max(1,
+ * bound/4) (and bound itself when bound == 1).
+ */
+class FactorizationTable
+{
+  public:
+    /**
+     * Build the DP table.
+     *
+     * @param bound     The loop-dimension size (>= 1).
+     * @param slots     Number of loop levels the dimension splits across.
+     * @param maxFactor Per-factor upper limit; defaults to the pad limit
+     *                  (repair operations move whole factors between
+     *                  slots, so a single slot may carry the full padded
+     *                  bound).
+     */
+    FactorizationTable(int64_t bound, int slots, int64_t maxFactor = -1);
+
+    /** Number of legal ordered tuples. */
+    int64_t count() const { return total; }
+
+    /** Draw a legal tuple exactly uniformly at random. */
+    std::vector<int64_t> sample(Rng &rng) const;
+
+    /** True iff @p factors is a legal tuple for this table. */
+    bool contains(std::span<const int64_t> factors) const;
+
+    /**
+     * Deterministically repair an arbitrary positive tuple into a legal
+     * one, preserving the input as closely as possible (used by
+     * map-space projection). Factors are first clamped into
+     * [1, maxFactor]; then the product is pulled into range by scaling
+     * the designated @p adjustSlot (outermost level by convention).
+     */
+    std::vector<int64_t> repair(std::span<const int64_t> factors,
+                                int adjustSlot) const;
+
+    int64_t boundValue() const { return bound; }
+    int slotCount() const { return slots; }
+    int64_t maxFactorValue() const { return maxFactor; }
+    int64_t padLimitValue() const { return padLimit; }
+
+  private:
+    int64_t bound;
+    int slots;
+    int64_t maxFactor;
+    int64_t padLimit;
+    int64_t total;
+    /** ways[s][p] = #ordered s-tuples with product exactly p. */
+    std::vector<std::vector<int64_t>> ways;
+    /** Divisor lists for all p in [1, padLimit]. */
+    std::vector<std::vector<int32_t>> divs;
+};
+
+/**
+ * Global memoized access to factorization tables.
+ *
+ * Not thread-safe by design (the library is single-threaded; see
+ * DESIGN.md). Returns a reference that stays valid for program lifetime.
+ */
+const FactorizationTable &factorTable(int64_t bound, int slots,
+                                      int64_t maxFactor = -1);
+
+} // namespace mm

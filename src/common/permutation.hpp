@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Loop-order permutation helpers.
+ *
+ * A loop order over D dimensions is stored as `order[i] = dim at nest
+ * position i` with position 0 outermost. The surrogate encodes an order as
+ * per-dimension ranks (`rank[d] = position of dim d`), matching the
+ * paper's Section 5.5 input representation; decoding arbitrary real-valued
+ * scores back to a permutation is an argsort, so any gradient update still
+ * decodes to a valid order.
+ */
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace mm {
+
+/** Uniformly random permutation of {0..n-1}. */
+std::vector<int> randomPerm(int n, Rng &rng);
+
+/** rank[d] = position of dim d in @p order. */
+std::vector<int> ranksOf(std::span<const int> order);
+
+/** Inverse of ranksOf. */
+std::vector<int> orderFromRanks(std::span<const int> ranks);
+
+/**
+ * Decode real-valued per-dimension scores into an order: the dimension
+ * with the smallest score becomes the outermost loop. Ties break on
+ * dimension index (stable), so decoding is deterministic.
+ */
+std::vector<int> orderFromScores(std::span<const double> scores);
+
+/** True iff @p order is a permutation of {0..n-1}. */
+bool isPermutation(std::span<const int> order);
+
+/** n! as a double (map-space size accounting; n is small). */
+double factorial(int n);
+
+} // namespace mm

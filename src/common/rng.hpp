@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Deterministic random-number generation.
+ *
+ * All stochastic components (samplers, searchers, NN init) draw from an
+ * explicitly threaded Rng so that every experiment is reproducible from a
+ * single seed.
+ */
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace mm {
+
+/** A seeded Mersenne-Twister stream with convenience draws. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed) : gen(seed) {}
+
+    /** Next raw 64-bit draw. */
+    uint64_t raw() { return gen(); }
+
+    /** Uniform integer in [lo, hi], inclusive on both ends. */
+    int64_t
+    uniformInt(int64_t lo, int64_t hi)
+    {
+        MM_ASSERT(lo <= hi, "empty integer range");
+        return std::uniform_int_distribution<int64_t>(lo, hi)(gen);
+    }
+
+    /** Uniform real in [lo, hi). */
+    double
+    uniformReal(double lo = 0.0, double hi = 1.0)
+    {
+        return std::uniform_real_distribution<double>(lo, hi)(gen);
+    }
+
+    /** Gaussian draw. */
+    double
+    gaussian(double mean = 0.0, double stddev = 1.0)
+    {
+        return std::normal_distribution<double>(mean, stddev)(gen);
+    }
+
+    /** Bernoulli draw with success probability @p p. */
+    bool bernoulli(double p) { return uniformReal() < p; }
+
+    /** Uniformly pick an element of @p v. */
+    template <typename T>
+    const T &
+    pick(const std::vector<T> &v)
+    {
+        MM_ASSERT(!v.empty(), "pick from empty vector");
+        return v[static_cast<size_t>(uniformInt(0, int64_t(v.size()) - 1))];
+    }
+
+    /** Fisher-Yates shuffle of @p v. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (size_t i = v.size(); i > 1; --i) {
+            size_t j = static_cast<size_t>(uniformInt(0, int64_t(i) - 1));
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+    /** Derive an independent child stream (splitmix-style mixing). */
+    Rng
+    fork()
+    {
+        uint64_t s = raw();
+        s ^= s >> 30;
+        s *= 0xbf58476d1ce4e5b9ULL;
+        s ^= s >> 27;
+        return Rng(s);
+    }
+
+    /** Access the underlying engine (for std::distributions). */
+    std::mt19937_64 &engine() { return gen; }
+
+  private:
+    std::mt19937_64 gen;
+};
+
+} // namespace mm

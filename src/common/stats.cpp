@@ -1,0 +1,54 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace mm {
+
+double
+geomean(std::span<const double> values)
+{
+    MM_ASSERT(!values.empty(), "geomean of empty span");
+    double logSum = 0.0;
+    for (double v : values) {
+        MM_ASSERT(v > 0.0, "geomean requires positive values");
+        logSum += std::log(v);
+    }
+    return std::exp(logSum / double(values.size()));
+}
+
+double
+mean(std::span<const double> values)
+{
+    MM_ASSERT(!values.empty(), "mean of empty span");
+    double acc = 0.0;
+    for (double v : values)
+        acc += v;
+    return acc / double(values.size());
+}
+
+double
+stddev(std::span<const double> values)
+{
+    double m = mean(values);
+    double acc = 0.0;
+    for (double v : values)
+        acc += (v - m) * (v - m);
+    return std::sqrt(acc / double(values.size()));
+}
+
+double
+quantile(std::vector<double> values, double q)
+{
+    MM_ASSERT(!values.empty(), "quantile of empty vector");
+    MM_ASSERT(q >= 0.0 && q <= 1.0, "quantile fraction out of range");
+    std::sort(values.begin(), values.end());
+    double pos = q * double(values.size() - 1);
+    size_t lo = size_t(pos);
+    size_t hi = std::min(lo + 1, values.size() - 1);
+    double frac = pos - double(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+} // namespace mm

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Streaming statistics used by dataset normalization and bench reporting.
+ */
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace mm {
+
+/** Welford-style running mean/variance with min/max tracking. */
+class RunningStat
+{
+  public:
+    /** Fold one observation into the stream. */
+    void
+    push(double x)
+    {
+        ++n;
+        double delta = x - meanAcc;
+        meanAcc += delta / double(n);
+        m2 += delta * (x - meanAcc);
+        if (x < minSeen)
+            minSeen = x;
+        if (x > maxSeen)
+            maxSeen = x;
+    }
+
+    int64_t count() const { return n; }
+    double mean() const { return n > 0 ? meanAcc : 0.0; }
+
+    /** Population variance (n denominator). */
+    double
+    variance() const
+    {
+        return n > 0 ? m2 / double(n) : 0.0;
+    }
+
+    double stddev() const { return std::sqrt(variance()); }
+    double min() const { return minSeen; }
+    double max() const { return maxSeen; }
+
+  private:
+    int64_t n = 0;
+    double meanAcc = 0.0;
+    double m2 = 0.0;
+    double minSeen = std::numeric_limits<double>::infinity();
+    double maxSeen = -std::numeric_limits<double>::infinity();
+};
+
+/** Geometric mean of strictly positive values. */
+double geomean(std::span<const double> values);
+
+/** Arithmetic mean. */
+double mean(std::span<const double> values);
+
+/** Population standard deviation. */
+double stddev(std::span<const double> values);
+
+/** The @p q quantile (0..1) of @p values by linear interpolation. */
+double quantile(std::vector<double> values, double q);
+
+} // namespace mm

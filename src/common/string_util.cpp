@@ -1,0 +1,15 @@
+#include "common/string_util.hpp"
+
+#include <iomanip>
+
+namespace mm {
+
+std::string
+fmtDouble(double value, int digits)
+{
+    std::ostringstream oss;
+    oss << std::setprecision(digits) << value;
+    return oss.str();
+}
+
+} // namespace mm

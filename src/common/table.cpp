@@ -1,0 +1,61 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace mm {
+
+Table::Table(std::vector<std::string> columns) : cols(std::move(columns))
+{
+    MM_ASSERT(!cols.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    MM_ASSERT(cells.size() == cols.size(), "row/column arity mismatch");
+    rows.push_back(std::move(cells));
+}
+
+void
+Table::addRow(const std::string &label, const std::vector<double> &vals)
+{
+    MM_ASSERT(vals.size() + 1 == cols.size(), "row/column arity mismatch");
+    std::vector<std::string> cells;
+    cells.push_back(label);
+    for (double v : vals)
+        cells.push_back(fmtDouble(v, 5));
+    addRow(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os, bool withCsv) const
+{
+    std::vector<size_t> width(cols.size());
+    for (size_t c = 0; c < cols.size(); ++c)
+        width[c] = cols[c].size();
+    for (const auto &row : rows)
+        for (size_t c = 0; c < cols.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto line = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c)
+            os << std::left << std::setw(int(width[c]) + 2) << cells[c];
+        os << "\n";
+    };
+    line(cols);
+    for (const auto &row : rows)
+        line(row);
+
+    if (withCsv) {
+        os << "# csv\n# " << join(cols, ",") << "\n";
+        for (const auto &row : rows)
+            os << "# " << join(row, ",") << "\n";
+    }
+    os.flush();
+}
+
+} // namespace mm

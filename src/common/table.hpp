@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Tabular stdout reporting for bench harnesses.
+ *
+ * Every figure/table bench prints its series through Table so output is
+ * simultaneously human-readable (aligned columns) and machine-parseable
+ * (a `# csv` block follows each table).
+ */
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mm {
+
+/** A small column-aligned table with CSV echo. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> columns);
+
+    /** Append a pre-formatted row; must match the column count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a row of doubles with 5 significant digits. */
+    void addRow(const std::string &label, const std::vector<double> &vals);
+
+    /** Print aligned columns followed by a csv block. */
+    void print(std::ostream &os, bool withCsv = true) const;
+
+    size_t rowCount() const { return rows.size(); }
+
+  private:
+    std::vector<std::string> cols;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace mm

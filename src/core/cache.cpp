@@ -1,0 +1,80 @@
+#include "core/cache.hpp"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+
+#include "common/env.hpp"
+
+namespace mm {
+
+namespace {
+
+/** FNV-1a over the fingerprint string; filenames stay filesystem-safe. */
+std::string
+hashKey(const std::string &key)
+{
+    uint64_t h = 1469598103934665603ULL;
+    for (unsigned char c : key) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+} // namespace
+
+SurrogateCache::SurrogateCache(std::string dir) : root(std::move(dir))
+{
+    if (root.empty())
+        root = defaultDir();
+}
+
+std::string
+SurrogateCache::defaultDir()
+{
+    return envStr("MM_CACHE_DIR", "mm_cache");
+}
+
+bool
+SurrogateCache::disabled()
+{
+    return envInt("MM_NO_CACHE", 0) != 0;
+}
+
+std::string
+SurrogateCache::pathFor(const std::string &fingerprint) const
+{
+    return root + "/" + hashKey(fingerprint) + ".surrogate";
+}
+
+std::optional<Surrogate>
+SurrogateCache::load(const std::string &fingerprint) const
+{
+    if (disabled())
+        return std::nullopt;
+    std::ifstream is(pathFor(fingerprint), std::ios::binary);
+    if (!is)
+        return std::nullopt;
+    return Surrogate::load(is);
+}
+
+void
+SurrogateCache::store(const std::string &fingerprint,
+                      const Surrogate &surrogate) const
+{
+    if (disabled())
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(root, ec);
+    if (ec)
+        return; // best effort: caching failures never break training
+    std::ofstream os(pathFor(fingerprint), std::ios::binary);
+    if (os)
+        surrogate.save(os);
+}
+
+} // namespace mm

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * On-disk surrogate cache.
+ *
+ * Phase 1 is a one-time offline cost amortized over many searches
+ * (Section 4.1); this cache is the engineering counterpart — bench
+ * binaries and examples share trained surrogates keyed by a fingerprint
+ * of (algorithm, accelerator, full Phase-1 config). Controlled by the
+ * MM_CACHE_DIR env var; set MM_NO_CACHE=1 to disable.
+ */
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/surrogate.hpp"
+
+namespace mm {
+
+/** Directory-backed store of serialized surrogates. */
+class SurrogateCache
+{
+  public:
+    /** Empty dir selects defaultDir(). */
+    explicit SurrogateCache(std::string dir = "");
+
+    /** The cache directory in use. */
+    const std::string &dir() const { return root; }
+
+    /** Load the surrogate stored under @p fingerprint, if any. */
+    std::optional<Surrogate> load(const std::string &fingerprint) const;
+
+    /** Persist @p surrogate under @p fingerprint (best effort). */
+    void store(const std::string &fingerprint,
+               const Surrogate &surrogate) const;
+
+    /** MM_CACHE_DIR env var, defaulting to ./mm_cache. */
+    static std::string defaultDir();
+
+    /** True when MM_NO_CACHE=1 disables caching. */
+    static bool disabled();
+
+  private:
+    std::string pathFor(const std::string &fingerprint) const;
+    std::string root;
+};
+
+} // namespace mm

@@ -1,0 +1,144 @@
+#include "core/dataset.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include "core/feature_transform.hpp"
+#include "costmodel/cost_model.hpp"
+
+namespace mm {
+
+namespace {
+
+/** Everything needed to sample and label mappings of one problem. */
+struct ProblemContext
+{
+    Problem problem;
+    MapSpace space;
+    CostModel model;
+    MappingCodec codec;
+
+    ProblemContext(const AcceleratorSpec &arch, Problem p)
+        : problem(std::move(p)), space(arch, problem), model(space),
+          codec(space)
+    {}
+};
+
+} // namespace
+
+void
+normalizeMetaStatsByBound(std::vector<double> &stats, size_t tensorCount,
+                          double lbEnergyPj, double lbCycles)
+{
+    const size_t energyTerms = tensorCount * size_t(kNumMemLevels);
+    MM_ASSERT(stats.size() == energyTerms + 3, "meta-stat arity mismatch");
+    for (size_t i = 0; i < energyTerms; ++i)
+        stats[i] /= lbEnergyPj;
+    stats[energyTerms] /= lbEnergyPj;     // total energy
+    /* stats[energyTerms + 1] : utilization stays unnormalized */
+    stats[energyTerms + 2] /= lbCycles;   // total cycles
+}
+
+SurrogateDataset
+generateDataset(const AcceleratorSpec &arch, const AlgorithmSpec &algo,
+                const DatasetConfig &cfg)
+{
+    MM_ASSERT(cfg.samples >= 10, "dataset too small");
+    MM_ASSERT(cfg.testFraction >= 0.0 && cfg.testFraction < 1.0,
+              "bad test fraction");
+    Rng rng(cfg.seed);
+
+    // Build the pool of map spaces to draw from.
+    std::vector<std::unique_ptr<ProblemContext>> pool;
+    if (!cfg.problems.empty()) {
+        for (const Problem &p : cfg.problems) {
+            MM_ASSERT(p.algo == &algo, "problem/algorithm mismatch");
+            pool.push_back(std::make_unique<ProblemContext>(arch, p));
+        }
+    } else {
+        for (size_t i = 0; i < cfg.problemCount; ++i)
+            pool.push_back(std::make_unique<ProblemContext>(
+                arch, sampleRepresentativeProblem(algo, rng)));
+    }
+
+    const size_t features = pool.front()->codec.featureCount();
+    const size_t tensors = algo.tensorCount();
+    const size_t outputs =
+        cfg.metaStatOutputs ? CostResult::metaStatCount(tensors) : 1;
+
+    const FeatureTransform transform{
+        pool.front()->codec.orderOffset()};
+
+    MM_ASSERT(cfg.eliteFraction >= 0.0 && cfg.eliteFraction <= 1.0,
+              "elite fraction out of range");
+    Matrix x(cfg.samples, features);
+    Matrix y(cfg.samples, outputs);
+    for (size_t i = 0; i < cfg.samples; ++i) {
+        ProblemContext &ctx = *pool[size_t(
+            rng.uniformInt(0, int64_t(pool.size()) - 1))];
+        Mapping m = ctx.space.randomValid(rng);
+        if (cfg.eliteFraction > 0.0 && rng.bernoulli(cfg.eliteFraction)) {
+            // Best-of-k draw: biases coverage toward the low-EDP tail.
+            for (int c = 1; c < cfg.eliteCandidates; ++c) {
+                Mapping cand = ctx.space.randomValid(rng);
+                if (ctx.model.edp(cand) < ctx.model.edp(m))
+                    m = std::move(cand);
+            }
+        }
+        auto feat = ctx.codec.encode(m);
+        transform.apply(feat);
+        for (size_t c = 0; c < features; ++c)
+            x(i, c) = float(feat[c]);
+
+        CostResult res = ctx.model.evaluate(m);
+        const LowerBound &lb = ctx.model.lowerBound();
+        if (cfg.metaStatOutputs) {
+            auto stats = res.metaStats();
+            normalizeMetaStatsByBound(stats, tensors, lb.energyPj,
+                                      lb.cycles);
+            logTransformOutputs(stats);
+            for (size_t c = 0; c < outputs; ++c)
+                y(i, c) = float(stats[c]);
+        } else {
+            y(i, 0) = float(std::log(res.edp() / lb.edp()));
+        }
+    }
+
+    // Split, then fit normalizers on the training rows only.
+    size_t testRows = size_t(double(cfg.samples) * cfg.testFraction);
+    size_t trainRows = cfg.samples - testRows;
+    MM_ASSERT(trainRows > 0, "empty training split");
+
+    SurrogateDataset ds;
+    ds.featureCount = features;
+    ds.outputCount = outputs;
+    ds.featureLogPrefix = transform.logPrefix;
+    ds.xTrain.resize(trainRows, features);
+    ds.yTrain.resize(trainRows, outputs);
+    ds.xTest.resize(testRows, features);
+    ds.yTest.resize(testRows, outputs);
+    for (size_t r = 0; r < trainRows; ++r) {
+        std::copy(x.row(r).begin(), x.row(r).end(),
+                  ds.xTrain.row(r).begin());
+        std::copy(y.row(r).begin(), y.row(r).end(),
+                  ds.yTrain.row(r).begin());
+    }
+    for (size_t r = 0; r < testRows; ++r) {
+        std::copy(x.row(trainRows + r).begin(), x.row(trainRows + r).end(),
+                  ds.xTest.row(r).begin());
+        std::copy(y.row(trainRows + r).begin(), y.row(trainRows + r).end(),
+                  ds.yTest.row(r).begin());
+    }
+
+    ds.inputNorm = Normalizer::fit(ds.xTrain);
+    ds.outputNorm = Normalizer::fit(ds.yTrain);
+    ds.inputNorm.applyInPlace(ds.xTrain);
+    ds.outputNorm.applyInPlace(ds.yTrain);
+    if (testRows > 0) {
+        ds.inputNorm.applyInPlace(ds.xTest);
+        ds.outputNorm.applyInPlace(ds.yTest);
+    }
+    return ds;
+}
+
+} // namespace mm

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Phase-1 training-set generation (Section 4.1.1).
+ *
+ * Uniformly samples valid mappings from the map spaces of representative
+ * problems of the target algorithm, labels each with the reference cost
+ * model's meta-statistics (normalized per problem by the algorithmic
+ * lower bound, Section 4.1.3), and z-scores both inputs and outputs over
+ * the training set. Only valid mappings enter the dataset, as in the
+ * paper.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/normalizer.hpp"
+#include "mapping/codec.hpp"
+#include "nn/loss.hpp"
+#include "workload/problem.hpp"
+
+namespace mm {
+
+/** Dataset-generation parameters. */
+struct DatasetConfig
+{
+    /** Total (mapping, pid, cost) tuples to draw. */
+    size_t samples = 20000;
+    /** Fraction reserved as the held-out test split. */
+    double testFraction = 0.1;
+    /**
+     * Distinct representative problems to sample from; ignored when
+     * explicit problems are supplied.
+     */
+    size_t problemCount = 40;
+    /** Optional explicit problem list (e.g. for ablations). */
+    std::vector<Problem> problems;
+    /**
+     * When true (default), the output vector holds the full
+     * meta-statistics; when false it holds only normalized EDP — the
+     * paper's Section 4.1.3 "direct EDP" strawman for the output-
+     * representation ablation.
+     */
+    bool metaStatOutputs = true;
+    /**
+     * Fraction of samples drawn with elite bias (best-of-k instead of
+     * one uniform draw), improving coverage of the low-EDP region the
+     * search ultimately cares about. The paper flags improved sampling
+     * as future work (Section 4.1.1); 0 reproduces its uniform scheme.
+     */
+    double eliteFraction = 0.0;
+    /** Candidates per elite draw. */
+    int eliteCandidates = 8;
+    uint64_t seed = 1;
+};
+
+/** A generated, normalized regression dataset plus its normalizers. */
+struct SurrogateDataset
+{
+    Matrix xTrain, yTrain;
+    Matrix xTest, yTest;
+    Normalizer inputNorm;
+    Normalizer outputNorm;
+    size_t featureCount = 0;
+    size_t outputCount = 0;
+    /** Prefix of features that were log2-conditioned (see
+     * core/feature_transform.hpp); targets are log-conditioned. */
+    size_t featureLogPrefix = 0;
+};
+
+/**
+ * Generate the Phase-1 dataset for @p algo on @p arch.
+ *
+ * The feature vector layout is MappingCodec's (pid + tiling +
+ * parallelism + order ranks + allocation); targets are the cost model's
+ * meta-statistics divided by the per-problem lower bound (energy terms
+ * by LB energy, cycles by LB cycles, utilization as-is).
+ */
+SurrogateDataset generateDataset(const AcceleratorSpec &arch,
+                                 const AlgorithmSpec &algo,
+                                 const DatasetConfig &cfg);
+
+/** Lower-bound-normalize a raw meta-statistics vector in place. */
+void normalizeMetaStatsByBound(std::vector<double> &stats,
+                               size_t tensorCount, double lbEnergyPj,
+                               double lbCycles);
+
+} // namespace mm

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Feature/target conditioning for the surrogate.
+ *
+ * Tile factors, spatial factors and problem-id bounds span four orders
+ * of magnitude; lower-bound-normalized energies/cycles span six. Raw
+ * z-scoring of such heavy-tailed values leaves a regression problem
+ * where the bulk of samples collapses into a sliver of the normalized
+ * range and the surrogate learns almost nothing (we measured log-EDP
+ * correlation ~0.07 without this). Both are therefore log-transformed
+ * before whitening:
+ *
+ *  - input features: log2 on the pid + tiling + parallelism segments
+ *    (a contiguous prefix of the codec layout); loop-order ranks and
+ *    bank counts stay linear,
+ *  - output meta-statistics: natural log of every (positive,
+ *    lower-bound-normalized) component.
+ *
+ * These are monotone reparameterizations — they change conditioning,
+ * not the semantics of the paper's representation — and as a bonus the
+ * gradient step becomes multiplicative in tile-factor space, matching
+ * the geometry of factorization search.
+ */
+#pragma once
+
+#include <cmath>
+#include <span>
+
+#include "common/error.hpp"
+
+namespace mm {
+
+/** log2 transform over a prefix of the feature vector. */
+struct FeatureTransform
+{
+    /** Features in [0, logPrefix) are log2-transformed. */
+    size_t logPrefix = 0;
+
+    void
+    apply(std::span<double> features) const
+    {
+        MM_ASSERT(logPrefix <= features.size(), "transform prefix too big");
+        for (size_t i = 0; i < logPrefix; ++i)
+            features[i] = std::log2(std::max(features[i], 1e-12));
+    }
+
+    void
+    invert(std::span<double> features) const
+    {
+        MM_ASSERT(logPrefix <= features.size(), "transform prefix too big");
+        for (size_t i = 0; i < logPrefix; ++i)
+            features[i] = std::exp2(features[i]);
+    }
+};
+
+/** Natural log applied to every (positive) output component. */
+inline void
+logTransformOutputs(std::span<double> outputs)
+{
+    for (auto &v : outputs)
+        v = std::log(std::max(v, 1e-12));
+}
+
+} // namespace mm

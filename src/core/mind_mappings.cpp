@@ -1,0 +1,87 @@
+#include "core/mind_mappings.hpp"
+
+namespace mm {
+
+MindMappings::MindMappings(AcceleratorSpec arch, const AlgorithmSpec &algo_,
+                           MindMappingsOptions opts_)
+    : archSpec(std::move(arch)), algo(&algo_), opts(std::move(opts_))
+{
+    opts.phase1.resolve();
+}
+
+bool
+MindMappings::prepare()
+{
+    if (prepared())
+        return history.empty();
+
+    SurrogateCache cache(opts.cacheDir);
+    const std::string key = opts.phase1.fingerprint(archSpec, *algo);
+    if (opts.useCache) {
+        if (auto cached = cache.load(key)) {
+            surrogateModel.emplace(std::move(*cached));
+            history.clear();
+            return true;
+        }
+    }
+
+    Phase1Result result = trainSurrogate(archSpec, *algo, opts.phase1);
+    history = std::move(result.history);
+    surrogateModel.emplace(std::move(result.surrogate));
+    if (opts.useCache)
+        cache.store(key, *surrogateModel);
+    return false;
+}
+
+Surrogate &
+MindMappings::surrogate()
+{
+    MM_ASSERT(prepared(), "call prepare() before using the surrogate");
+    return *surrogateModel;
+}
+
+Mapping
+MindMappings::getMapping(const Problem &problem, Rng &rng) const
+{
+    MapSpace space(archSpec, problem);
+    return space.randomValid(rng);
+}
+
+bool
+MindMappings::isMember(const Problem &problem, const Mapping &m) const
+{
+    MapSpace space(archSpec, problem);
+    return space.isMember(m);
+}
+
+Mapping
+MindMappings::getProjection(const Problem &problem, const Mapping &m) const
+{
+    MapSpace space(archSpec, problem);
+    return space.project(m);
+}
+
+SearchResult
+MindMappings::search(const Problem &problem, const SearchBudget &budget,
+                     Rng &rng)
+{
+    if (problem.algo != algo)
+        fatal("problem '" + problem.name
+              + "' does not belong to this instance's target algorithm");
+    prepare();
+    MapSpace space(archSpec, problem);
+    CostModel model(space);
+    MindMappingsSearcher searcher(model, *surrogateModel, opts.search,
+                                  opts.timing);
+    return searcher.run(budget, rng);
+}
+
+double
+MindMappings::normalizedEdp(const Problem &problem, const Mapping &m) const
+{
+    MapSpace space(archSpec, problem);
+    CostModel model(space);
+    return model.normalizedEdp(m);
+}
+
+} // namespace mm

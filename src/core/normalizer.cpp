@@ -1,0 +1,88 @@
+#include "core/normalizer.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace mm {
+
+Normalizer
+Normalizer::fit(const Matrix &data)
+{
+    MM_ASSERT(data.rows() > 0, "cannot fit normalizer on empty data");
+    Normalizer n;
+    n.means.resize(data.cols());
+    n.stds.resize(data.cols());
+    for (size_t c = 0; c < data.cols(); ++c) {
+        RunningStat stat;
+        for (size_t r = 0; r < data.rows(); ++r)
+            stat.push(double(data(r, c)));
+        n.means[c] = stat.mean();
+        n.stds[c] = std::max(stat.stddev(), 1e-8);
+    }
+    return n;
+}
+
+std::vector<double>
+Normalizer::apply(std::span<const double> raw) const
+{
+    MM_ASSERT(raw.size() == dim(), "normalizer arity mismatch");
+    std::vector<double> out(raw.size());
+    for (size_t i = 0; i < raw.size(); ++i)
+        out[i] = (raw[i] - means[i]) / stds[i];
+    return out;
+}
+
+std::vector<double>
+Normalizer::invert(std::span<const double> normed) const
+{
+    MM_ASSERT(normed.size() == dim(), "normalizer arity mismatch");
+    std::vector<double> out(normed.size());
+    for (size_t i = 0; i < normed.size(); ++i)
+        out[i] = normed[i] * stds[i] + means[i];
+    return out;
+}
+
+void
+Normalizer::applyInPlace(Matrix &data) const
+{
+    MM_ASSERT(data.cols() == dim(), "normalizer arity mismatch");
+    for (size_t r = 0; r < data.rows(); ++r)
+        for (size_t c = 0; c < data.cols(); ++c)
+            data(r, c) =
+                float((double(data(r, c)) - means[c]) / stds[c]);
+}
+
+void
+Normalizer::save(std::ostream &os) const
+{
+    uint64_t n = means.size();
+    os.write(reinterpret_cast<const char *>(&n), sizeof(n));
+    os.write(reinterpret_cast<const char *>(means.data()),
+             std::streamsize(n * sizeof(double)));
+    os.write(reinterpret_cast<const char *>(stds.data()),
+             std::streamsize(n * sizeof(double)));
+}
+
+Normalizer
+Normalizer::load(std::istream &is)
+{
+    uint64_t n = 0;
+    is.read(reinterpret_cast<char *>(&n), sizeof(n));
+    MM_ASSERT(bool(is), "truncated normalizer stream");
+    Normalizer norm;
+    norm.means.resize(n);
+    norm.stds.resize(n);
+    is.read(reinterpret_cast<char *>(norm.means.data()),
+            std::streamsize(n * sizeof(double)));
+    is.read(reinterpret_cast<char *>(norm.stds.data()),
+            std::streamsize(n * sizeof(double)));
+    MM_ASSERT(bool(is), "truncated normalizer stream");
+    return norm;
+}
+
+} // namespace mm

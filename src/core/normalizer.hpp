@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Per-column z-score normalization (Sections 4.1.2/4.1.3): every input
+ * feature and every output meta-statistic is normalized to mean 0 /
+ * std 1 with respect to the training set.
+ */
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace mm {
+
+/** Column-wise affine normalizer fitted on a dataset. */
+class Normalizer
+{
+  public:
+    Normalizer() = default;
+
+    /** Fit means and stds over the rows of @p data. */
+    static Normalizer fit(const Matrix &data);
+
+    size_t dim() const { return means.size(); }
+
+    /** (x - mean) / std, elementwise per column. */
+    std::vector<double> apply(std::span<const double> raw) const;
+
+    /** Inverse transform. */
+    std::vector<double> invert(std::span<const double> normed) const;
+
+    /** Normalize every row of @p data in place. */
+    void applyInPlace(Matrix &data) const;
+
+    double mean(size_t i) const { return means.at(i); }
+    double std(size_t i) const { return stds.at(i); }
+
+    void save(std::ostream &os) const;
+    static Normalizer load(std::istream &is);
+
+  private:
+    std::vector<double> means;
+    std::vector<double> stds; ///< clamped away from zero
+};
+
+} // namespace mm

@@ -1,0 +1,105 @@
+#include "core/phase1.hpp"
+
+#include "common/clock.hpp"
+#include "common/string_util.hpp"
+#include "costmodel/cost_model.hpp"
+
+namespace mm {
+
+void
+Phase1Config::resolve()
+{
+    if (resolved)
+        return;
+    resolved = true;
+    switch (preset) {
+      case SurrogatePreset::Fast:
+        if (hidden.empty() && !linear)
+            hidden = {64, 128, 128, 64};
+        if (train.epochs == TrainConfig{}.epochs)
+            train.epochs = 24;
+        if (data.samples == DatasetConfig{}.samples)
+            data.samples = 150000;
+        train.batchSize = 128;
+        train.schedule = {1e-2, 0.25, 8};
+        break;
+      case SurrogatePreset::Paper:
+        if (hidden.empty() && !linear)
+            hidden = {64, 256, 1024, 2048, 2048, 1024, 256, 64};
+        if (train.epochs == TrainConfig{}.epochs)
+            train.epochs = 100;
+        train.batchSize = 128;
+        train.schedule = {1e-2, 0.1, 25};
+        if (data.samples == DatasetConfig{}.samples)
+            data.samples = 10'000'000;
+        break;
+    }
+    train.momentum = 0.9;
+}
+
+std::string
+Phase1Config::fingerprint(const AcceleratorSpec &arch,
+                          const AlgorithmSpec &algo) const
+{
+    Phase1Config r = *this;
+    r.resolve();
+    std::string probs;
+    for (const Problem &p : r.data.problems)
+        probs += join(p.bounds, "x") + ";";
+    return strCat("fmt=2|", algo.name, "|", arch.name, "|lin=", r.linear,
+                  "|h=", join(r.hidden, "-"),
+                  "|n=", r.data.samples, "|p=", r.data.problemCount,
+                  "|probs=", probs, "|meta=", r.data.metaStatOutputs, "|elite=",
+                  r.data.eliteFraction,
+                  "|e=", r.train.epochs, "|b=", r.train.batchSize,
+                  "|loss=", lossName(r.train.loss), "|lr=",
+                  r.train.schedule.initial, "|seed=", r.seed, "|dseed=",
+                  r.data.seed);
+}
+
+std::vector<LayerSpec>
+surrogateTopology(const std::vector<size_t> &hidden, size_t outputDim)
+{
+    // An empty hidden list yields a purely linear surrogate — the
+    // "simpler differentiable model" the paper defers to future work
+    // (Section 4.1); see bench/ablation_surrogate_capacity.
+    std::vector<LayerSpec> specs;
+    for (size_t width : hidden)
+        specs.push_back({width, Activation::ReLU});
+    specs.push_back({outputDim, Activation::Identity});
+    return specs;
+}
+
+Phase1Result
+trainSurrogate(const AcceleratorSpec &arch, const AlgorithmSpec &algo,
+               Phase1Config cfg,
+               const std::function<void(const EpochReport &)> &onEpoch)
+{
+    cfg.resolve();
+    WallTimer dataTimer;
+    SurrogateDataset ds = generateDataset(arch, algo, cfg.data);
+    double datasetSec = dataTimer.elapsedSec();
+
+    Rng rng(cfg.seed);
+    Mlp net(ds.featureCount,
+            surrogateTopology(cfg.linear ? std::vector<size_t>{}
+                                         : cfg.hidden,
+                              ds.outputCount),
+            rng);
+
+    WallTimer trainTimer;
+    RegressionTrainer trainer(net, cfg.train);
+    auto history =
+        trainer.fit(ds.xTrain, ds.yTrain, ds.xTest, ds.yTest, rng, onEpoch);
+    double trainSec = trainTimer.elapsedSec();
+
+    size_t tensors = cfg.data.metaStatOutputs ? algo.tensorCount() : 0;
+    Phase1Result result{Surrogate(std::move(net),
+                                  FeatureTransform{ds.featureLogPrefix},
+                                  std::move(ds.inputNorm),
+                                  std::move(ds.outputNorm), tensors),
+                        std::move(history), datasetSec, trainSec};
+    return result;
+}
+
+} // namespace mm

@@ -1,0 +1,167 @@
+#include "core/surrogate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+namespace mm {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x4d4d5348; // "MMSH" (log-space format)
+
+/** Keep exp() of predicted logs finite even far out of distribution. */
+double
+safeExp(double logValue)
+{
+    return std::exp(std::clamp(logValue, -60.0, 60.0));
+}
+
+} // namespace
+
+Surrogate::Surrogate(Mlp net, FeatureTransform transform_,
+                     Normalizer inputNorm_, Normalizer outputNorm_,
+                     size_t tensorCount)
+    : mlp(std::move(net)), transform(transform_),
+      inputNorm(std::move(inputNorm_)), outputNorm(std::move(outputNorm_)),
+      tensors(tensorCount)
+{
+    MM_ASSERT(mlp.inputDim() == inputNorm.dim(),
+              "surrogate input arity mismatch");
+    MM_ASSERT(mlp.outputDim() == outputNorm.dim(),
+              "surrogate output arity mismatch");
+    MM_ASSERT(transform.logPrefix <= inputNorm.dim(),
+              "transform prefix out of range");
+    if (tensors > 0) {
+        MM_ASSERT(outputNorm.dim()
+                      == tensors * size_t(kNumMemLevels) + 3,
+                  "meta-stat layout mismatch");
+    } else {
+        MM_ASSERT(outputNorm.dim() == 1, "direct-EDP model must be 1-D");
+    }
+}
+
+std::vector<double>
+Surrogate::normalizeInput(std::span<const double> raw) const
+{
+    std::vector<double> conditioned(raw.begin(), raw.end());
+    transform.apply(conditioned);
+    return inputNorm.apply(conditioned);
+}
+
+std::vector<double>
+Surrogate::denormalizeInput(std::span<const double> z) const
+{
+    std::vector<double> raw = inputNorm.invert(z);
+    transform.invert(raw);
+    return raw;
+}
+
+const Matrix &
+Surrogate::forwardOne(std::span<const double> zFeatures)
+{
+    MM_ASSERT(zFeatures.size() == featureCount(),
+              "surrogate feature arity mismatch");
+    inputRow.resize(1, zFeatures.size());
+    for (size_t i = 0; i < zFeatures.size(); ++i)
+        inputRow(0, i) = float(zFeatures[i]);
+    return mlp.forward(inputRow);
+}
+
+double
+Surrogate::predictNormEdp(std::span<const double> zFeatures)
+{
+    const Matrix &out = forwardOne(zFeatures);
+    if (tensors == 0) {
+        double logEdp = double(out(0, 0)) * outputNorm.std(0)
+                        + outputNorm.mean(0);
+        return safeExp(logEdp);
+    }
+    const size_t ei = totalEnergyIdx();
+    const size_t ci = cyclesIdx();
+    double logE = double(out(0, ei)) * outputNorm.std(ei)
+                  + outputNorm.mean(ei);
+    double logC = double(out(0, ci)) * outputNorm.std(ci)
+                  + outputNorm.mean(ci);
+    return safeExp(logE + logC);
+}
+
+double
+Surrogate::gradient(std::span<const double> zFeatures,
+                    std::vector<double> &gradOut)
+{
+    const Matrix &out = forwardOne(zFeatures);
+    Matrix dOut(1, outputCount());
+    double pred = 0.0;
+
+    // Outputs are whitened *logs*, so d(log EDP)/d(head) is constant:
+    // the head's training-set standard deviation.
+    if (tensors == 0) {
+        double logEdp = double(out(0, 0)) * outputNorm.std(0)
+                        + outputNorm.mean(0);
+        pred = safeExp(logEdp);
+        dOut(0, 0) = float(outputNorm.std(0));
+    } else {
+        const size_t ei = totalEnergyIdx();
+        const size_t ci = cyclesIdx();
+        double logE = double(out(0, ei)) * outputNorm.std(ei)
+                      + outputNorm.mean(ei);
+        double logC = double(out(0, ci)) * outputNorm.std(ci)
+                      + outputNorm.mean(ci);
+        pred = safeExp(logE + logC);
+        dOut(0, ei) = float(outputNorm.std(ei));
+        dOut(0, ci) = float(outputNorm.std(ci));
+    }
+
+    Matrix dIn = mlp.backward(dOut);
+    gradOut.assign(featureCount(), 0.0);
+    for (size_t i = 0; i < featureCount(); ++i)
+        gradOut[i] = double(dIn(0, i));
+    return pred;
+}
+
+std::vector<double>
+Surrogate::predictMetaStats(std::span<const double> zFeatures)
+{
+    const Matrix &out = forwardOne(zFeatures);
+    std::vector<double> z(outputCount());
+    for (size_t i = 0; i < z.size(); ++i)
+        z[i] = double(out(0, i));
+    std::vector<double> logs = outputNorm.invert(z);
+    for (auto &v : logs)
+        v = safeExp(v);
+    return logs;
+}
+
+void
+Surrogate::save(std::ostream &os) const
+{
+    os.write(reinterpret_cast<const char *>(&kMagic), sizeof(kMagic));
+    uint64_t t = tensors;
+    uint64_t prefix = transform.logPrefix;
+    os.write(reinterpret_cast<const char *>(&t), sizeof(t));
+    os.write(reinterpret_cast<const char *>(&prefix), sizeof(prefix));
+    inputNorm.save(os);
+    outputNorm.save(os);
+    mlp.save(os);
+}
+
+Surrogate
+Surrogate::load(std::istream &is)
+{
+    uint32_t magic = 0;
+    is.read(reinterpret_cast<char *>(&magic), sizeof(magic));
+    MM_ASSERT(bool(is) && magic == kMagic, "bad surrogate stream");
+    uint64_t t = 0;
+    uint64_t prefix = 0;
+    is.read(reinterpret_cast<char *>(&t), sizeof(t));
+    is.read(reinterpret_cast<char *>(&prefix), sizeof(prefix));
+    Normalizer in = Normalizer::load(is);
+    Normalizer out = Normalizer::load(is);
+    Mlp net = Mlp::load(is);
+    return Surrogate(std::move(net), FeatureTransform{size_t(prefix)},
+                     std::move(in), std::move(out), size_t(t));
+}
+
+} // namespace mm

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The differentiable surrogate f* (Section 4.1).
+ *
+ * Wraps the trained MLP with the feature conditioning (see
+ * core/feature_transform.hpp) and the input/output whitening, and
+ * exposes the two operations Phase 2 needs:
+ *   - predict the (lower-bound-)normalized EDP of an encoded mapping,
+ *   - the gradient of log(predicted EDP) with respect to the normalized
+ *     input features — the approximate gradients that guide the search.
+ *
+ * The network regresses the log of every lower-bound-normalized
+ * meta-statistic (Section 4.1.3), so predicted log-EDP is simply the
+ * sum of the de-whitened total-energy and total-cycles heads, and its
+ * gradient with respect to those heads is constant — the backward pass
+ * through the MLP does all the work.
+ */
+#pragma once
+
+#include <iosfwd>
+
+#include "arch/accelerator.hpp"
+#include "core/feature_transform.hpp"
+#include "core/normalizer.hpp"
+#include "nn/mlp.hpp"
+
+namespace mm {
+
+/** Trained surrogate: MLP + conditioning + whitening + layout. */
+class Surrogate
+{
+  public:
+    /**
+     * @param net         Trained MLP (moved in).
+     * @param transform   Feature conditioning used during training.
+     * @param inputNorm   Feature z-scorer fitted on the training set.
+     * @param outputNorm  Target z-scorer fitted on the training set.
+     * @param tensorCount Tensors of the target algorithm (fixes the
+     *                    meta-statistics layout). Pass 0 for direct-EDP
+     *                    ablation models (single log-EDP output).
+     */
+    Surrogate(Mlp net, FeatureTransform transform, Normalizer inputNorm,
+              Normalizer outputNorm, size_t tensorCount);
+
+    size_t featureCount() const { return inputNorm.dim(); }
+    size_t outputCount() const { return outputNorm.dim(); }
+    bool isMetaStatModel() const { return tensors > 0; }
+
+    /** Raw codec features -> conditioned, z-scored network inputs. */
+    std::vector<double> normalizeInput(std::span<const double> raw) const;
+
+    /** Inverse of normalizeInput. */
+    std::vector<double> denormalizeInput(std::span<const double> z) const;
+
+    /**
+     * Predicted EDP normalized by the problem's algorithmic minimum,
+     * from z-scored features.
+     */
+    double predictNormEdp(std::span<const double> zFeatures);
+
+    /**
+     * Gradient of log(predicted normalized EDP) with respect to the
+     * z-scored features. Returns the predicted normalized EDP.
+     */
+    double gradient(std::span<const double> zFeatures,
+                    std::vector<double> &gradOut);
+
+    /**
+     * Predicted lower-bound-normalized meta-statistics (de-whitened,
+     * de-logged; diagnostics and tests).
+     */
+    std::vector<double> predictMetaStats(std::span<const double> zFeatures);
+
+    Mlp &net() { return mlp; }
+    const Normalizer &inputNormalizer() const { return inputNorm; }
+    const Normalizer &outputNormalizer() const { return outputNorm; }
+    const FeatureTransform &featureTransform() const { return transform; }
+
+    void save(std::ostream &os) const;
+    static Surrogate load(std::istream &is);
+
+  private:
+    /** Forward the MLP on one z-scored feature row. */
+    const Matrix &forwardOne(std::span<const double> zFeatures);
+
+    /** Output indices of total energy / cycles in the meta layout. */
+    size_t totalEnergyIdx() const { return tensors * size_t(kNumMemLevels); }
+    size_t cyclesIdx() const { return totalEnergyIdx() + 2; }
+
+    Mlp mlp;
+    FeatureTransform transform;
+    Normalizer inputNorm;
+    Normalizer outputNorm;
+    size_t tensors;
+    Matrix inputRow; ///< batch-1 workspace
+};
+
+} // namespace mm

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Analytical accelerator cost model (the paper's cost function f,
+ * standing in for Timeloop [68]; see DESIGN.md for the substitution
+ * rationale).
+ *
+ * The model analyzes the loop nest a mapping induces
+ * (DRAM -> L2 -> spatial -> L1 -> MAC) with classic stationarity
+ * ("reload factor") reasoning:
+ *
+ *   reads out of level L for tensor T
+ *     = (child-resident footprint of T) x rf(T, temporal loops above the
+ *        child's residency point)
+ *
+ * where rf is the product of trip counts of all loops down to and
+ * including the innermost T-relevant loop — the trailing run of
+ * T-irrelevant loops contributes stationarity (free reuse). Outputs use
+ * the mirrored update/read-modify-write form: reads = updates - first
+ * writes. Spatial fan-out affects footprints (multicast unions, computed
+ * halo-aware) and PE counts but is not a temporal loop.
+ *
+ * Energy sums per-level accesses, MACs and NoC deliveries; delay is the
+ * max of compute and per-level bandwidth cycles; the optimization
+ * objective is EDP (Section 5.1.2). The iteration space is the *padded*
+ * bound, so over-approximate factorizations are charged for their
+ * padding.
+ */
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "costmodel/lower_bound.hpp"
+#include "mapping/map_space.hpp"
+
+namespace mm {
+
+/** Read/write word counts of one tensor at one memory level. */
+struct TensorLevelAccess
+{
+    double reads = 0.0;
+    double writes = 0.0;
+
+    double total() const { return reads + writes; }
+};
+
+/** Full evaluation result; metaStats() is the surrogate's target vector. */
+struct CostResult
+{
+    /** access[t][lvl], lvl indexed by MemLevel. */
+    std::vector<std::array<TensorLevelAccess, kNumMemLevels>> access;
+    /** Per-level access energy per tensor, same indexing (pJ). */
+    std::vector<std::array<double, kNumMemLevels>> energyPj;
+
+    double nocWords = 0.0;
+    double paddedMacs = 0.0;
+    double actualMacs = 0.0;
+
+    double macEnergyPj = 0.0;
+    double nocEnergyPj = 0.0;
+    double totalEnergyPj = 0.0;
+
+    double computeCycles = 0.0;
+    std::array<double, kNumMemLevels> bandwidthCycles{};
+    double cycles = 0.0;
+
+    /** actualMacs / (cycles * peak MACs/cycle), in [0, 1]. */
+    double utilization = 0.0;
+
+    /** Energy-delay product in pJ x cycles (1 cycle = 1 ns at 1 GHz). */
+    double edp() const { return totalEnergyPj * cycles; }
+
+    /**
+     * The paper's rich output representation (Section 4.1.3/5.5):
+     * per-tensor per-level energy, then total energy, utilization and
+     * cycles. 12 values for CNN-Layer, 15 for MTTKRP.
+     */
+    std::vector<double> metaStats() const;
+
+    /** Number of meta-statistics for a T-tensor problem: 3T + 3. */
+    static size_t metaStatCount(size_t tensorCount);
+};
+
+/** Evaluates mappings of one map space. */
+class CostModel
+{
+  public:
+    explicit CostModel(const MapSpace &space);
+
+    /** The map space is captured by reference: forbid temporaries. */
+    explicit CostModel(MapSpace &&) = delete;
+
+    const MapSpace &space() const { return *mapSpace; }
+
+    /** Full evaluation; the mapping must be a valid member. */
+    CostResult evaluate(const Mapping &m) const;
+
+    /** Shorthand for evaluate(m).edp(). */
+    double edp(const Mapping &m) const;
+
+    /** EDP normalized to the algorithmic minimum (Section 5.2). */
+    double normalizedEdp(const Mapping &m) const;
+
+    /** The (possibly unachievable) algorithmic minimum (Appendix A). */
+    const LowerBound &lowerBound() const { return bound; }
+
+  private:
+    const MapSpace *mapSpace;
+    LowerBound bound;
+};
+
+} // namespace mm

@@ -1,0 +1,23 @@
+#include "costmodel/lower_bound.hpp"
+
+namespace mm {
+
+LowerBound
+computeLowerBound(const AcceleratorSpec &arch, const Problem &problem)
+{
+    double perWordPj = 0.0;
+    for (const auto &level : arch.levels)
+        perWordPj += level.energyPerWordPj;
+
+    double words = 0.0;
+    for (size_t t = 0; t < problem.algo->tensorCount(); ++t)
+        words += double(problem.tensorWords(t));
+
+    LowerBound lb;
+    lb.energyPj = words * perWordPj
+                  + problem.totalMacs() * arch.macEnergyPj;
+    lb.cycles = problem.totalMacs() / arch.peakMacsPerCycle();
+    return lb;
+}
+
+} // namespace mm

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * The algorithmic minimum (Appendix A): a conservative, possibly
+ * unachievable lower bound used to normalize EDP and the surrogate's
+ * output meta-statistics.
+ *
+ * Minimum energy assumes perfect reuse — every tensor word is touched
+ * exactly once at each level of the inclusive hierarchy — plus the
+ * unavoidable MAC energy of the unpadded iteration space. Minimum
+ * cycles assume 100 % PE utilization. The bound intentionally combines both
+ * optima even though real mappings trade one for the other.
+ */
+#pragma once
+
+#include "arch/accelerator.hpp"
+#include "workload/problem.hpp"
+
+namespace mm {
+
+/** Lower-bound cost components. */
+struct LowerBound
+{
+    double energyPj = 0.0;
+    double cycles = 0.0;
+
+    double edp() const { return energyPj * cycles; }
+};
+
+/** Compute the algorithmic minimum for @p problem on @p arch. */
+LowerBound computeLowerBound(const AcceleratorSpec &arch,
+                             const Problem &problem);
+
+} // namespace mm

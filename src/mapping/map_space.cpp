@@ -1,0 +1,335 @@
+#include "mapping/map_space.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/factorization.hpp"
+#include "common/permutation.hpp"
+#include "common/string_util.hpp"
+
+namespace mm {
+
+namespace {
+
+int64_t
+smallestPrimeFactor(int64_t n)
+{
+    MM_ASSERT(n >= 2, "no prime factor of < 2");
+    for (int64_t p = 2; p * p <= n; ++p)
+        if (n % p == 0)
+            return p;
+    return n;
+}
+
+/** log10 of C(n, k). */
+double
+log10Choose(int64_t n, int64_t k)
+{
+    if (k < 0 || k > n)
+        return -std::numeric_limits<double>::infinity();
+    return (std::lgamma(double(n) + 1.0) - std::lgamma(double(k) + 1.0)
+            - std::lgamma(double(n - k) + 1.0))
+           / std::log(10.0);
+}
+
+} // namespace
+
+MapSpace::MapSpace(const AcceleratorSpec &arch, const Problem &problem)
+    : archSpec(&arch), prob(&problem)
+{
+    const size_t tensors = problem.algo->tensorCount();
+    for (int lvl = 0; lvl < kNumOnChipLevels; ++lvl) {
+        const MemLevelSpec &spec = arch.levels[size_t(lvl)];
+        if (spec.banks < int(tensors))
+            fatal(strCat("level ", spec.name, " has ", spec.banks,
+                         " banks but the problem has ", tensors,
+                         " tensors"));
+        if (spec.capacityBytes / spec.banks < arch.wordBytes)
+            fatal(strCat("level ", spec.name, " banks smaller than a word"));
+    }
+    if (arch.levels.size() != size_t(kNumMemLevels))
+        fatal("accelerator must describe exactly L1, L2 and DRAM");
+}
+
+Mapping
+MapSpace::randomValid(Rng &rng) const
+{
+    const size_t d = rank();
+    Mapping m;
+    for (auto &t : m.tiling)
+        t.assign(d, 1);
+    m.spatial.assign(d, 1);
+
+    for (size_t i = 0; i < d; ++i) {
+        const auto &table = factorTable(prob->bounds[i], kFactorSlots);
+        auto f = table.sample(rng);
+        m.tiling[size_t(MemLevel::L1)][i] = f[size_t(FactorSlot::L1)];
+        m.spatial[i] = f[size_t(FactorSlot::Spatial)];
+        m.tiling[size_t(MemLevel::L2)][i] = f[size_t(FactorSlot::L2)];
+        m.tiling[size_t(MemLevel::DRAM)][i] = f[size_t(FactorSlot::DRAM)];
+    }
+    repairSpatial(m);
+
+    for (auto &order : m.loopOrder)
+        order = randomPerm(int(d), rng);
+
+    const size_t tensors = tensorCount();
+    for (int lvl = 0; lvl < kNumOnChipLevels; ++lvl) {
+        auto &alloc = m.bufferAlloc[size_t(lvl)];
+        alloc.assign(tensors, 1);
+        int spare = archSpec->levels[size_t(lvl)].banks - int(tensors);
+        for (int i = 0; i < spare; ++i)
+            ++alloc[size_t(rng.uniformInt(0, int64_t(tensors) - 1))];
+    }
+
+    repairCapacity(m);
+    MM_ASSERT(isMember(m), "randomValid produced invalid mapping: "
+                               + validityError(m));
+    return m;
+}
+
+bool
+MapSpace::isMember(const Mapping &m) const
+{
+    return validityError(m).empty();
+}
+
+std::string
+MapSpace::validityError(const Mapping &m) const
+{
+    const size_t d = rank();
+    for (const auto &t : m.tiling)
+        if (t.size() != d)
+            return "tiling arity mismatch";
+    if (m.spatial.size() != d)
+        return "spatial arity mismatch";
+
+    for (size_t i = 0; i < d; ++i) {
+        const auto &table = factorTable(prob->bounds[i], kFactorSlots);
+        std::array<int64_t, kFactorSlots> f = {
+            m.tiling[size_t(MemLevel::L1)][i], m.spatial[i],
+            m.tiling[size_t(MemLevel::L2)][i],
+            m.tiling[size_t(MemLevel::DRAM)][i]};
+        if (!table.contains(f))
+            return strCat("illegal factorization for dim ",
+                          prob->algo->dimNames[i]);
+    }
+
+    if (m.usedPes() > archSpec->numPes)
+        return strCat("spatial fan-out ", m.usedPes(), " exceeds ",
+                      archSpec->numPes, " PEs");
+
+    for (const auto &order : m.loopOrder) {
+        if (order.size() != d || !isPermutation(order))
+            return "loop order is not a permutation";
+    }
+
+    const size_t tensors = tensorCount();
+    for (int lvl = 0; lvl < kNumOnChipLevels; ++lvl) {
+        const auto &alloc = m.bufferAlloc[size_t(lvl)];
+        if (alloc.size() != tensors)
+            return "buffer allocation arity mismatch";
+        int sum = 0;
+        for (int banks : alloc) {
+            if (banks < 1)
+                return "tensor with no banks allocated";
+            sum += banks;
+        }
+        if (sum > archSpec->levels[size_t(lvl)].banks)
+            return strCat("allocation exceeds ",
+                          archSpec->levels[size_t(lvl)].name, " banks");
+    }
+
+    auto e1 = m.extentsL1();
+    auto e2 = m.extentsL2();
+    for (size_t t = 0; t < tensors; ++t) {
+        if (tensorTileBytes(t, e1) > allocBytes(0, t, m))
+            return strCat("tensor ", prob->algo->tensors[t].name,
+                          " overflows its L1 allocation");
+        if (tensorTileBytes(t, e2) > allocBytes(1, t, m))
+            return strCat("tensor ", prob->algo->tensors[t].name,
+                          " overflows its L2 allocation");
+    }
+    return "";
+}
+
+Mapping
+MapSpace::project(const Mapping &raw) const
+{
+    const size_t d = rank();
+    const size_t tensors = tensorCount();
+    Mapping m = raw;
+
+    // Arity repair: missing entries become unit factors / identity data.
+    for (auto &t : m.tiling)
+        t.resize(d, 1);
+    m.spatial.resize(d, 1);
+
+    // Per-dimension factorization repair (adjust the DRAM slot first).
+    for (size_t i = 0; i < d; ++i) {
+        const auto &table = factorTable(prob->bounds[i], kFactorSlots);
+        std::array<int64_t, kFactorSlots> f = {
+            m.tiling[size_t(MemLevel::L1)][i], m.spatial[i],
+            m.tiling[size_t(MemLevel::L2)][i],
+            m.tiling[size_t(MemLevel::DRAM)][i]};
+        auto fixed = table.repair(f, int(FactorSlot::DRAM));
+        m.tiling[size_t(MemLevel::L1)][i] = fixed[size_t(FactorSlot::L1)];
+        m.spatial[i] = fixed[size_t(FactorSlot::Spatial)];
+        m.tiling[size_t(MemLevel::L2)][i] = fixed[size_t(FactorSlot::L2)];
+        m.tiling[size_t(MemLevel::DRAM)][i] =
+            fixed[size_t(FactorSlot::DRAM)];
+    }
+    repairSpatial(m);
+
+    // Loop-order repair: keep the first occurrence of each dimension,
+    // then append missing dimensions in index order.
+    for (auto &order : m.loopOrder) {
+        std::vector<double> score(d);
+        for (size_t i = 0; i < d; ++i)
+            score[i] = double(2 * d + i);
+        for (size_t pos = 0; pos < order.size(); ++pos) {
+            int dim = order[pos];
+            if (dim >= 0 && size_t(dim) < d
+                && score[size_t(dim)] >= double(2 * d))
+                score[size_t(dim)] = double(pos);
+        }
+        order = orderFromScores(score);
+    }
+
+    // Allocation repair: at least one bank each, shed from the largest.
+    for (int lvl = 0; lvl < kNumOnChipLevels; ++lvl) {
+        const int banks = archSpec->levels[size_t(lvl)].banks;
+        auto &alloc = m.bufferAlloc[size_t(lvl)];
+        alloc.resize(tensors, 1);
+        for (auto &a : alloc)
+            a = std::clamp(a, 1, banks);
+        auto sum = [&]() {
+            return std::accumulate(alloc.begin(), alloc.end(), 0);
+        };
+        while (sum() > banks) {
+            auto big = std::max_element(alloc.begin(), alloc.end());
+            MM_ASSERT(*big > 1, "cannot shed banks below one per tensor");
+            --*big;
+        }
+    }
+
+    repairCapacity(m);
+    MM_ASSERT(isMember(m),
+              "projection produced invalid mapping: " + validityError(m));
+    return m;
+}
+
+void
+MapSpace::repairSpatial(Mapping &m) const
+{
+    // Guard against callers handing in non-positive factors; with all
+    // entries >= 1, a product above the PE budget guarantees a factor
+    // above 1 to demote.
+    for (auto &s : m.spatial)
+        s = std::max<int64_t>(s, 1);
+    while (m.usedPes() > archSpec->numPes) {
+        size_t worst = 0;
+        for (size_t i = 1; i < m.spatial.size(); ++i)
+            if (m.spatial[i] > m.spatial[worst])
+                worst = i;
+        MM_ASSERT(m.spatial[worst] > 1, "spatial repair stuck");
+        int64_t p = smallestPrimeFactor(m.spatial[worst]);
+        m.spatial[worst] /= p;
+        m.tiling[size_t(MemLevel::L2)][worst] *= p;
+    }
+}
+
+void
+MapSpace::repairCapacity(Mapping &m) const
+{
+    const auto &algo = *prob->algo;
+
+    // L1: shrink per-PE tiles by promoting factors to L2 (keeps L2
+    // extents constant, so the passes below are independent).
+    for (size_t t = 0; t < algo.tensorCount(); ++t) {
+        while (true) {
+            auto e1 = m.extentsL1();
+            if (tensorTileBytes(t, e1) <= allocBytes(0, t, m))
+                break;
+            size_t dim = size_t(-1);
+            int64_t biggest = 1;
+            for (size_t i = 0; i < rank(); ++i) {
+                int64_t f = m.tiling[size_t(MemLevel::L1)][i];
+                if (algo.tensors[t].usesDim(int(i)) && f > biggest) {
+                    biggest = f;
+                    dim = i;
+                }
+            }
+            MM_ASSERT(dim != size_t(-1),
+                      "minimal tile exceeds an L1 bank");
+            int64_t p = smallestPrimeFactor(biggest);
+            m.tiling[size_t(MemLevel::L1)][dim] /= p;
+            m.tiling[size_t(MemLevel::L2)][dim] *= p;
+        }
+    }
+
+    // L2: shrink staged tiles by promoting L2 factors (or, failing that,
+    // spatial and then L1 factors) to DRAM.
+    for (size_t t = 0; t < algo.tensorCount(); ++t) {
+        while (true) {
+            auto e2 = m.extentsL2();
+            if (tensorTileBytes(t, e2) <= allocBytes(1, t, m))
+                break;
+            auto promote = [&](std::vector<int64_t> &factors) {
+                size_t dim = size_t(-1);
+                int64_t biggest = 1;
+                for (size_t i = 0; i < rank(); ++i) {
+                    if (algo.tensors[t].usesDim(int(i))
+                        && factors[i] > biggest) {
+                        biggest = factors[i];
+                        dim = i;
+                    }
+                }
+                if (dim == size_t(-1))
+                    return false;
+                int64_t p = smallestPrimeFactor(biggest);
+                factors[dim] /= p;
+                m.tiling[size_t(MemLevel::DRAM)][dim] *= p;
+                return true;
+            };
+            bool moved = promote(m.tiling[size_t(MemLevel::L2)])
+                         || promote(m.spatial)
+                         || promote(m.tiling[size_t(MemLevel::L1)]);
+            MM_ASSERT(moved, "minimal tile exceeds an L2 bank");
+        }
+    }
+}
+
+double
+MapSpace::log10Size() const
+{
+    double lg = 0.0;
+    for (size_t i = 0; i < rank(); ++i)
+        lg += std::log10(
+            double(factorTable(prob->bounds[i], kFactorSlots).count()));
+    lg += double(kNumMemLevels) * std::log10(factorial(int(rank())));
+    for (int lvl = 0; lvl < kNumOnChipLevels; ++lvl) {
+        int64_t banks = archSpec->levels[size_t(lvl)].banks;
+        int64_t tensors = int64_t(tensorCount());
+        lg += log10Choose(banks - 1, tensors - 1);
+    }
+    return lg;
+}
+
+double
+MapSpace::tensorTileBytes(size_t t, std::span<const int64_t> extents) const
+{
+    return double(prob->algo->tileFootprint(t, extents))
+           * archSpec->wordBytes;
+}
+
+double
+MapSpace::allocBytes(int lvl, size_t t, const Mapping &m) const
+{
+    const MemLevelSpec &spec = archSpec->levels[size_t(lvl)];
+    return spec.capacityBytes * double(m.bufferAlloc[size_t(lvl)].at(t))
+           / double(spec.banks);
+}
+
+} // namespace mm

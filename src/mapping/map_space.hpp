@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The map space M_{a,p} (Definition 2.2) and the three routines the
+ * Mind Mappings API requires of every accelerator (Appendix B):
+ * getMapping (randomValid), isMember, and getProjection (project).
+ */
+#pragma once
+
+#include <string>
+
+#include "arch/accelerator.hpp"
+#include "common/rng.hpp"
+#include "mapping/mapping.hpp"
+#include "workload/problem.hpp"
+
+namespace mm {
+
+/** The set of valid mappings for one (accelerator, problem) pair. */
+class MapSpace
+{
+  public:
+    /**
+     * Bind an accelerator and problem. Both must outlive the MapSpace.
+     * Throws FatalError if the accelerator cannot host the problem
+     * (e.g. fewer allocatable banks than tensors).
+     */
+    MapSpace(const AcceleratorSpec &arch, const Problem &problem);
+
+    /** The spec and problem are captured by reference: forbid
+     * temporaries, which would dangle. */
+    MapSpace(AcceleratorSpec &&, const Problem &) = delete;
+    MapSpace(const AcceleratorSpec &, Problem &&) = delete;
+    MapSpace(AcceleratorSpec &&, Problem &&) = delete;
+
+    const AcceleratorSpec &arch() const { return *archSpec; }
+    const Problem &problem() const { return *prob; }
+    size_t rank() const { return prob->rank(); }
+    size_t tensorCount() const { return prob->algo->tensorCount(); }
+
+    /** Uniformly sample a valid mapping (paper: getMapping). */
+    Mapping randomValid(Rng &rng) const;
+
+    /** Membership test (paper: isMember). */
+    bool isMember(const Mapping &m) const;
+
+    /**
+     * Diagnostic version of isMember: empty string when valid, else a
+     * description of the first violated constraint.
+     */
+    std::string validityError(const Mapping &m) const;
+
+    /**
+     * Deterministically repair an arbitrary mapping-shaped value into a
+     * valid member (paper: getProjection). Idempotent on valid inputs
+     * except for arity fixes.
+     */
+    Mapping project(const Mapping &m) const;
+
+    /** log10 of the (upper-bound) map-space size, as in Section 5.1.3. */
+    double log10Size() const;
+
+    /** Bytes of tensor @p t's tile given per-dimension trip extents. */
+    double tensorTileBytes(size_t t, std::span<const int64_t> extents) const;
+
+    /** Bytes available to tensor @p t at on-chip level @p lvl under @p m. */
+    double allocBytes(int lvl, size_t t, const Mapping &m) const;
+
+  private:
+    /** Move spatial factors into L2 until the PE budget is met. */
+    void repairSpatial(Mapping &m) const;
+
+    /** Move tile factors outward until every tensor tile fits. */
+    void repairCapacity(Mapping &m) const;
+
+    const AcceleratorSpec *archSpec;
+    const Problem *prob;
+};
+
+} // namespace mm

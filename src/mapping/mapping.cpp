@@ -1,0 +1,66 @@
+#include "mapping/mapping.hpp"
+
+#include "common/error.hpp"
+
+namespace mm {
+
+namespace {
+
+std::vector<int64_t>
+elementwiseProduct(const std::vector<int64_t> &a,
+                   const std::vector<int64_t> &b)
+{
+    MM_ASSERT(a.size() == b.size(), "extent arity mismatch");
+    std::vector<int64_t> out(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        out[i] = a[i] * b[i];
+    return out;
+}
+
+} // namespace
+
+int64_t
+Mapping::dimProduct(size_t d) const
+{
+    MM_ASSERT(d < rank(), "dimension out of range");
+    return tiling[size_t(MemLevel::L1)][d] * spatial[d]
+           * tiling[size_t(MemLevel::L2)][d]
+           * tiling[size_t(MemLevel::DRAM)][d];
+}
+
+std::vector<int64_t>
+Mapping::extentsL1() const
+{
+    return tiling[size_t(MemLevel::L1)];
+}
+
+std::vector<int64_t>
+Mapping::extentsSpatial() const
+{
+    return elementwiseProduct(tiling[size_t(MemLevel::L1)], spatial);
+}
+
+std::vector<int64_t>
+Mapping::extentsL2() const
+{
+    return elementwiseProduct(extentsSpatial(),
+                              tiling[size_t(MemLevel::L2)]);
+}
+
+std::vector<int64_t>
+Mapping::extentsFull() const
+{
+    return elementwiseProduct(extentsL2(),
+                              tiling[size_t(MemLevel::DRAM)]);
+}
+
+int64_t
+Mapping::usedPes() const
+{
+    int64_t pes = 1;
+    for (int64_t s : spatial)
+        pes *= s;
+    return pes;
+}
+
+} // namespace mm

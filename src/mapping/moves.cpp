@@ -1,0 +1,143 @@
+#include "mapping/moves.hpp"
+
+#include <algorithm>
+
+#include "common/factorization.hpp"
+#include "common/permutation.hpp"
+
+namespace mm {
+
+namespace {
+
+/** Resample dimension @p d's four-slot factor tuple from scratch. */
+void
+resampleDim(const MapSpace &space, Mapping &m, size_t d, Rng &rng)
+{
+    const auto &table =
+        factorTable(space.problem().bounds[d], kFactorSlots);
+    auto f = table.sample(rng);
+    m.tiling[size_t(MemLevel::L1)][d] = f[size_t(FactorSlot::L1)];
+    m.spatial[d] = f[size_t(FactorSlot::Spatial)];
+    m.tiling[size_t(MemLevel::L2)][d] = f[size_t(FactorSlot::L2)];
+    m.tiling[size_t(MemLevel::DRAM)][d] = f[size_t(FactorSlot::DRAM)];
+}
+
+/** Move a small prime between a dimension's spatial and L2 factors. */
+void
+nudgeSpatial(Mapping &m, size_t d, Rng &rng)
+{
+    auto &spatial = m.spatial[d];
+    auto &temporal = m.tiling[size_t(MemLevel::L2)][d];
+    bool grow = rng.bernoulli(0.5);
+    auto movable = [](int64_t v) {
+        for (int64_t p = 2; p * p <= v; ++p)
+            if (v % p == 0)
+                return p;
+        return v;
+    };
+    if (grow && temporal > 1) {
+        int64_t p = movable(temporal);
+        temporal /= p;
+        spatial *= p;
+    } else if (spatial > 1) {
+        int64_t p = movable(spatial);
+        spatial /= p;
+        temporal *= p;
+    }
+}
+
+} // namespace
+
+Mapping
+randomNeighbor(const MapSpace &space, const Mapping &m, Rng &rng)
+{
+    Mapping next = m;
+    const size_t rank = space.rank();
+    auto group = AttributeGroup(rng.uniformInt(0, 3));
+    switch (group) {
+      case AttributeGroup::Tiling: {
+        resampleDim(space, next, size_t(rng.uniformInt(0, int64_t(rank) - 1)),
+                    rng);
+        break;
+      }
+      case AttributeGroup::Spatial: {
+        nudgeSpatial(next, size_t(rng.uniformInt(0, int64_t(rank) - 1)),
+                     rng);
+        break;
+      }
+      case AttributeGroup::LoopOrder: {
+        auto &order =
+            next.loopOrder[size_t(rng.uniformInt(0, kNumMemLevels - 1))];
+        size_t i = size_t(rng.uniformInt(0, int64_t(rank) - 1));
+        size_t j = size_t(rng.uniformInt(0, int64_t(rank) - 1));
+        std::swap(order[i], order[j]);
+        break;
+      }
+      case AttributeGroup::BufferAlloc: {
+        size_t lvl = size_t(rng.uniformInt(0, kNumOnChipLevels - 1));
+        auto &alloc = next.bufferAlloc[lvl];
+        size_t from = size_t(rng.uniformInt(0, int64_t(alloc.size()) - 1));
+        size_t to = size_t(rng.uniformInt(0, int64_t(alloc.size()) - 1));
+        if (alloc[from] > 1) {
+            --alloc[from];
+            ++alloc[to];
+        }
+        break;
+      }
+    }
+    return space.project(next);
+}
+
+Mapping
+crossover(const MapSpace &space, const Mapping &a, const Mapping &b,
+          Rng &rng)
+{
+    Mapping child = a;
+    const size_t rank = space.rank();
+
+    // Whole per-dimension factor tuples travel together so a useful
+    // factorization survives recombination.
+    for (size_t d = 0; d < rank; ++d) {
+        if (!rng.bernoulli(0.5))
+            continue;
+        for (int lvl = 0; lvl < kNumMemLevels; ++lvl)
+            child.tiling[size_t(lvl)][d] = b.tiling[size_t(lvl)][d];
+        child.spatial[d] = b.spatial[d];
+    }
+    for (int lvl = 0; lvl < kNumMemLevels; ++lvl)
+        if (rng.bernoulli(0.5))
+            child.loopOrder[size_t(lvl)] = b.loopOrder[size_t(lvl)];
+    for (int lvl = 0; lvl < kNumOnChipLevels; ++lvl)
+        if (rng.bernoulli(0.5))
+            child.bufferAlloc[size_t(lvl)] = b.bufferAlloc[size_t(lvl)];
+
+    return space.project(child);
+}
+
+Mapping
+mutate(const MapSpace &space, const Mapping &m, double perAttrProb,
+       Rng &rng)
+{
+    Mapping next = m;
+    const size_t rank = space.rank();
+    for (size_t d = 0; d < rank; ++d)
+        if (rng.bernoulli(perAttrProb))
+            resampleDim(space, next, d, rng);
+    for (int lvl = 0; lvl < kNumMemLevels; ++lvl)
+        if (rng.bernoulli(perAttrProb))
+            next.loopOrder[size_t(lvl)] = randomPerm(int(rank), rng);
+    for (int lvl = 0; lvl < kNumOnChipLevels; ++lvl) {
+        if (!rng.bernoulli(perAttrProb))
+            continue;
+        auto &alloc = next.bufferAlloc[size_t(lvl)];
+        int banks = space.arch().levels[size_t(lvl)].banks;
+        alloc.assign(space.tensorCount(), 1);
+        int spare = banks - int(space.tensorCount());
+        for (int i = 0; i < spare; ++i)
+            ++alloc[size_t(
+                rng.uniformInt(0, int64_t(alloc.size()) - 1))];
+    }
+    return space.project(next);
+}
+
+} // namespace mm

@@ -1,0 +1,90 @@
+#include "mapping/nest.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace mm {
+
+namespace {
+
+struct Loop
+{
+    FactorSlot slot;
+    int dim;
+    int64_t trip;
+};
+
+} // namespace
+
+void
+forEachNestPoint(const MapSpace &space, const Mapping &m,
+                 const NestVisitor &visit, int64_t maxPoints)
+{
+    const size_t rank = space.rank();
+    MM_ASSERT(m.rank() == rank, "mapping rank mismatch");
+
+    // Flatten the nest, outermost first: DRAM block, L2 block, spatial
+    // fan-out, L1 block, each in the mapping's loop order (spatial loops
+    // are unordered; dimension order is used).
+    std::vector<Loop> loops;
+    double totalPoints = 1.0;
+    auto pushBlock = [&](FactorSlot slot, MemLevel lvl, bool useOrder) {
+        for (size_t i = 0; i < rank; ++i) {
+            int dim = useOrder ? m.loopOrder[size_t(lvl)][i] : int(i);
+            int64_t trip = slot == FactorSlot::Spatial
+                               ? m.spatial[size_t(dim)]
+                               : m.tiling[size_t(lvl)][size_t(dim)];
+            totalPoints *= double(trip);
+            if (trip > 1)
+                loops.push_back({slot, dim, trip});
+        }
+    };
+    pushBlock(FactorSlot::DRAM, MemLevel::DRAM, true);
+    pushBlock(FactorSlot::L2, MemLevel::L2, true);
+    pushBlock(FactorSlot::Spatial, MemLevel::L1, false);
+    pushBlock(FactorSlot::L1, MemLevel::L1, true);
+    MM_ASSERT(totalPoints <= double(maxPoints),
+              "padded nest too large to enumerate");
+
+    // idx[slot][dim]: current index of that loop (absent loops stay 0).
+    std::vector<std::vector<int64_t>> idx(
+        size_t(kFactorSlots), std::vector<int64_t>(rank, 0));
+    std::vector<int64_t> point(rank, 0);
+
+    auto emit = [&]() {
+        for (size_t d = 0; d < rank; ++d) {
+            int64_t c = idx[size_t(FactorSlot::DRAM)][d];
+            c = c * m.tiling[size_t(MemLevel::L2)][d]
+                + idx[size_t(FactorSlot::L2)][d];
+            c = c * m.spatial[d] + idx[size_t(FactorSlot::Spatial)][d];
+            c = c * m.tiling[size_t(MemLevel::L1)][d]
+                + idx[size_t(FactorSlot::L1)][d];
+            point[d] = c;
+        }
+        visit(point);
+    };
+
+    // Odometer over the flattened loop list.
+    std::vector<int64_t> counters(loops.size(), 0);
+    while (true) {
+        emit();
+        size_t l = loops.size();
+        while (l > 0) {
+            --l;
+            auto &loop = loops[l];
+            if (++counters[l] < loop.trip) {
+                idx[size_t(loop.slot)][size_t(loop.dim)] = counters[l];
+                break;
+            }
+            counters[l] = 0;
+            idx[size_t(loop.slot)][size_t(loop.dim)] = 0;
+            if (l == 0)
+                return;
+        }
+        if (loops.empty())
+            return;
+    }
+}
+
+} // namespace mm

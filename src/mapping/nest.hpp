@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Loop-nest enumeration for functional validation.
+ *
+ * Walks every point of the padded iteration space a mapping induces
+ * (DRAM block, L2 block, spatial fan-out, L1 block, in the mapping's
+ * loop orders) and reports the global per-dimension coordinates. The
+ * test suite uses this to prove Definition 2.2 for our map spaces: every
+ * valid mapping covers each in-bounds point exactly once, i.e. computes
+ * the same function as the golden reference kernel.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "mapping/map_space.hpp"
+
+namespace mm {
+
+/** Callback receives the global coordinate of one nest point. */
+using NestVisitor = std::function<void(std::span<const int64_t> point)>;
+
+/**
+ * Visit all padded nest points of @p m.
+ *
+ * @param maxPoints Guard against accidental use on large problems;
+ *                  aborts if the padded space exceeds it.
+ */
+void forEachNestPoint(const MapSpace &space, const Mapping &m,
+                      const NestVisitor &visit,
+                      int64_t maxPoints = 20'000'000);
+
+} // namespace mm

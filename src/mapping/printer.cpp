@@ -1,0 +1,107 @@
+#include "mapping/printer.hpp"
+
+#include <sstream>
+
+#include "common/string_util.hpp"
+
+namespace mm {
+
+namespace {
+
+void
+renderBlock(std::ostringstream &os, const MapSpace &space, const Mapping &m,
+            MemLevel lvl, const std::string &label, int indent)
+{
+    const auto &algo = *space.problem().algo;
+    os << std::string(size_t(indent), ' ') << label << ":\n";
+    for (size_t i = 0; i < space.rank(); ++i) {
+        int dim = m.loopOrder[size_t(lvl)][i];
+        int64_t trip = m.tiling[size_t(lvl)][size_t(dim)];
+        if (trip == 1)
+            continue;
+        os << std::string(size_t(indent + 2), ' ') << "for "
+           << algo.dimNames[size_t(dim)] << " in [0:" << trip << ")\n";
+    }
+}
+
+} // namespace
+
+std::string
+renderMapping(const MapSpace &space, const Mapping &m)
+{
+    const auto &algo = *space.problem().algo;
+    const auto &arch = space.arch();
+    std::ostringstream os;
+    os << "mapping for " << space.problem().name << " on " << arch.name
+       << "\n";
+
+    renderBlock(os, space, m, MemLevel::DRAM, "DRAM (temporal)", 0);
+    renderBlock(os, space, m, MemLevel::L2,
+                strCat("L2 (temporal, ",
+                       arch.level(MemLevel::L2).capacityBytes / 1024.0,
+                       " KB shared)"),
+                2);
+
+    os << "    spatial (across " << m.usedPes() << "/" << arch.numPes
+       << " PEs):\n";
+    for (size_t d = 0; d < space.rank(); ++d) {
+        if (m.spatial[d] == 1)
+            continue;
+        os << "      parallel-for " << algo.dimNames[d] << " in [0:"
+           << m.spatial[d] << ")\n";
+    }
+
+    renderBlock(os, space, m, MemLevel::L1,
+                strCat("L1 (temporal, ",
+                       arch.level(MemLevel::L1).capacityBytes / 1024.0,
+                       " KB per PE)"),
+                6);
+    os << "        mac\n";
+
+    static const char *lvlNames[] = {"L1", "L2"};
+    for (int lvl = 0; lvl < kNumOnChipLevels; ++lvl) {
+        os << "buffers at " << lvlNames[lvl] << ": ";
+        auto extents = lvl == 0 ? m.extentsL1() : m.extentsL2();
+        for (size_t t = 0; t < algo.tensorCount(); ++t) {
+            if (t > 0)
+                os << ", ";
+            os << algo.tensors[t].name << "="
+               << m.bufferAlloc[size_t(lvl)][t] << " banks ("
+               << fmtDouble(space.tensorTileBytes(t, extents) / 1024.0, 3)
+               << " KB tile)";
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::string
+renderMappingCompact(const MapSpace &space, const Mapping &m)
+{
+    const auto &algo = *space.problem().algo;
+    std::ostringstream os;
+    os << "tiles[L1|sp|L2|DRAM]:";
+    for (size_t d = 0; d < space.rank(); ++d) {
+        os << " " << algo.dimNames[d] << "="
+           << m.tiling[size_t(MemLevel::L1)][d] << "|" << m.spatial[d]
+           << "|" << m.tiling[size_t(MemLevel::L2)][d] << "|"
+           << m.tiling[size_t(MemLevel::DRAM)][d];
+    }
+    os << " orders:";
+    static const MemLevel lvls[] = {MemLevel::L1, MemLevel::L2,
+                                    MemLevel::DRAM};
+    static const char *lvlNames[] = {"L1", "L2", "DR"};
+    for (size_t l = 0; l < 3; ++l) {
+        os << " " << lvlNames[l] << "=";
+        for (int dim : m.loopOrder[size_t(lvls[l])])
+            os << algo.dimNames[size_t(dim)];
+    }
+    os << " banks:";
+    for (int lvl = 0; lvl < kNumOnChipLevels; ++lvl) {
+        os << (lvl == 0 ? " L1=" : " L2=");
+        os << join(m.bufferAlloc[size_t(lvl)], "/");
+    }
+    return os.str();
+}
+
+} // namespace mm

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Human-readable mapping rendering (Timeloop-style loop nest).
+ */
+#pragma once
+
+#include <string>
+
+#include "mapping/map_space.hpp"
+
+namespace mm {
+
+/**
+ * Render @p m as an indented loop nest with per-level buffer-allocation
+ * and tile-footprint annotations, e.g. for examples and debugging.
+ */
+std::string renderMapping(const MapSpace &space, const Mapping &m);
+
+/** One-line compact form: factor tuples, orders and allocations. */
+std::string renderMappingCompact(const MapSpace &space, const Mapping &m);
+
+} // namespace mm

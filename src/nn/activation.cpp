@@ -1,0 +1,62 @@
+#include "nn/activation.hpp"
+
+#include <cmath>
+
+namespace mm {
+
+void
+applyActivation(Activation act, Matrix &m)
+{
+    float *p = m.data();
+    switch (act) {
+      case Activation::Identity:
+        return;
+      case Activation::ReLU:
+        for (size_t i = 0; i < m.size(); ++i)
+            p[i] = p[i] > 0.0f ? p[i] : 0.0f;
+        return;
+      case Activation::Tanh:
+        for (size_t i = 0; i < m.size(); ++i)
+            p[i] = std::tanh(p[i]);
+        return;
+    }
+    MM_ASSERT(false, "unknown activation");
+}
+
+void
+applyActivationGrad(Activation act, const Matrix &out, Matrix &grad)
+{
+    MM_ASSERT(out.rows() == grad.rows() && out.cols() == grad.cols(),
+              "activation grad shape mismatch");
+    const float *o = out.data();
+    float *g = grad.data();
+    switch (act) {
+      case Activation::Identity:
+        return;
+      case Activation::ReLU:
+        for (size_t i = 0; i < out.size(); ++i)
+            g[i] = o[i] > 0.0f ? g[i] : 0.0f;
+        return;
+      case Activation::Tanh:
+        for (size_t i = 0; i < out.size(); ++i)
+            g[i] *= 1.0f - o[i] * o[i];
+        return;
+    }
+    MM_ASSERT(false, "unknown activation");
+}
+
+const char *
+activationName(Activation act)
+{
+    switch (act) {
+      case Activation::Identity:
+        return "identity";
+      case Activation::ReLU:
+        return "relu";
+      case Activation::Tanh:
+        return "tanh";
+    }
+    return "?";
+}
+
+} // namespace mm

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Pointwise activation functions.
+ *
+ * Derivatives are computed from the activation *output*, which every
+ * supported function permits; this halves the caching a layer must do.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/matrix.hpp"
+
+namespace mm {
+
+/** Supported pointwise nonlinearities. */
+enum class Activation : uint8_t { Identity = 0, ReLU = 1, Tanh = 2 };
+
+/** Apply @p act elementwise in place. */
+void applyActivation(Activation act, Matrix &m);
+
+/**
+ * Multiply @p grad elementwise by act'(z) expressed through the cached
+ * activation output @p out (grad <- grad * act'(out)).
+ */
+void applyActivationGrad(Activation act, const Matrix &out, Matrix &grad);
+
+/** Human-readable name (serialization and diagnostics). */
+const char *activationName(Activation act);
+
+} // namespace mm

@@ -1,0 +1,70 @@
+#include "nn/dense.hpp"
+
+#include <cmath>
+
+#include "tensor/gemm.hpp"
+
+namespace mm {
+
+DenseLayer::DenseLayer(size_t inDim, size_t outDim, Activation act_,
+                       Rng &rng)
+    : weights(outDim, inDim), bias(1, outDim), dWeights(outDim, inDim),
+      dBias(1, outDim), act(act_)
+{
+    MM_ASSERT(inDim > 0 && outDim > 0, "degenerate dense layer");
+    // He for ReLU, Xavier otherwise.
+    double stddev = act == Activation::ReLU
+                        ? std::sqrt(2.0 / double(inDim))
+                        : std::sqrt(1.0 / double(inDim));
+    for (size_t i = 0; i < weights.size(); ++i)
+        weights.data()[i] = float(rng.gaussian(0.0, stddev));
+}
+
+const Matrix &
+DenseLayer::forward(const Matrix &x)
+{
+    MM_ASSERT(x.cols() == inDim(), "dense input width mismatch");
+    cachedIn = x;
+    cachedOut.resize(x.rows(), outDim());
+    gemm(false, true, 1.0f, x, weights, 0.0f, cachedOut);
+    for (size_t r = 0; r < cachedOut.rows(); ++r) {
+        float *row = cachedOut.data() + r * outDim();
+        for (size_t c = 0; c < outDim(); ++c)
+            row[c] += bias(0, c);
+    }
+    applyActivation(act, cachedOut);
+    return cachedOut;
+}
+
+Matrix
+DenseLayer::backward(const Matrix &dOut)
+{
+    MM_ASSERT(dOut.rows() == cachedOut.rows()
+                  && dOut.cols() == cachedOut.cols(),
+              "dense backward shape mismatch");
+    // dZ = dOut * act'(out)
+    scratch = dOut;
+    applyActivationGrad(act, cachedOut, scratch);
+
+    // dW += dZ^T * x ; dB += column-sum(dZ)
+    gemm(true, false, 1.0f, scratch, cachedIn, 1.0f, dWeights);
+    for (size_t r = 0; r < scratch.rows(); ++r) {
+        const float *row = scratch.data() + r * outDim();
+        for (size_t c = 0; c < outDim(); ++c)
+            dBias(0, c) += row[c];
+    }
+
+    // dX = dZ * W
+    Matrix dIn(scratch.rows(), inDim());
+    gemm(false, false, 1.0f, scratch, weights, 0.0f, dIn);
+    return dIn;
+}
+
+void
+DenseLayer::zeroGrad()
+{
+    dWeights.zero();
+    dBias.zero();
+}
+
+} // namespace mm

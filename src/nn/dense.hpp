@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fully-connected layer with fused activation.
+ */
+#pragma once
+
+#include "common/rng.hpp"
+#include "nn/activation.hpp"
+#include "tensor/matrix.hpp"
+
+namespace mm {
+
+/**
+ * y = act(x * W^T + b).
+ *
+ * Weights are stored out x in. The layer caches its input and output
+ * during forward so backward can form weight gradients and the input
+ * gradient (the latter is what makes the surrogate differentiable with
+ * respect to candidate mappings, the core mechanism of the paper).
+ */
+class DenseLayer
+{
+  public:
+    /**
+     * He-initialize (ReLU) or Xavier-initialize (otherwise) the weights.
+     */
+    DenseLayer(size_t inDim, size_t outDim, Activation act, Rng &rng);
+
+    /** Forward pass; result stays valid until the next forward. */
+    const Matrix &forward(const Matrix &x);
+
+    /**
+     * Backward pass from dL/dy (post-activation). Accumulates dW, dB and
+     * returns dL/dx.
+     */
+    Matrix backward(const Matrix &dOut);
+
+    /** Clear accumulated gradients. */
+    void zeroGrad();
+
+    size_t inDim() const { return weights.cols(); }
+    size_t outDim() const { return weights.rows(); }
+    Activation activation() const { return act; }
+
+    Matrix weights; ///< out x in
+    Matrix bias;    ///< 1 x out
+    Matrix dWeights;
+    Matrix dBias;
+
+  private:
+    Activation act;
+    Matrix cachedIn;
+    Matrix cachedOut;
+    Matrix scratch; ///< pre-activation gradient workspace
+};
+
+} // namespace mm

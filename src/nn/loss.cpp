@@ -1,0 +1,98 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace mm {
+
+namespace {
+
+/** Shared elementwise walk; grad may be null for value-only queries. */
+double
+lossImpl(LossKind kind, const Matrix &pred, const Matrix &target,
+         double huberDelta, Matrix *grad)
+{
+    MM_ASSERT(pred.rows() == target.rows() && pred.cols() == target.cols(),
+              "loss shape mismatch");
+    MM_ASSERT(pred.size() > 0, "loss over empty matrix");
+    const double inv = 1.0 / double(pred.size());
+    const float delta = float(huberDelta);
+    double total = 0.0;
+    if (grad != nullptr)
+        grad->resize(pred.rows(), pred.cols());
+
+    for (size_t i = 0; i < pred.size(); ++i) {
+        float e = pred.data()[i] - target.data()[i];
+        double value = 0.0;
+        float g = 0.0f;
+        switch (kind) {
+          case LossKind::MSE:
+            value = 0.5 * double(e) * double(e);
+            g = e;
+            break;
+          case LossKind::MAE:
+            value = std::fabs(double(e));
+            g = e > 0.0f ? 1.0f : (e < 0.0f ? -1.0f : 0.0f);
+            break;
+          case LossKind::Huber:
+            if (std::fabs(e) <= delta) {
+                value = 0.5 * double(e) * double(e);
+                g = e;
+            } else {
+                value = double(delta) * (std::fabs(double(e))
+                                         - 0.5 * double(delta));
+                g = e > 0.0f ? delta : -delta;
+            }
+            break;
+        }
+        total += value;
+        if (grad != nullptr)
+            grad->data()[i] = float(double(g) * inv);
+    }
+    return total * inv;
+}
+
+} // namespace
+
+double
+lossForward(LossKind kind, const Matrix &pred, const Matrix &target,
+            double huberDelta, Matrix &grad)
+{
+    return lossImpl(kind, pred, target, huberDelta, &grad);
+}
+
+double
+lossValue(LossKind kind, const Matrix &pred, const Matrix &target,
+          double huberDelta)
+{
+    return lossImpl(kind, pred, target, huberDelta, nullptr);
+}
+
+LossKind
+lossFromName(const std::string &name)
+{
+    if (name == "mse")
+        return LossKind::MSE;
+    if (name == "mae")
+        return LossKind::MAE;
+    if (name == "huber")
+        return LossKind::Huber;
+    fatal("unknown loss: " + name);
+}
+
+const char *
+lossName(LossKind kind)
+{
+    switch (kind) {
+      case LossKind::MSE:
+        return "mse";
+      case LossKind::MAE:
+        return "mae";
+      case LossKind::Huber:
+        return "huber";
+    }
+    return "?";
+}
+
+} // namespace mm

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Regression losses (Section 5.5: MSE, MAE, Huber).
+ *
+ * The paper trains the surrogate with Huber loss after finding MSE too
+ * outlier-sensitive and MAE too flat (Figure 7b); all three are provided
+ * so the ablation bench can reproduce that comparison.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "tensor/matrix.hpp"
+
+namespace mm {
+
+/** Supported regression losses. */
+enum class LossKind : uint8_t { MSE = 0, MAE = 1, Huber = 2 };
+
+/**
+ * Mean loss over all elements; fills @p grad with dLoss/dPred (same
+ * normalization).
+ *
+ * @param huberDelta Transition point between quadratic and linear regime
+ *                   (only used for Huber).
+ */
+double lossForward(LossKind kind, const Matrix &pred, const Matrix &target,
+                   double huberDelta, Matrix &grad);
+
+/** Loss value only (no gradient). */
+double lossValue(LossKind kind, const Matrix &pred, const Matrix &target,
+                 double huberDelta);
+
+/** Parse "mse" / "mae" / "huber". */
+LossKind lossFromName(const std::string &name);
+
+/** Inverse of lossFromName. */
+const char *lossName(LossKind kind);
+
+} // namespace mm

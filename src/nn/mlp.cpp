@@ -1,0 +1,183 @@
+#include "nn/mlp.hpp"
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+
+#include "common/string_util.hpp"
+
+namespace mm {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x4d4d4c50; // "MMLP"
+
+template <typename T>
+void
+writePod(std::ostream &os, const T &v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(T));
+}
+
+template <typename T>
+T
+readPod(std::istream &is)
+{
+    T v{};
+    is.read(reinterpret_cast<char *>(&v), sizeof(T));
+    MM_ASSERT(bool(is), "truncated MLP stream");
+    return v;
+}
+
+void
+writeMatrix(std::ostream &os, const Matrix &m)
+{
+    writePod<uint64_t>(os, m.rows());
+    writePod<uint64_t>(os, m.cols());
+    os.write(reinterpret_cast<const char *>(m.data()),
+             std::streamsize(m.size() * sizeof(float)));
+}
+
+void
+readMatrixInto(std::istream &is, Matrix &m)
+{
+    auto rows = readPod<uint64_t>(is);
+    auto cols = readPod<uint64_t>(is);
+    MM_ASSERT(rows == m.rows() && cols == m.cols(),
+              "MLP stream shape mismatch");
+    is.read(reinterpret_cast<char *>(m.data()),
+            std::streamsize(m.size() * sizeof(float)));
+    MM_ASSERT(bool(is), "truncated MLP stream");
+}
+
+} // namespace
+
+Mlp::Mlp(size_t inputDim, const std::vector<LayerSpec> &specs, Rng &rng)
+    : inDim(inputDim)
+{
+    MM_ASSERT(!specs.empty(), "MLP needs at least one layer");
+    size_t prev = inputDim;
+    layers.reserve(specs.size());
+    for (const auto &spec : specs) {
+        layers.emplace_back(prev, spec.width, spec.act, rng);
+        prev = spec.width;
+    }
+}
+
+const Matrix &
+Mlp::forward(const Matrix &x)
+{
+    const Matrix *cur = &x;
+    for (auto &layer : layers)
+        cur = &layer.forward(*cur);
+    return *cur;
+}
+
+Matrix
+Mlp::backward(const Matrix &dOut)
+{
+    Matrix grad = dOut;
+    for (size_t i = layers.size(); i > 0; --i)
+        grad = layers[i - 1].backward(grad);
+    return grad;
+}
+
+void
+Mlp::zeroGrad()
+{
+    for (auto &layer : layers)
+        layer.zeroGrad();
+}
+
+std::vector<Matrix *>
+Mlp::params()
+{
+    std::vector<Matrix *> out;
+    for (auto &layer : layers) {
+        out.push_back(&layer.weights);
+        out.push_back(&layer.bias);
+    }
+    return out;
+}
+
+std::vector<Matrix *>
+Mlp::grads()
+{
+    std::vector<Matrix *> out;
+    for (auto &layer : layers) {
+        out.push_back(&layer.dWeights);
+        out.push_back(&layer.dBias);
+    }
+    return out;
+}
+
+size_t
+Mlp::paramCount() const
+{
+    size_t count = 0;
+    for (const auto &layer : layers)
+        count += layer.weights.size() + layer.bias.size();
+    return count;
+}
+
+void
+Mlp::softUpdateFrom(const Mlp &src, float tau)
+{
+    MM_ASSERT(layers.size() == src.layers.size(), "topology mismatch");
+    for (size_t i = 0; i < layers.size(); ++i) {
+        auto blend = [tau](Matrix &dst, const Matrix &s) {
+            MM_ASSERT(dst.size() == s.size(), "topology mismatch");
+            for (size_t j = 0; j < dst.size(); ++j)
+                dst.data()[j] =
+                    tau * s.data()[j] + (1.0f - tau) * dst.data()[j];
+        };
+        blend(layers[i].weights, src.layers[i].weights);
+        blend(layers[i].bias, src.layers[i].bias);
+    }
+}
+
+void
+Mlp::copyParamsFrom(const Mlp &src)
+{
+    softUpdateFrom(src, 1.0f);
+}
+
+void
+Mlp::save(std::ostream &os) const
+{
+    writePod<uint32_t>(os, kMagic);
+    writePod<uint64_t>(os, inDim);
+    writePod<uint64_t>(os, layers.size());
+    for (const auto &layer : layers) {
+        writePod<uint64_t>(os, layer.outDim());
+        writePod<uint8_t>(os, uint8_t(layer.activation()));
+    }
+    for (const auto &layer : layers) {
+        writeMatrix(os, layer.weights);
+        writeMatrix(os, layer.bias);
+    }
+}
+
+Mlp
+Mlp::load(std::istream &is)
+{
+    auto magic = readPod<uint32_t>(is);
+    MM_ASSERT(magic == kMagic, "bad MLP stream magic");
+    auto inputDim = readPod<uint64_t>(is);
+    auto nLayers = readPod<uint64_t>(is);
+    std::vector<LayerSpec> specs;
+    for (uint64_t i = 0; i < nLayers; ++i) {
+        auto width = readPod<uint64_t>(is);
+        auto act = Activation(readPod<uint8_t>(is));
+        specs.push_back({size_t(width), act});
+    }
+    Rng throwaway(0);
+    Mlp net(size_t(inputDim), specs, throwaway);
+    for (auto &layer : net.layers) {
+        readMatrixInto(is, layer.weights);
+        readMatrixInto(is, layer.bias);
+    }
+    return net;
+}
+
+} // namespace mm

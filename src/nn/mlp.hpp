@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Multi-layer perceptron.
+ *
+ * The differentiable function approximator used both as the paper's
+ * surrogate cost model (Section 4.1) and as the actor/critic networks of
+ * the DDPG baseline (Appendix A). Besides the usual weight gradients,
+ * backward() returns the gradient with respect to the *input* — the
+ * quantity Phase 2 descends on.
+ */
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "nn/dense.hpp"
+
+namespace mm {
+
+/** Width and nonlinearity of one MLP layer. */
+struct LayerSpec
+{
+    size_t width;
+    Activation act;
+};
+
+/** A stack of DenseLayers with value semantics (copyable for target nets). */
+class Mlp
+{
+  public:
+    /** Build from input width and per-layer specs; weights drawn from rng. */
+    Mlp(size_t inputDim, const std::vector<LayerSpec> &specs, Rng &rng);
+
+    /** Forward pass over a batch (rows = samples). */
+    const Matrix &forward(const Matrix &x);
+
+    /**
+     * Backward pass from dL/d(output); accumulates weight gradients and
+     * returns dL/d(input). Must follow a forward() on the same batch.
+     */
+    Matrix backward(const Matrix &dOut);
+
+    /** Clear all accumulated gradients. */
+    void zeroGrad();
+
+    /** Mutable views of every parameter / gradient matrix, in order. */
+    std::vector<Matrix *> params();
+    std::vector<Matrix *> grads();
+
+    size_t inputDim() const { return inDim; }
+    size_t outputDim() const { return layers.back().outDim(); }
+    size_t layerCount() const { return layers.size(); }
+    const DenseLayer &layer(size_t i) const { return layers.at(i); }
+
+    /** Total number of scalar parameters. */
+    size_t paramCount() const;
+
+    /** Polyak averaging: this = tau * src + (1 - tau) * this. */
+    void softUpdateFrom(const Mlp &src, float tau);
+
+    /** Hard copy of parameters from a same-topology network. */
+    void copyParamsFrom(const Mlp &src);
+
+    /** Serialize topology + weights. */
+    void save(std::ostream &os) const;
+
+    /** Deserialize a network written by save(). */
+    static Mlp load(std::istream &is);
+
+  private:
+    size_t inDim;
+    std::vector<DenseLayer> layers;
+};
+
+} // namespace mm

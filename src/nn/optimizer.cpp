@@ -1,0 +1,87 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace mm {
+
+SgdOptimizer::SgdOptimizer(double lr, double momentum_)
+    : lrValue(lr), momentum(momentum_)
+{}
+
+void
+SgdOptimizer::attach(std::vector<Matrix *> params_,
+                     std::vector<Matrix *> grads_)
+{
+    MM_ASSERT(params_.size() == grads_.size(), "param/grad count mismatch");
+    params = std::move(params_);
+    grads = std::move(grads_);
+    velocity.clear();
+    for (const Matrix *p : params)
+        velocity.emplace_back(p->rows(), p->cols());
+}
+
+void
+SgdOptimizer::step()
+{
+    MM_ASSERT(!params.empty(), "optimizer not attached");
+    for (size_t i = 0; i < params.size(); ++i) {
+        Matrix &p = *params[i];
+        const Matrix &g = *grads[i];
+        Matrix &v = velocity[i];
+        const float lr = float(lrValue);
+        const float mu = float(momentum);
+        for (size_t j = 0; j < p.size(); ++j) {
+            v.data()[j] = mu * v.data()[j] - lr * g.data()[j];
+            p.data()[j] += v.data()[j];
+        }
+    }
+}
+
+AdamOptimizer::AdamOptimizer(double lr, double beta1_, double beta2_,
+                             double eps_)
+    : lrValue(lr), beta1(beta1_), beta2(beta2_), eps(eps_)
+{}
+
+void
+AdamOptimizer::attach(std::vector<Matrix *> params_,
+                      std::vector<Matrix *> grads_)
+{
+    MM_ASSERT(params_.size() == grads_.size(), "param/grad count mismatch");
+    params = std::move(params_);
+    grads = std::move(grads_);
+    m1.clear();
+    m2.clear();
+    t = 0;
+    for (const Matrix *p : params) {
+        m1.emplace_back(p->rows(), p->cols());
+        m2.emplace_back(p->rows(), p->cols());
+    }
+}
+
+void
+AdamOptimizer::step()
+{
+    MM_ASSERT(!params.empty(), "optimizer not attached");
+    ++t;
+    const double bc1 = 1.0 - std::pow(beta1, double(t));
+    const double bc2 = 1.0 - std::pow(beta2, double(t));
+    const float alpha = float(lrValue * std::sqrt(bc2) / bc1);
+    for (size_t i = 0; i < params.size(); ++i) {
+        Matrix &p = *params[i];
+        const Matrix &g = *grads[i];
+        Matrix &mo = m1[i];
+        Matrix &ve = m2[i];
+        const float b1 = float(beta1), b2 = float(beta2);
+        for (size_t j = 0; j < p.size(); ++j) {
+            float gj = g.data()[j];
+            mo.data()[j] = b1 * mo.data()[j] + (1.0f - b1) * gj;
+            ve.data()[j] = b2 * ve.data()[j] + (1.0f - b2) * gj * gj;
+            p.data()[j] -= alpha * mo.data()[j]
+                           / (std::sqrt(ve.data()[j]) + float(eps));
+        }
+    }
+}
+
+} // namespace mm

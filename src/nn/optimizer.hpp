@@ -1,0 +1,101 @@
+/**
+ * @file
+ * First-order parameter optimizers.
+ *
+ * The paper trains the surrogate with SGD + momentum 0.9 and a step-decay
+ * learning-rate schedule (lr 1e-2, x0.1 every 25 epochs); Adam is provided
+ * for the DDPG baseline and as an extension.
+ */
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace mm {
+
+/** Interface shared by all optimizers. */
+class Optimizer
+{
+  public:
+    virtual ~Optimizer() = default;
+
+    /**
+     * Bind parameter/gradient matrices (must stay alive for the
+     * optimizer's lifetime; shapes are captured here).
+     */
+    virtual void attach(std::vector<Matrix *> params,
+                        std::vector<Matrix *> grads) = 0;
+
+    /** Apply one update from the currently accumulated gradients. */
+    virtual void step() = 0;
+
+    virtual void setLr(double lr) = 0;
+    virtual double lr() const = 0;
+};
+
+/** SGD with classical momentum: v = mu*v - lr*g ; p += v. */
+class SgdOptimizer : public Optimizer
+{
+  public:
+    SgdOptimizer(double lr, double momentum);
+
+    void attach(std::vector<Matrix *> params,
+                std::vector<Matrix *> grads) override;
+    void step() override;
+    void setLr(double lr) override { lrValue = lr; }
+    double lr() const override { return lrValue; }
+
+  private:
+    double lrValue;
+    double momentum;
+    std::vector<Matrix *> params;
+    std::vector<Matrix *> grads;
+    std::vector<Matrix> velocity;
+};
+
+/** Adam (Kingma & Ba) with bias correction. */
+class AdamOptimizer : public Optimizer
+{
+  public:
+    AdamOptimizer(double lr, double beta1 = 0.9, double beta2 = 0.999,
+                  double eps = 1e-8);
+
+    void attach(std::vector<Matrix *> params,
+                std::vector<Matrix *> grads) override;
+    void step() override;
+    void setLr(double lr) override { lrValue = lr; }
+    double lr() const override { return lrValue; }
+
+  private:
+    double lrValue;
+    double beta1;
+    double beta2;
+    double eps;
+    int64_t t = 0;
+    std::vector<Matrix *> params;
+    std::vector<Matrix *> grads;
+    std::vector<Matrix> m1;
+    std::vector<Matrix> m2;
+};
+
+/** Step-decay LR schedule: lr(epoch) = initial * factor^(epoch/every). */
+struct StepDecaySchedule
+{
+    double initial = 1e-2;
+    double factor = 0.1;
+    int every = 25;
+
+    /** Learning rate for a zero-based epoch index. */
+    double
+    at(int epoch) const
+    {
+        double lr = initial;
+        for (int e = every; e <= epoch; e += every)
+            lr *= factor;
+        return lr;
+    }
+};
+
+} // namespace mm

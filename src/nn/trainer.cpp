@@ -1,0 +1,107 @@
+#include "nn/trainer.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mm {
+
+namespace {
+
+/** Copy the index-selected rows of src into dst (dst pre-sized). */
+void
+gatherRows(const Matrix &src, const std::vector<size_t> &idx, size_t begin,
+           size_t count, Matrix &dst)
+{
+    dst.resize(count, src.cols());
+    for (size_t r = 0; r < count; ++r) {
+        auto from = src.row(idx[begin + r]);
+        std::copy(from.begin(), from.end(), dst.row(r).begin());
+    }
+}
+
+} // namespace
+
+RegressionTrainer::RegressionTrainer(Mlp &net_, TrainConfig cfg_)
+    : net(net_), cfg(cfg_)
+{
+    MM_ASSERT(cfg.epochs > 0 && cfg.batchSize > 0, "bad train config");
+}
+
+std::vector<EpochReport>
+RegressionTrainer::fit(const Matrix &x, const Matrix &y, const Matrix &xTest,
+                       const Matrix &yTest, Rng &rng,
+                       const std::function<void(const EpochReport &)> &onEpoch)
+{
+    MM_ASSERT(x.rows() == y.rows(), "X/Y row mismatch");
+    MM_ASSERT(x.cols() == net.inputDim(), "X width != net input");
+    MM_ASSERT(y.cols() == net.outputDim(), "Y width != net output");
+
+    SgdOptimizer opt(cfg.schedule.initial, cfg.momentum);
+    opt.attach(net.params(), net.grads());
+
+    std::vector<size_t> idx(x.rows());
+    std::iota(idx.begin(), idx.end(), size_t(0));
+
+    Matrix bx, by, grad;
+    std::vector<EpochReport> reports;
+    for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+        opt.setLr(cfg.schedule.at(epoch));
+        rng.shuffle(idx);
+
+        double lossAcc = 0.0;
+        size_t batches = 0;
+        for (size_t begin = 0; begin < idx.size();
+             begin += cfg.batchSize) {
+            size_t count = std::min(cfg.batchSize, idx.size() - begin);
+            gatherRows(x, idx, begin, count, bx);
+            gatherRows(y, idx, begin, count, by);
+
+            const Matrix &pred = net.forward(bx);
+            lossAcc += lossForward(cfg.loss, pred, by, cfg.huberDelta, grad);
+            ++batches;
+
+            net.zeroGrad();
+            net.backward(grad);
+            opt.step();
+        }
+
+        EpochReport report;
+        report.epoch = epoch;
+        report.trainLoss = batches > 0 ? lossAcc / double(batches) : 0.0;
+        report.testLoss =
+            xTest.rows() > 0
+                ? evaluate(net, xTest, yTest, cfg.loss, cfg.huberDelta)
+                : 0.0;
+        report.lr = opt.lr();
+        reports.push_back(report);
+        if (onEpoch)
+            onEpoch(report);
+    }
+    return reports;
+}
+
+double
+RegressionTrainer::evaluate(Mlp &net, const Matrix &x, const Matrix &y,
+                            LossKind loss, double huberDelta,
+                            size_t batchSize)
+{
+    MM_ASSERT(x.rows() == y.rows(), "X/Y row mismatch");
+    if (x.rows() == 0)
+        return 0.0;
+    Matrix bx, by;
+    double acc = 0.0;
+    size_t total = 0;
+    std::vector<size_t> idx(x.rows());
+    std::iota(idx.begin(), idx.end(), size_t(0));
+    for (size_t begin = 0; begin < x.rows(); begin += batchSize) {
+        size_t count = std::min(batchSize, x.rows() - begin);
+        gatherRows(x, idx, begin, count, bx);
+        gatherRows(y, idx, begin, count, by);
+        const Matrix &pred = net.forward(bx);
+        acc += lossValue(loss, pred, by, huberDelta) * double(count);
+        total += count;
+    }
+    return acc / double(total);
+}
+
+} // namespace mm

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Minibatch regression trainer.
+ *
+ * Implements the paper's Phase-1 training recipe (Section 5.5): SGD with
+ * momentum 0.9, batch size 128, step-decayed learning rate, selectable
+ * loss. Generic over datasets so the Figure-7 ablation benches can reuse
+ * it directly.
+ */
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/loss.hpp"
+#include "nn/mlp.hpp"
+#include "nn/optimizer.hpp"
+
+namespace mm {
+
+/** Hyper-parameters for RegressionTrainer. */
+struct TrainConfig
+{
+    int epochs = 30;
+    size_t batchSize = 128;
+    LossKind loss = LossKind::Huber;
+    double huberDelta = 1.0;
+    StepDecaySchedule schedule{1e-2, 0.1, 25};
+    double momentum = 0.9;
+};
+
+/** Per-epoch training record (Figure 7a series). */
+struct EpochReport
+{
+    int epoch;
+    double trainLoss;
+    double testLoss;
+    double lr;
+};
+
+/** Trains an Mlp on an in-memory (X, Y) regression dataset. */
+class RegressionTrainer
+{
+  public:
+    RegressionTrainer(Mlp &net, TrainConfig cfg);
+
+    /**
+     * Run the full training loop.
+     *
+     * @param x,y          Training set (rows = samples).
+     * @param xTest,yTest  Held-out set; pass empty matrices to skip.
+     * @param rng          Shuffling randomness.
+     * @param onEpoch      Optional per-epoch observer.
+     */
+    std::vector<EpochReport>
+    fit(const Matrix &x, const Matrix &y, const Matrix &xTest,
+        const Matrix &yTest, Rng &rng,
+        const std::function<void(const EpochReport &)> &onEpoch = {});
+
+    /** Mean loss of @p net over a dataset, evaluated in batches. */
+    static double evaluate(Mlp &net, const Matrix &x, const Matrix &y,
+                           LossKind loss, double huberDelta,
+                           size_t batchSize = 256);
+
+  private:
+    Mlp &net;
+    TrainConfig cfg;
+};
+
+} // namespace mm

@@ -1,0 +1,75 @@
+#include "search/annealing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/clock.hpp"
+#include "common/stats.hpp"
+#include "mapping/moves.hpp"
+
+namespace mm {
+
+AnnealingSearcher::AnnealingSearcher(const CostModel &model_,
+                                     AnnealingConfig cfg_,
+                                     const TimingModel &timing)
+    : model(&model_), cfg(cfg_), stepLatency(timing.saStepSec)
+{}
+
+SearchResult
+AnnealingSearcher::run(const SearchBudget &budget, Rng &rng)
+{
+    WallTimer timer;
+    const MapSpace &space = model->space();
+    SearchRecorder rec(*model, budget, stepLatency);
+
+    // Pilot phase: estimate the energy scale for the temperature
+    // schedule (uncharged auto-tuning, as in the paper's simanneal use).
+    double tMax = cfg.tMax;
+    double tMin = cfg.tMin;
+    if (tMax <= 0.0 || tMin <= 0.0) {
+        RunningStat stat;
+        for (int i = 0; i < cfg.pilotSamples; ++i)
+            stat.push(model->normalizedEdp(space.randomValid(rng)));
+        double scale = std::max(stat.stddev(), 1e-6);
+        if (tMax <= 0.0)
+            tMax = scale;
+        if (tMin <= 0.0)
+            tMin = std::max(1e-4 * scale, 1e-9);
+    }
+
+    int64_t horizon = cfg.scheduleSteps;
+    if (horizon <= 0) {
+        horizon = budget.maxSteps;
+        if (horizon == std::numeric_limits<int64_t>::max()
+            && std::isfinite(budget.maxVirtualSec)) {
+            horizon = std::max<int64_t>(
+                1, int64_t(budget.maxVirtualSec / stepLatency));
+        }
+        if (horizon == std::numeric_limits<int64_t>::max())
+            horizon = 10000;
+    }
+    const double decay = std::log(tMin / tMax);
+
+    Mapping current = space.randomValid(rng);
+    double currentEnergy = rec.exhausted() ? 0.0 : rec.step(current);
+
+    while (!rec.exhausted()) {
+        double progress =
+            double(std::min(rec.steps(), horizon)) / double(horizon);
+        double temp = tMax * std::exp(decay * progress);
+
+        Mapping proposal = randomNeighbor(space, current, rng);
+        double energy = rec.step(proposal);
+        double delta = energy - currentEnergy;
+        if (delta <= 0.0 || rng.uniformReal() < std::exp(-delta / temp)) {
+            current = std::move(proposal);
+            currentEnergy = energy;
+        }
+    }
+
+    SearchResult result = rec.finish(name());
+    result.wallSec = timer.elapsedSec();
+    return result;
+}
+
+} // namespace mm

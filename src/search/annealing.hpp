@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Simulated Annealing baseline (Kirkpatrick et al. [45]).
+ *
+ * Mirrors the paper's setup (Appendix A): the `simanneal` library with
+ * auto-tuned hyper-parameters. Auto-tuning here estimates the energy
+ * scale from a short pilot sample (not charged against the search
+ * budget, as in the paper where library auto-tuning is a separate
+ * phase), then anneals exponentially from Tmax to Tmin over the
+ * scheduled horizon with single-attribute neighborhood moves.
+ */
+#pragma once
+
+#include "search/search.hpp"
+
+namespace mm {
+
+/** SA hyper-parameters. */
+struct AnnealingConfig
+{
+    /** Auto-tune Tmax/Tmin from a pilot sample when <= 0. */
+    double tMax = -1.0;
+    double tMin = -1.0;
+    /** Pilot draws used by auto-tuning. */
+    int pilotSamples = 32;
+    /**
+     * Schedule horizon in steps; when <= 0 it is derived from the
+     * budget (maxSteps, or maxVirtualSec / step latency).
+     */
+    int64_t scheduleSteps = -1;
+};
+
+/** Single-chain exponential-schedule simulated annealing. */
+class AnnealingSearcher : public Searcher
+{
+  public:
+    AnnealingSearcher(const CostModel &model, AnnealingConfig cfg = {},
+                      const TimingModel &timing = {});
+
+    std::string name() const override { return "SA"; }
+    SearchResult run(const SearchBudget &budget, Rng &rng) override;
+
+  private:
+    const CostModel *model;
+    AnnealingConfig cfg;
+    double stepLatency;
+};
+
+} // namespace mm

@@ -1,0 +1,107 @@
+#include "search/genetic.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/clock.hpp"
+#include "mapping/moves.hpp"
+
+namespace mm {
+
+namespace {
+
+/** An individual with its (possibly pending) fitness. */
+struct Individual
+{
+    Mapping mapping;
+    double fitness = std::numeric_limits<double>::infinity();
+    bool evaluated = false;
+};
+
+} // namespace
+
+GeneticSearcher::GeneticSearcher(const CostModel &model_, GeneticConfig cfg_,
+                                 const TimingModel &timing)
+    : model(&model_), cfg(cfg_), stepLatency(timing.gaStepSec)
+{
+    MM_ASSERT(cfg.populationSize >= 2, "population too small");
+    MM_ASSERT(cfg.elites < cfg.populationSize, "too many elites");
+}
+
+SearchResult
+GeneticSearcher::run(const SearchBudget &budget, Rng &rng)
+{
+    WallTimer timer;
+    const MapSpace &space = model->space();
+    SearchRecorder rec(*model, budget, stepLatency);
+
+    auto evaluate = [&](Individual &ind) {
+        if (ind.evaluated || rec.exhausted())
+            return;
+        ind.fitness = rec.step(ind.mapping);
+        ind.evaluated = true;
+    };
+
+    std::vector<Individual> pop(size_t(cfg.populationSize));
+    for (auto &ind : pop)
+        ind.mapping = space.randomValid(rng);
+    for (auto &ind : pop)
+        evaluate(ind);
+
+    auto tournament = [&]() -> const Individual & {
+        const Individual *winner = nullptr;
+        for (int i = 0; i < cfg.tournamentSize; ++i) {
+            const Individual &cand = pop[size_t(
+                rng.uniformInt(0, int64_t(pop.size()) - 1))];
+            if (winner == nullptr || cand.fitness < winner->fitness)
+                winner = &cand;
+        }
+        return *winner;
+    };
+
+    while (!rec.exhausted()) {
+        // Elitism: carry the current best forward unchanged.
+        std::vector<size_t> byFitness(pop.size());
+        std::iota(byFitness.begin(), byFitness.end(), size_t(0));
+        std::sort(byFitness.begin(), byFitness.end(),
+                  [&](size_t a, size_t b) {
+                      return pop[a].fitness < pop[b].fitness;
+                  });
+
+        std::vector<Individual> next;
+        next.reserve(pop.size());
+        for (int e = 0; e < cfg.elites; ++e)
+            next.push_back(pop[byFitness[size_t(e)]]);
+
+        while (next.size() < pop.size()) {
+            const Individual &pa = tournament();
+            const Individual &pb = tournament();
+            Individual child;
+            if (rng.bernoulli(cfg.crossoverProb))
+                child.mapping = crossover(space, pa.mapping, pb.mapping,
+                                          rng);
+            else
+                child.mapping = pa.mapping;
+            child.mapping =
+                mutate(space, child.mapping, cfg.mutationProb, rng);
+            if (child.mapping == pa.mapping) {
+                // Unchanged clones inherit the parent's fitness instead
+                // of burning a cost-function query.
+                child.fitness = pa.fitness;
+                child.evaluated = pa.evaluated;
+            }
+            next.push_back(std::move(child));
+        }
+
+        // Elites keep their fitness; everyone else is (re)evaluated.
+        for (auto &ind : next)
+            evaluate(ind);
+        pop = std::move(next);
+    }
+
+    SearchResult result = rec.finish(name());
+    result.wallSec = timer.elapsedSec();
+    return result;
+}
+
+} // namespace mm

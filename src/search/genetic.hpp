@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Genetic-algorithm baseline (DEAP-style, Appendix A).
+ *
+ * Population 100, crossover probability 0.75, per-attribute mutation
+ * probability 0.05, tournament selection with elitism — the paper's
+ * grid-searched configuration. Fitness is normalized EDP (lower is
+ * better); each individual evaluation is one charged search step.
+ */
+#pragma once
+
+#include "search/search.hpp"
+
+namespace mm {
+
+/** GA hyper-parameters (defaults match the paper). */
+struct GeneticConfig
+{
+    int populationSize = 100;
+    double crossoverProb = 0.75;
+    double mutationProb = 0.05;
+    int tournamentSize = 3;
+    int elites = 2;
+};
+
+/** Generational GA over the map space. */
+class GeneticSearcher : public Searcher
+{
+  public:
+    GeneticSearcher(const CostModel &model, GeneticConfig cfg = {},
+                    const TimingModel &timing = {});
+
+    std::string name() const override { return "GA"; }
+    SearchResult run(const SearchBudget &budget, Rng &rng) override;
+
+  private:
+    const CostModel *model;
+    GeneticConfig cfg;
+    double stepLatency;
+};
+
+} // namespace mm

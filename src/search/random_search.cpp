@@ -1,0 +1,25 @@
+#include "search/random_search.hpp"
+
+#include "common/clock.hpp"
+
+namespace mm {
+
+RandomSearcher::RandomSearcher(const CostModel &model_,
+                               const TimingModel &timing)
+    : model(&model_), stepLatency(timing.randomStepSec)
+{}
+
+SearchResult
+RandomSearcher::run(const SearchBudget &budget, Rng &rng)
+{
+    WallTimer timer;
+    SearchRecorder rec(*model, budget, stepLatency);
+    const MapSpace &space = model->space();
+    while (!rec.exhausted())
+        rec.step(space.randomValid(rng));
+    SearchResult result = rec.finish(name());
+    result.wallSec = timer.elapsedSec();
+    return result;
+}
+
+} // namespace mm

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Uniform random search: the unguided floor every heuristic must beat.
+ */
+#pragma once
+
+#include "search/search.hpp"
+
+namespace mm {
+
+/** Samples valid mappings uniformly and keeps the best. */
+class RandomSearcher : public Searcher
+{
+  public:
+    RandomSearcher(const CostModel &model, const TimingModel &timing = {});
+
+    std::string name() const override { return "Random"; }
+    SearchResult run(const SearchBudget &budget, Rng &rng) override;
+
+  private:
+    const CostModel *model;
+    double stepLatency;
+};
+
+} // namespace mm

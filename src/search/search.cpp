@@ -1,0 +1,85 @@
+#include "search/search.hpp"
+
+#include <algorithm>
+
+namespace mm {
+
+namespace {
+
+double
+bestAt(const std::vector<TracePoint> &trace, double key,
+       double TracePoint::*timeField, int64_t TracePoint::*stepField,
+       bool byStep, int64_t stepKey)
+{
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto &pt : trace) {
+        bool within = byStep ? (pt.*stepField <= stepKey)
+                             : (pt.*timeField <= key);
+        if (within)
+            best = std::min(best, pt.bestNormEdp);
+    }
+    return best;
+}
+
+} // namespace
+
+double
+SearchResult::bestAtStep(int64_t s) const
+{
+    return bestAt(trace, 0.0, &TracePoint::virtualSec, &TracePoint::step,
+                  true, s);
+}
+
+double
+SearchResult::bestAtVirtualTime(double t) const
+{
+    return bestAt(trace, t, &TracePoint::virtualSec, &TracePoint::step,
+                  false, 0);
+}
+
+SearchRecorder::SearchRecorder(const CostModel &model_,
+                               const SearchBudget &budget_,
+                               double stepLatencySec)
+    : model(&model_), budget(budget_), stepLatency(stepLatencySec)
+{
+    MM_ASSERT(stepLatency >= 0.0, "negative step latency");
+}
+
+bool
+SearchRecorder::exhausted() const
+{
+    return budget.done(stepCount, virtualClock);
+}
+
+double
+SearchRecorder::step(const Mapping &candidate)
+{
+    MM_ASSERT(!exhausted(), "step() called after budget exhaustion");
+    ++stepCount;
+    virtualClock += stepLatency;
+    double norm = model->normalizedEdp(candidate);
+    if (norm < best) {
+        best = norm;
+        bestMapping = candidate;
+        trace.push_back({stepCount, virtualClock, best});
+    }
+    return norm;
+}
+
+SearchResult
+SearchRecorder::finish(std::string method) const
+{
+    SearchResult result;
+    result.method = std::move(method);
+    result.best = bestMapping;
+    result.bestNormEdp = best;
+    result.trace = trace;
+    result.steps = stepCount;
+    result.virtualSec = virtualClock;
+    // Guarantee a terminal point so time/step interpolation saturates.
+    if (result.trace.empty() || result.trace.back().step != stepCount)
+        result.trace.push_back({stepCount, virtualClock, best});
+    return result;
+}
+
+} // namespace mm

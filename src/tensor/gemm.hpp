@@ -1,0 +1,28 @@
+/**
+ * @file
+ * General matrix multiply with optional operand transposes.
+ *
+ * Three hand-specialized loop orders keep the innermost loop contiguous
+ * for each transpose combination so GCC auto-vectorizes them; this is the
+ * compute backbone of surrogate training and the DDPG baseline.
+ */
+#pragma once
+
+#include "tensor/matrix.hpp"
+
+namespace mm {
+
+/**
+ * C = alpha * op(A) * op(B) + beta * C.
+ *
+ * op(X) is X or X^T according to the transpose flags. C must already have
+ * the result shape; shapes are checked.
+ */
+void gemm(bool transA, bool transB, float alpha, const Matrix &a,
+          const Matrix &b, float beta, Matrix &c);
+
+/** Reference triple-loop implementation used for testing. */
+void gemmReference(bool transA, bool transB, float alpha, const Matrix &a,
+                   const Matrix &b, float beta, Matrix &c);
+
+} // namespace mm

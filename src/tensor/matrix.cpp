@@ -1,0 +1,48 @@
+#include "tensor/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mm {
+
+double
+squaredNorm(const Matrix &m)
+{
+    double acc = 0.0;
+    const float *p = m.data();
+    for (size_t i = 0; i < m.size(); ++i)
+        acc += double(p[i]) * double(p[i]);
+    return acc;
+}
+
+void
+axpy(float alpha, const Matrix &x, Matrix &y)
+{
+    MM_ASSERT(x.rows() == y.rows() && x.cols() == y.cols(),
+              "axpy shape mismatch");
+    const float *xp = x.data();
+    float *yp = y.data();
+    for (size_t i = 0; i < x.size(); ++i)
+        yp[i] += alpha * xp[i];
+}
+
+void
+scale(float alpha, Matrix &m)
+{
+    float *p = m.data();
+    for (size_t i = 0; i < m.size(); ++i)
+        p[i] *= alpha;
+}
+
+double
+maxAbsDiff(const Matrix &a, const Matrix &b)
+{
+    MM_ASSERT(a.rows() == b.rows() && a.cols() == b.cols(),
+              "maxAbsDiff shape mismatch");
+    double worst = 0.0;
+    for (size_t i = 0; i < a.size(); ++i)
+        worst = std::max(worst, double(std::fabs(a.data()[i] - b.data()[i])));
+    return worst;
+}
+
+} // namespace mm

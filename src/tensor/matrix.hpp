@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Dense row-major float matrix.
+ *
+ * The minimal linear-algebra substrate for the neural-network library:
+ * a contiguous row-major buffer with element access, row views and a few
+ * whole-matrix helpers. All heavy math lives in gemm.hpp.
+ */
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace mm {
+
+/** Row-major float matrix with value semantics. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** Allocate a rows x cols matrix initialized to zero. */
+    Matrix(size_t rows, size_t cols)
+        : nRows(rows), nCols(cols), buf(rows * cols, 0.0f)
+    {}
+
+    size_t rows() const { return nRows; }
+    size_t cols() const { return nCols; }
+    size_t size() const { return buf.size(); }
+    bool empty() const { return buf.empty(); }
+
+    float &
+    at(size_t r, size_t c)
+    {
+        MM_ASSERT(r < nRows && c < nCols, "matrix index out of range");
+        return buf[r * nCols + c];
+    }
+
+    float
+    at(size_t r, size_t c) const
+    {
+        MM_ASSERT(r < nRows && c < nCols, "matrix index out of range");
+        return buf[r * nCols + c];
+    }
+
+    /** Unchecked element access for hot loops. */
+    float &operator()(size_t r, size_t c) { return buf[r * nCols + c]; }
+    float operator()(size_t r, size_t c) const { return buf[r * nCols + c]; }
+
+    float *data() { return buf.data(); }
+    const float *data() const { return buf.data(); }
+
+    std::span<float>
+    row(size_t r)
+    {
+        MM_ASSERT(r < nRows, "row index out of range");
+        return {buf.data() + r * nCols, nCols};
+    }
+
+    std::span<const float>
+    row(size_t r) const
+    {
+        MM_ASSERT(r < nRows, "row index out of range");
+        return {buf.data() + r * nCols, nCols};
+    }
+
+    /** Set every element to @p value. */
+    void
+    fill(float value)
+    {
+        std::fill(buf.begin(), buf.end(), value);
+    }
+
+    /** Set every element to zero. */
+    void zero() { fill(0.0f); }
+
+    /** Reshape in place; total element count must be preserved. */
+    void
+    reshape(size_t rows, size_t cols)
+    {
+        MM_ASSERT(rows * cols == buf.size(), "reshape changes element count");
+        nRows = rows;
+        nCols = cols;
+    }
+
+    /** Resize (destructive); contents reset to zero. */
+    void
+    resize(size_t rows, size_t cols)
+    {
+        nRows = rows;
+        nCols = cols;
+        buf.assign(rows * cols, 0.0f);
+    }
+
+  private:
+    size_t nRows = 0;
+    size_t nCols = 0;
+    std::vector<float> buf;
+};
+
+/** Sum of squared elements. */
+double squaredNorm(const Matrix &m);
+
+/** y += alpha * x (same shape). */
+void axpy(float alpha, const Matrix &x, Matrix &y);
+
+/** m *= alpha. */
+void scale(float alpha, Matrix &m);
+
+/** Max absolute element difference between two same-shaped matrices. */
+double maxAbsDiff(const Matrix &a, const Matrix &b);
+
+} // namespace mm

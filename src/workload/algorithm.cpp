@@ -1,0 +1,123 @@
+#include "workload/algorithm.hpp"
+
+#include "common/error.hpp"
+
+namespace mm {
+
+bool
+TensorSpec::usesDim(int d) const
+{
+    for (const auto &tdim : dims)
+        for (const auto &term : tdim)
+            if (term.dim == d && term.coeff != 0)
+                return true;
+    return false;
+}
+
+size_t
+AlgorithmSpec::outputTensor() const
+{
+    for (size_t t = 0; t < tensors.size(); ++t)
+        if (tensors[t].isOutput)
+            return t;
+    MM_ASSERT(false, "algorithm has no output tensor");
+    return 0;
+}
+
+int64_t
+AlgorithmSpec::tileFootprint(size_t t, std::span<const int64_t> extents) const
+{
+    MM_ASSERT(t < tensors.size(), "tensor index out of range");
+    MM_ASSERT(extents.size() == rank(), "extent arity mismatch");
+    int64_t words = 1;
+    for (const auto &tdim : tensors[t].dims) {
+        int64_t extent = 1;
+        for (const auto &term : tdim) {
+            MM_ASSERT(extents[size_t(term.dim)] >= 1, "non-positive extent");
+            extent += term.coeff * (extents[size_t(term.dim)] - 1);
+        }
+        words *= extent;
+    }
+    return words;
+}
+
+const AlgorithmSpec &
+conv1dAlgo()
+{
+    static const AlgorithmSpec spec = [] {
+        AlgorithmSpec a;
+        a.name = "conv1d";
+        a.dimNames = {"X", "R"};
+        enum { X, R };
+        a.tensors = {
+            {"Inputs", {{{X, 1}, {R, 1}}}, false},
+            {"Filters", {{{R, 1}}}, false},
+            {"Outputs", {{{X, 1}}}, true},
+        };
+        a.representativeValues = {
+            {16, 24, 32, 48, 64, 96, 128, 192, 256}, // X
+            {2, 3, 4, 5, 7, 9, 11},                  // R
+        };
+        return a;
+    }();
+    return spec;
+}
+
+const AlgorithmSpec &
+cnnLayerAlgo()
+{
+    static const AlgorithmSpec spec = [] {
+        AlgorithmSpec a;
+        a.name = "cnn-layer";
+        a.dimNames = {"N", "K", "C", "X", "Y", "R", "S"};
+        enum { N, K, C, X, Y, R, S };
+        a.tensors = {
+            {"Inputs",
+             {{{N, 1}}, {{C, 1}}, {{X, 1}, {R, 1}}, {{Y, 1}, {S, 1}}},
+             false},
+            {"Weights", {{{K, 1}}, {{C, 1}}, {{R, 1}}, {{S, 1}}}, false},
+            {"Outputs", {{{N, 1}}, {{K, 1}}, {{X, 1}}, {{Y, 1}}}, true},
+        };
+        // Typical ranges from the networks the paper samples (Sec. 5.5);
+        // deliberately offset from the Table 1 target shapes so Phase 2
+        // exercises interpolation to unseen problems.
+        a.representativeValues = {
+            {4, 8, 12, 16, 24, 32},             // N
+            {32, 48, 64, 96, 160, 224, 320, 512}, // K
+            {16, 24, 48, 80, 160, 224, 320, 512}, // C
+            {10, 15, 21, 30, 42, 60, 80, 100},    // X
+            {10, 15, 21, 30, 42, 60, 80, 100},    // Y
+            {1, 2, 3, 4, 5, 7},                   // R
+            {1, 2, 3, 4, 5, 7},                   // S
+        };
+        return a;
+    }();
+    return spec;
+}
+
+const AlgorithmSpec &
+mttkrpAlgo()
+{
+    static const AlgorithmSpec spec = [] {
+        AlgorithmSpec a;
+        a.name = "mttkrp";
+        a.dimNames = {"I", "J", "K", "L"};
+        enum { I, J, K, L };
+        a.tensors = {
+            {"A", {{{I, 1}}, {{K, 1}}, {{L, 1}}}, false},
+            {"B", {{{K, 1}}, {{J, 1}}}, false},
+            {"C", {{{L, 1}}, {{J, 1}}}, false},
+            {"Outputs", {{{I, 1}}, {{J, 1}}}, true},
+        };
+        a.representativeValues = {
+            {96, 192, 384, 768, 1536, 3072},  // I
+            {96, 192, 384, 768, 1536, 3072},  // J
+            {96, 192, 384, 768, 1536, 3072},  // K
+            {96, 192, 384, 768, 1536, 3072},  // L
+        };
+        return a;
+    }();
+    return spec;
+}
+
+} // namespace mm

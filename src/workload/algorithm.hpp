@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Target-algorithm specifications (Section 2.1, 3, 5.1.1).
+ *
+ * An algorithm is a family of problems expressed as a perfectly-nested
+ * affine loop nest ("einsum with halos"): a set of named loop dimensions
+ * plus, per tensor, a projection from loop dimensions onto tensor
+ * dimensions. A projection term with more than one loop dimension models
+ * sliding windows (e.g. the CNN input dimension x + r), whose tile extent
+ * is sum(coeff * (tile_d - 1)) + 1.
+ *
+ * Three algorithms are provided, matching the paper: 1D-Conv (the running
+ * example of Section 3), CNN-Layer (Equation 3) and MTTKRP (Equation 4).
+ */
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mm {
+
+/** One additive term of an affine tensor-dimension projection. */
+struct ProjTerm
+{
+    int dim;       ///< loop-dimension index
+    int64_t coeff; ///< stride coefficient (1 for all paper workloads)
+};
+
+/** A tensor dimension: sum of projection terms. */
+using TensorDim = std::vector<ProjTerm>;
+
+/** A tensor operand/result of the algorithm. */
+struct TensorSpec
+{
+    std::string name;
+    std::vector<TensorDim> dims;
+    bool isOutput = false;
+
+    /** True iff loop dimension @p d appears in any projection term. */
+    bool usesDim(int d) const;
+};
+
+/** An algorithm: loop dimensions + tensors + representative problem grid. */
+struct AlgorithmSpec
+{
+    std::string name;
+    std::vector<std::string> dimNames;
+    std::vector<TensorSpec> tensors;
+
+    /**
+     * Representative values per dimension used to sample the Phase-1
+     * training problems (Section 5.5 "Dataset": e.g. K drawn from the
+     * typical range [32, 512]).
+     */
+    std::vector<std::vector<int64_t>> representativeValues;
+
+    size_t rank() const { return dimNames.size(); }
+    size_t tensorCount() const { return tensors.size(); }
+
+    /** Index of the (single) output tensor. */
+    size_t outputTensor() const;
+
+    /**
+     * Words touched by a tile with per-loop-dimension extents
+     * @p extents for tensor @p t (halo-aware).
+     */
+    int64_t tileFootprint(size_t t, std::span<const int64_t> extents) const;
+};
+
+/** 1D convolution, dims {X, R} (Section 3). */
+const AlgorithmSpec &conv1dAlgo();
+
+/** CNN layer, dims {N, K, C, X, Y, R, S} (Equation 3). */
+const AlgorithmSpec &cnnLayerAlgo();
+
+/** MTTKRP, dims {I, J, K, L} (Equation 4). */
+const AlgorithmSpec &mttkrpAlgo();
+
+} // namespace mm

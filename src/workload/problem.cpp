@@ -1,0 +1,111 @@
+#include "workload/problem.hpp"
+
+#include "common/string_util.hpp"
+
+namespace mm {
+
+double
+Problem::totalMacs() const
+{
+    double macs = 1.0;
+    for (int64_t b : bounds)
+        macs *= double(b);
+    return macs;
+}
+
+int64_t
+Problem::tensorWords(size_t t) const
+{
+    return algo->tileFootprint(t, bounds);
+}
+
+std::vector<double>
+Problem::pidFeatures() const
+{
+    std::vector<double> pid;
+    pid.reserve(bounds.size());
+    for (int64_t b : bounds)
+        pid.push_back(double(b));
+    return pid;
+}
+
+Problem
+makeProblem(const AlgorithmSpec &algo, std::string name,
+            std::vector<int64_t> bounds)
+{
+    if (bounds.size() != algo.rank())
+        fatal(strCat("problem '", name, "': expected ", algo.rank(),
+                     " bounds, got ", bounds.size()));
+    for (size_t d = 0; d < bounds.size(); ++d)
+        if (bounds[d] < 1)
+            fatal(strCat("problem '", name, "': dimension ",
+                         algo.dimNames[d], " must be positive"));
+    Problem p;
+    p.algo = &algo;
+    p.name = std::move(name);
+    p.bounds = std::move(bounds);
+    return p;
+}
+
+Problem
+cnnProblem(const std::string &name, int64_t n, int64_t k, int64_t c,
+           int64_t h, int64_t w, int64_t r, int64_t s)
+{
+    // Output spatial extents for stride 1, as in Section 5.1.1.
+    int64_t x = w - r + 1;
+    int64_t y = h - s + 1;
+    return makeProblem(cnnLayerAlgo(), name, {n, k, c, x, y, r, s});
+}
+
+Problem
+mttkrpProblem(const std::string &name, int64_t i, int64_t j, int64_t k,
+              int64_t l)
+{
+    return makeProblem(mttkrpAlgo(), name, {i, j, k, l});
+}
+
+std::vector<Problem>
+table1Cnn()
+{
+    return {
+        cnnProblem("ResNet_Conv_3", 16, 128, 128, 28, 28, 3, 3),
+        cnnProblem("ResNet_Conv_4", 16, 256, 256, 14, 14, 3, 3),
+        cnnProblem("Inception_Conv_2", 32, 192, 192, 56, 56, 3, 3),
+        cnnProblem("VGG_Conv_2", 16, 128, 64, 112, 112, 3, 3),
+        cnnProblem("AlexNet_Conv_2", 8, 256, 96, 27, 27, 5, 5),
+        cnnProblem("AlexNet_Conv_4", 8, 384, 384, 13, 13, 3, 3),
+    };
+}
+
+std::vector<Problem>
+table1Mttkrp()
+{
+    return {
+        mttkrpProblem("MTTKRP_0", 128, 1024, 4096, 2048),
+        mttkrpProblem("MTTKRP_1", 2048, 4096, 1024, 128),
+    };
+}
+
+std::vector<Problem>
+table1All()
+{
+    auto all = table1Cnn();
+    auto mtt = table1Mttkrp();
+    all.insert(all.end(), mtt.begin(), mtt.end());
+    return all;
+}
+
+Problem
+sampleRepresentativeProblem(const AlgorithmSpec &algo, Rng &rng)
+{
+    MM_ASSERT(algo.representativeValues.size() == algo.rank(),
+              "representative grid arity mismatch");
+    std::vector<int64_t> bounds;
+    bounds.reserve(algo.rank());
+    for (size_t d = 0; d < algo.rank(); ++d)
+        bounds.push_back(rng.pick(algo.representativeValues[d]));
+    return makeProblem(algo, strCat(algo.name, "_sampled"),
+                       std::move(bounds));
+}
+
+} // namespace mm

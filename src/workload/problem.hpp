@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Problems: parameterized algorithm instances (Section 2.1) and the
+ * paper's Table 1 target set.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "workload/algorithm.hpp"
+
+namespace mm {
+
+/** A concrete problem: an algorithm plus loop-dimension bounds. */
+struct Problem
+{
+    const AlgorithmSpec *algo = nullptr;
+    std::string name;
+    std::vector<int64_t> bounds;
+
+    size_t rank() const { return algo->rank(); }
+
+    /** Iteration-space size == MAC count (one MAC per nest point). */
+    double totalMacs() const;
+
+    /** Full-tensor size in words (halo-aware). */
+    int64_t tensorWords(size_t t) const;
+
+    /** Problem-id feature vector: the raw bounds (Section 5.5). */
+    std::vector<double> pidFeatures() const;
+};
+
+/** Build a problem after validating bounds. */
+Problem makeProblem(const AlgorithmSpec &algo, std::string name,
+                    std::vector<int64_t> bounds);
+
+/** Build a CNN-layer problem from (N, K, C, H, W, R, S) as in Table 1. */
+Problem cnnProblem(const std::string &name, int64_t n, int64_t k, int64_t c,
+                   int64_t h, int64_t w, int64_t r, int64_t s);
+
+/** Build an MTTKRP problem from (I, J, K, L). */
+Problem mttkrpProblem(const std::string &name, int64_t i, int64_t j,
+                      int64_t k, int64_t l);
+
+/** The six CNN target problems of Table 1. */
+std::vector<Problem> table1Cnn();
+
+/** The two MTTKRP target problems of Table 1. */
+std::vector<Problem> table1Mttkrp();
+
+/** All eight Table 1 target problems, CNN first. */
+std::vector<Problem> table1All();
+
+/**
+ * Draw a representative problem for Phase-1 training by sampling each
+ * bound from the algorithm's representative grid (Section 5.5).
+ */
+Problem sampleRepresentativeProblem(const AlgorithmSpec &algo, Rng &rng);
+
+} // namespace mm

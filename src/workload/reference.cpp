@@ -1,0 +1,108 @@
+#include "workload/reference.hpp"
+
+#include "common/error.hpp"
+
+namespace mm {
+
+DenseTensor
+DenseTensor::zeros(std::vector<int64_t> dims_)
+{
+    DenseTensor t;
+    t.dims = std::move(dims_);
+    int64_t words = 1;
+    for (int64_t d : t.dims) {
+        MM_ASSERT(d >= 1, "non-positive tensor extent");
+        words *= d;
+    }
+    t.data.assign(size_t(words), 0.0f);
+    return t;
+}
+
+int64_t
+DenseTensor::offset(std::span<const int64_t> coord) const
+{
+    MM_ASSERT(coord.size() == dims.size(), "coordinate arity mismatch");
+    int64_t off = 0;
+    for (size_t i = 0; i < dims.size(); ++i) {
+        MM_ASSERT(coord[i] >= 0 && coord[i] < dims[i],
+                  "coordinate out of bounds");
+        off = off * dims[i] + coord[i];
+    }
+    return off;
+}
+
+std::vector<int64_t>
+tensorPoint(const AlgorithmSpec &algo, size_t t,
+            std::span<const int64_t> point)
+{
+    const TensorSpec &spec = algo.tensors.at(t);
+    std::vector<int64_t> coord;
+    coord.reserve(spec.dims.size());
+    for (const auto &tdim : spec.dims) {
+        int64_t v = 0;
+        for (const auto &term : tdim)
+            v += term.coeff * point[size_t(term.dim)];
+        coord.push_back(v);
+    }
+    return coord;
+}
+
+std::vector<DenseTensor>
+makeTensors(const Problem &problem, Rng &rng)
+{
+    const AlgorithmSpec &algo = *problem.algo;
+    std::vector<DenseTensor> tensors;
+    for (size_t t = 0; t < algo.tensorCount(); ++t) {
+        std::vector<int64_t> extents;
+        for (const auto &tdim : algo.tensors[t].dims) {
+            int64_t extent = 1;
+            for (const auto &term : tdim)
+                extent += term.coeff * (problem.bounds[size_t(term.dim)] - 1);
+            extents.push_back(extent);
+        }
+        DenseTensor tensor = DenseTensor::zeros(std::move(extents));
+        if (!algo.tensors[t].isOutput) {
+            for (auto &v : tensor.data)
+                v = float(rng.uniformReal(-1.0, 1.0));
+        }
+        tensors.push_back(std::move(tensor));
+    }
+    return tensors;
+}
+
+void
+runReference(const Problem &problem, std::vector<DenseTensor> &tensors)
+{
+    const AlgorithmSpec &algo = *problem.algo;
+    const size_t rank = problem.rank();
+    const size_t out = algo.outputTensor();
+    MM_ASSERT(tensors.size() == algo.tensorCount(), "tensor count mismatch");
+    MM_ASSERT(problem.totalMacs() < 5e7,
+              "reference kernel is for small test problems only");
+
+    std::vector<int64_t> point(rank, 0);
+    bool done = false;
+    while (!done) {
+        float acc = 1.0f;
+        for (size_t t = 0; t < tensors.size(); ++t) {
+            if (t == out)
+                continue;
+            auto coord = tensorPoint(algo, t, point);
+            acc *= tensors[t].data[size_t(tensors[t].offset(coord))];
+        }
+        auto ocoord = tensorPoint(algo, out, point);
+        tensors[out].data[size_t(tensors[out].offset(ocoord))] += acc;
+
+        // Mixed-radix increment over the iteration space.
+        done = true;
+        for (size_t d = rank; d > 0; --d) {
+            if (++point[d - 1] < problem.bounds[d - 1]) {
+                done = false;
+                break;
+            }
+            point[d - 1] = 0;
+        }
+    }
+}
+
+} // namespace mm

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Golden reference kernels (the p(i) of Definition 2.2).
+ *
+ * Naive loop-nest executors for each algorithm, used by the test suite to
+ * validate that mapped (tiled/reordered/padded) execution of any valid
+ * mapping computes the same function.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/problem.hpp"
+
+namespace mm {
+
+/** Dense tensor stored flat, with the dimension extents alongside. */
+struct DenseTensor
+{
+    std::vector<int64_t> dims;
+    std::vector<float> data;
+
+    /** Allocate a zeroed tensor of the given extents. */
+    static DenseTensor zeros(std::vector<int64_t> dims);
+
+    /** Flat offset of a coordinate tuple (row-major). */
+    int64_t offset(std::span<const int64_t> coord) const;
+
+    int64_t words() const { return int64_t(data.size()); }
+};
+
+/**
+ * Allocate all tensors of @p problem with halo-aware extents, filled with
+ * a deterministic pseudo-random pattern (outputs zeroed).
+ */
+std::vector<DenseTensor> makeTensors(const Problem &problem, Rng &rng);
+
+/**
+ * Execute @p problem naively: for every in-bounds loop-nest point,
+ * multiply all input-tensor operands and accumulate into the output.
+ * This is exactly Equations 2-4 for the respective algorithms.
+ */
+void runReference(const Problem &problem, std::vector<DenseTensor> &tensors);
+
+/**
+ * Map a loop-nest point to the coordinate tuple of tensor @p t
+ * (applies the affine projections).
+ */
+std::vector<int64_t> tensorPoint(const AlgorithmSpec &algo, size_t t,
+                                 std::span<const int64_t> point);
+
+} // namespace mm

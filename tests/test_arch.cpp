@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Accelerator-description tests: the paper's configuration values and
+ * basic derived quantities.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/accelerator.hpp"
+
+namespace mm {
+namespace {
+
+TEST(Accelerator, PaperDefaultMatchesSection512)
+{
+    AcceleratorSpec a = AcceleratorSpec::paperDefault();
+    EXPECT_EQ(a.numPes, 256);
+    EXPECT_DOUBLE_EQ(a.frequencyGhz, 1.0);
+    ASSERT_EQ(a.levels.size(), size_t(kNumMemLevels));
+
+    // 64 KB private L1, 512 KB shared L2 (Section 5.1.2).
+    EXPECT_DOUBLE_EQ(a.level(MemLevel::L1).capacityBytes, 64.0 * 1024.0);
+    EXPECT_TRUE(a.level(MemLevel::L1).perPe);
+    EXPECT_DOUBLE_EQ(a.level(MemLevel::L2).capacityBytes, 512.0 * 1024.0);
+    EXPECT_FALSE(a.level(MemLevel::L2).perPe);
+    EXPECT_TRUE(std::isinf(a.level(MemLevel::DRAM).capacityBytes));
+
+    EXPECT_DOUBLE_EQ(a.peakMacsPerCycle(), 256.0);
+}
+
+TEST(Accelerator, EnergyHierarchyIsMonotone)
+{
+    // Accessing farther levels must cost more per word, or the reuse
+    // analysis would reward nonsense mappings.
+    for (auto a :
+         {AcceleratorSpec::paperDefault(), AcceleratorSpec::tinyDefault()}) {
+        EXPECT_LT(a.level(MemLevel::L1).energyPerWordPj,
+                  a.level(MemLevel::L2).energyPerWordPj);
+        EXPECT_LT(a.level(MemLevel::L2).energyPerWordPj,
+                  a.level(MemLevel::DRAM).energyPerWordPj);
+        EXPECT_LT(a.macEnergyPj, a.level(MemLevel::L1).energyPerWordPj);
+    }
+}
+
+TEST(Accelerator, BanksDivideCapacityIntoWholeWords)
+{
+    AcceleratorSpec a = AcceleratorSpec::paperDefault();
+    for (int lvl = 0; lvl < kNumOnChipLevels; ++lvl) {
+        const MemLevelSpec &spec = a.levels[size_t(lvl)];
+        EXPECT_GT(spec.banks, 0);
+        double bankBytes = spec.capacityBytes / spec.banks;
+        EXPECT_GE(bankBytes, a.wordBytes);
+    }
+}
+
+TEST(Accelerator, TinyVariantIsSmaller)
+{
+    AcceleratorSpec paper = AcceleratorSpec::paperDefault();
+    AcceleratorSpec tiny = AcceleratorSpec::tinyDefault();
+    EXPECT_LT(tiny.numPes, paper.numPes);
+    EXPECT_LT(tiny.level(MemLevel::L1).capacityBytes,
+              paper.level(MemLevel::L1).capacityBytes);
+    EXPECT_LT(tiny.level(MemLevel::L2).capacityBytes,
+              paper.level(MemLevel::L2).capacityBytes);
+}
+
+} // namespace
+} // namespace mm

@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Unit and property tests for the common substrate: factorization
+ * tables, permutations, statistics, RNG determinism and env parsing.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <set>
+
+#include <sstream>
+
+#include "common/clock.hpp"
+#include "common/env.hpp"
+#include "common/error.hpp"
+#include "common/factorization.hpp"
+#include "common/permutation.hpp"
+#include "common/stats.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+
+namespace mm {
+namespace {
+
+TEST(Divisors, SmallValues)
+{
+    EXPECT_EQ(divisors(1), (std::vector<int64_t>{1}));
+    EXPECT_EQ(divisors(12), (std::vector<int64_t>{1, 2, 3, 4, 6, 12}));
+    EXPECT_EQ(divisors(13), (std::vector<int64_t>{1, 13}));
+}
+
+/** Brute-force count of legal ordered tuples for cross-checking. */
+int64_t
+bruteCount(int64_t bound, int slots, int64_t maxFactor, int64_t padLimit)
+{
+    if (slots == 0)
+        return 0;
+    std::vector<int64_t> stack(size_t(slots), 1);
+    int64_t count = 0;
+    // Odometer over all tuples with entries in [1, maxFactor].
+    while (true) {
+        int64_t p = 1;
+        for (int64_t f : stack)
+            p *= f;
+        if (p >= bound && p <= padLimit)
+            ++count;
+        size_t i = stack.size();
+        while (i > 0) {
+            --i;
+            if (++stack[i] <= maxFactor)
+                break;
+            stack[i] = 1;
+            if (i == 0)
+                return count;
+        }
+    }
+}
+
+TEST(FactorizationTable, CountMatchesBruteForce)
+{
+    for (int64_t bound : {1, 2, 3, 5, 6, 8, 12, 16}) {
+        for (int slots : {1, 2, 3, 4}) {
+            FactorizationTable table(bound, slots);
+            int64_t expect = bruteCount(bound, slots,
+                                        table.maxFactorValue(),
+                                        table.padLimitValue());
+            EXPECT_EQ(table.count(), expect)
+                << "bound=" << bound << " slots=" << slots;
+        }
+    }
+}
+
+TEST(FactorizationTable, BoundOneHasSingleTuple)
+{
+    FactorizationTable table(1, 4);
+    EXPECT_EQ(table.count(), 1);
+    Rng rng(7);
+    auto f = table.sample(rng);
+    EXPECT_EQ(f, (std::vector<int64_t>{1, 1, 1, 1}));
+}
+
+TEST(FactorizationTable, SamplesAreAlwaysLegal)
+{
+    Rng rng(42);
+    for (int64_t bound : {3, 7, 28, 112, 256}) {
+        const auto &table = factorTable(bound, 4);
+        for (int i = 0; i < 200; ++i) {
+            auto f = table.sample(rng);
+            EXPECT_TRUE(table.contains(f)) << "bound=" << bound;
+        }
+    }
+}
+
+TEST(FactorizationTable, SamplingIsUniform)
+{
+    // chi-squared-style sanity: every legal tuple of a small space should
+    // appear with roughly equal frequency.
+    FactorizationTable table(6, 2);
+    Rng rng(1);
+    std::map<std::vector<int64_t>, int> hits;
+    const int draws = 20000;
+    for (int i = 0; i < draws; ++i)
+        ++hits[table.sample(rng)];
+    EXPECT_EQ(int64_t(hits.size()), table.count());
+    double expect = double(draws) / double(table.count());
+    for (const auto &[tuple, n] : hits) {
+        EXPECT_NEAR(double(n), expect, 0.25 * expect)
+            << join(tuple, "x");
+    }
+}
+
+TEST(FactorizationTable, ContainsRejectsIllegal)
+{
+    FactorizationTable table(8, 3);
+    // pad limit for bound 8: 8 + 8/4 = 10.
+    EXPECT_EQ(table.padLimitValue(), 10);
+    EXPECT_TRUE(table.contains(std::vector<int64_t>{2, 2, 2}));
+    EXPECT_TRUE(table.contains(std::vector<int64_t>{9, 1, 1}));  // padded
+    EXPECT_TRUE(table.contains(std::vector<int64_t>{5, 1, 2}));  // = 10
+    EXPECT_FALSE(table.contains(std::vector<int64_t>{1, 1, 1})); // under
+    EXPECT_FALSE(table.contains(std::vector<int64_t>{8, 1, 2})); // 16 > 10
+    EXPECT_FALSE(table.contains(std::vector<int64_t>{0, 8, 1})); // f < 1
+    EXPECT_FALSE(table.contains(std::vector<int64_t>{2, 2}));    // arity
+}
+
+TEST(FactorizationTable, RepairIsIdempotentOnLegalTuples)
+{
+    Rng rng(3);
+    const auto &table = factorTable(28, 4);
+    for (int i = 0; i < 100; ++i) {
+        auto f = table.sample(rng);
+        auto fixed = table.repair(f, 3);
+        EXPECT_EQ(fixed, f);
+    }
+}
+
+TEST(FactorizationTable, RepairFixesArbitraryTuples)
+{
+    const auto &table = factorTable(28, 4);
+    Rng rng(11);
+    for (int i = 0; i < 500; ++i) {
+        std::vector<int64_t> f = {rng.uniformInt(-3, 80),
+                                  rng.uniformInt(-3, 80),
+                                  rng.uniformInt(-3, 80),
+                                  rng.uniformInt(-3, 80)};
+        auto fixed = table.repair(f, 3);
+        EXPECT_TRUE(table.contains(fixed)) << join(f, ",");
+    }
+}
+
+TEST(FactorizationTable, RepairPrefersAdjustSlot)
+{
+    // A tuple that only under-shoots should be fixed by raising the
+    // chosen slot, leaving others untouched.
+    FactorizationTable table(32, 4);
+    auto fixed = table.repair(std::vector<int64_t>{2, 1, 2, 1}, 3);
+    EXPECT_EQ(fixed[0], 2);
+    EXPECT_EQ(fixed[1], 1);
+    EXPECT_EQ(fixed[2], 2);
+    EXPECT_GE(fixed[3] * 4, 32);
+}
+
+class FactorizationSweep
+    : public ::testing::TestWithParam<std::tuple<int64_t, int>>
+{};
+
+TEST_P(FactorizationSweep, SampleContainsRepairAgree)
+{
+    auto [bound, slots] = GetParam();
+    const auto &table = factorTable(bound, slots);
+    Rng rng(uint64_t(bound * 31 + slots));
+    for (int i = 0; i < 50; ++i) {
+        auto f = table.sample(rng);
+        ASSERT_TRUE(table.contains(f));
+        EXPECT_EQ(table.repair(f, slots - 1), f);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Bounds, FactorizationSweep,
+    ::testing::Combine(::testing::Values<int64_t>(2, 3, 13, 27, 110, 384,
+                                                  1024, 4096),
+                       ::testing::Values(2, 3, 4)));
+
+TEST(Permutation, RoundTrip)
+{
+    Rng rng(5);
+    for (int n : {1, 2, 5, 7}) {
+        for (int i = 0; i < 20; ++i) {
+            auto order = randomPerm(n, rng);
+            ASSERT_TRUE(isPermutation(order));
+            auto ranks = ranksOf(order);
+            EXPECT_EQ(orderFromRanks(ranks), order);
+        }
+    }
+}
+
+TEST(Permutation, OrderFromScoresSortsAscending)
+{
+    std::vector<double> scores = {2.5, -1.0, 0.25};
+    auto order = orderFromScores(scores);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 0}));
+}
+
+TEST(Permutation, OrderFromScoresBreaksTiesStably)
+{
+    std::vector<double> scores = {1.0, 1.0, 0.0};
+    auto order = orderFromScores(scores);
+    EXPECT_EQ(order, (std::vector<int>{2, 0, 1}));
+}
+
+TEST(Permutation, Factorial)
+{
+    EXPECT_DOUBLE_EQ(factorial(0), 1.0);
+    EXPECT_DOUBLE_EQ(factorial(7), 5040.0);
+}
+
+TEST(RunningStat, MatchesBatchFormulas)
+{
+    RunningStat rs;
+    std::vector<double> xs = {1.0, 4.0, -2.0, 8.5, 0.0};
+    for (double x : xs)
+        rs.push(x);
+    EXPECT_EQ(rs.count(), 5);
+    EXPECT_NEAR(rs.mean(), mean(xs), 1e-12);
+    EXPECT_NEAR(rs.stddev(), stddev(xs), 1e-12);
+    EXPECT_DOUBLE_EQ(rs.min(), -2.0);
+    EXPECT_DOUBLE_EQ(rs.max(), 8.5);
+}
+
+TEST(Stats, GeomeanAndQuantile)
+{
+    std::vector<double> v = {1.0, 10.0, 100.0};
+    EXPECT_NEAR(geomean(v), 10.0, 1e-9);
+    EXPECT_NEAR(quantile(v, 0.5), 10.0, 1e-9);
+    EXPECT_NEAR(quantile(v, 0.0), 1.0, 1e-9);
+    EXPECT_NEAR(quantile(v, 1.0), 100.0, 1e-9);
+}
+
+TEST(Rng, DeterministicAndForkIndependent)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(a.raw(), b.raw());
+    Rng parent(9);
+    Rng child = parent.fork();
+    // Child stream differs from the parent continuation.
+    bool anyDiff = false;
+    for (int i = 0; i < 8; ++i)
+        anyDiff |= parent.raw() != child.raw();
+    EXPECT_TRUE(anyDiff);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive)
+{
+    Rng rng(77);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 500; ++i)
+        seen.insert(rng.uniformInt(2, 5));
+    EXPECT_EQ(seen, (std::set<int64_t>{2, 3, 4, 5}));
+}
+
+TEST(Env, ParsesAndDefaults)
+{
+    ::setenv("MM_TEST_INT", "42", 1);
+    ::setenv("MM_TEST_DOUBLE", "2.5", 1);
+    ::setenv("MM_TEST_BAD", "nope", 1);
+    EXPECT_EQ(envInt("MM_TEST_INT", 7), 42);
+    EXPECT_EQ(envInt("MM_TEST_MISSING", 7), 7);
+    EXPECT_DOUBLE_EQ(envDouble("MM_TEST_DOUBLE", 1.0), 2.5);
+    EXPECT_EQ(envStr("MM_TEST_MISSING", "dflt"), "dflt");
+    EXPECT_THROW(envInt("MM_TEST_BAD", 0), FatalError);
+    ::unsetenv("MM_TEST_INT");
+    ::unsetenv("MM_TEST_DOUBLE");
+    ::unsetenv("MM_TEST_BAD");
+}
+
+TEST(Error, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("boom"), FatalError);
+}
+
+TEST(StringUtil, JoinAndFormat)
+{
+    EXPECT_EQ(join(std::vector<int>{1, 2, 3}, "-"), "1-2-3");
+    EXPECT_EQ(strCat("a", 1, "b"), "a1b");
+    EXPECT_EQ(fmtDouble(3.14159, 3), "3.14");
+}
+
+TEST(TableOutput, AlignsAndEchoesCsv)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow("beta", {2.5});
+    EXPECT_EQ(t.rowCount(), 2u);
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("# csv"), std::string::npos);
+    EXPECT_NE(out.find("# alpha,1"), std::string::npos);
+    EXPECT_NE(out.find("# beta,2.5"), std::string::npos);
+}
+
+TEST(TableOutput, RejectsArityMismatch)
+{
+    Table t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "arity");
+}
+
+TEST(WallTimer, MonotoneAndResettable)
+{
+    WallTimer timer;
+    double t1 = timer.elapsedSec();
+    double t2 = timer.elapsedSec();
+    EXPECT_GE(t2, t1);
+    timer.reset();
+    EXPECT_GE(timer.elapsedSec(), 0.0);
+}
+
+} // namespace
+} // namespace mm

@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Cost-model tests: an exact hand-computed case, conservation and
+ * monotonicity invariants over random mappings, loop-order reuse
+ * effects, and the algorithmic lower bound.
+ */
+#include <gtest/gtest.h>
+
+#include "costmodel/cost_model.hpp"
+#include "mapping/moves.hpp"
+
+namespace mm {
+namespace {
+
+/** The hand-analyzed 1D-Conv case from the model documentation. */
+struct HandCase
+{
+    AcceleratorSpec arch = AcceleratorSpec::tinyDefault();
+    Problem problem = makeProblem(conv1dAlgo(), "hand", {4, 2});
+    MapSpace space{arch, problem};
+    Mapping m;
+
+    HandCase()
+    {
+        // X: L1=2, sp=1, L2=2, DRAM=1 (product 4); R: L1=2 (product 2).
+        m.tiling[size_t(MemLevel::L1)] = {2, 2};
+        m.spatial = {1, 1};
+        m.tiling[size_t(MemLevel::L2)] = {2, 1};
+        m.tiling[size_t(MemLevel::DRAM)] = {1, 1};
+        for (auto &order : m.loopOrder)
+            order = {0, 1}; // X outer, R inner everywhere
+        m.bufferAlloc[0] = {2, 2, 2};
+        m.bufferAlloc[1] = {4, 4, 4};
+        EXPECT_TRUE(space.isMember(m)) << space.validityError(m);
+    }
+};
+
+TEST(CostModel, HandComputedAccessCounts)
+{
+    HandCase h;
+    CostModel model(h.space);
+    CostResult res = model.evaluate(h.m);
+
+    // Footprints: I: F1=3, Fsp=3, F2=5, Ffull=5; F: 2,2,2,2; O: 2,2,4,4.
+    // Temporal loops: DRAM block empty; L2 block [(X,2)];
+    // L1 block [(X,2),(R,2)].
+    const size_t I = 0, F = 1, O = 2;
+    const auto L1 = size_t(MemLevel::L1);
+    const auto L2 = size_t(MemLevel::L2);
+    const auto DR = size_t(MemLevel::DRAM);
+
+    // Inputs: rfDram=1, rfL2=2 (X relevant), rfL1=8 (R innermost).
+    EXPECT_DOUBLE_EQ(res.access[I][DR].reads, 5.0);
+    EXPECT_DOUBLE_EQ(res.access[I][L2].writes, 5.0);
+    EXPECT_DOUBLE_EQ(res.access[I][L2].reads, 3.0 * 2.0);
+    EXPECT_DOUBLE_EQ(res.access[I][L1].writes, 3.0 * 2.0);
+    EXPECT_DOUBLE_EQ(res.access[I][L1].reads, 8.0);
+
+    // Filters: irrelevant to the L2 X loop -> stationary (rfL2=1).
+    EXPECT_DOUBLE_EQ(res.access[F][DR].reads, 2.0);
+    EXPECT_DOUBLE_EQ(res.access[F][L2].reads, 2.0);
+    EXPECT_DOUBLE_EQ(res.access[F][L1].writes, 2.0);
+    EXPECT_DOUBLE_EQ(res.access[F][L1].reads, 8.0);
+
+    // Outputs: accumulation completes within L1 (R inside) -> no RMW.
+    EXPECT_DOUBLE_EQ(res.access[O][L1].writes, 4.0);
+    EXPECT_DOUBLE_EQ(res.access[O][L1].reads, 0.0);
+    EXPECT_DOUBLE_EQ(res.access[O][L2].writes, 4.0);
+    EXPECT_DOUBLE_EQ(res.access[O][L2].reads, 0.0);
+    EXPECT_DOUBLE_EQ(res.access[O][DR].writes, 4.0);
+    EXPECT_DOUBLE_EQ(res.access[O][DR].reads, 0.0);
+
+    EXPECT_DOUBLE_EQ(res.nocWords, 6.0 + 2.0 + 4.0);
+    EXPECT_DOUBLE_EQ(res.paddedMacs, 8.0);
+    EXPECT_DOUBLE_EQ(res.actualMacs, 8.0);
+    EXPECT_DOUBLE_EQ(res.computeCycles, 8.0);
+    EXPECT_DOUBLE_EQ(res.cycles, 8.0);
+
+    // Energy identity: totals equal component sums.
+    double perLevel = 0.0;
+    for (size_t t = 0; t < 3; ++t)
+        for (int lvl = 0; lvl < kNumMemLevels; ++lvl)
+            perLevel += res.energyPj[t][size_t(lvl)];
+    EXPECT_NEAR(res.totalEnergyPj,
+                perLevel + res.macEnergyPj + res.nocEnergyPj, 1e-9);
+
+    // Meta-statistics arity for a 3-tensor problem: 3*3 + 3 = 12.
+    EXPECT_EQ(res.metaStats().size(), 12u);
+    EXPECT_EQ(CostResult::metaStatCount(4), 15u);
+}
+
+TEST(CostModel, RegisterStationarityFollowsL1Order)
+{
+    // Swapping the L1 loop order to [R, X] makes the filter innermost-
+    // stationary dimension X, halving filter L1 reads (rf 8 -> 4).
+    HandCase h;
+    h.m.loopOrder[size_t(MemLevel::L1)] = {1, 0}; // R outer, X inner
+    ASSERT_TRUE(h.space.isMember(h.m));
+    CostModel model(h.space);
+    CostResult res = model.evaluate(h.m);
+    EXPECT_DOUBLE_EQ(res.access[1][size_t(MemLevel::L1)].reads, 4.0);
+    // Inputs stay at rf=8 (X is relevant to inputs too).
+    EXPECT_DOUBLE_EQ(res.access[0][size_t(MemLevel::L1)].reads, 8.0);
+    // Outputs now see read-modify-write at L1: updates 8, first 4.
+    EXPECT_DOUBLE_EQ(res.access[2][size_t(MemLevel::L1)].writes, 8.0);
+    EXPECT_DOUBLE_EQ(res.access[2][size_t(MemLevel::L1)].reads, 4.0);
+}
+
+struct RandomModelFixture
+{
+    AcceleratorSpec arch = AcceleratorSpec::paperDefault();
+    std::vector<Problem> problems = table1All();
+};
+
+class CostModelSweep : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(CostModelSweep, InvariantsHoldOnRandomMappings)
+{
+    RandomModelFixture fx;
+    const Problem &p = fx.problems[size_t(GetParam())];
+    MapSpace space(fx.arch, p);
+    CostModel model(space);
+    const LowerBound &lb = model.lowerBound();
+    Rng rng(uint64_t(GetParam()) * 7 + 1);
+
+    for (int i = 0; i < 40; ++i) {
+        Mapping m = space.randomValid(rng);
+        CostResult res = model.evaluate(m);
+
+        // Cost is positive and finite.
+        EXPECT_GT(res.totalEnergyPj, 0.0);
+        EXPECT_TRUE(std::isfinite(res.totalEnergyPj));
+        EXPECT_GT(res.cycles, 0.0);
+
+        // Delay cannot beat the compute bound; utilization in (0, 1].
+        EXPECT_GE(res.cycles, res.computeCycles - 1e-9);
+        EXPECT_GT(res.utilization, 0.0);
+        EXPECT_LE(res.utilization, 1.0 + 1e-9);
+
+        // Padded work bounds real work.
+        EXPECT_GE(res.paddedMacs, res.actualMacs - 1e-6);
+
+        for (size_t t = 0; t < space.tensorCount(); ++t) {
+            const auto &acc = res.access[t];
+            bool output = p.algo->tensors[t].isOutput;
+            double words = double(p.tensorWords(t));
+            if (!output) {
+                // Each input word enters the chip at least once.
+                EXPECT_GE(acc[size_t(MemLevel::DRAM)].reads,
+                          words - 1e-6)
+                    << p.name << " tensor " << t;
+                // Fills into L2 equal DRAM reads.
+                EXPECT_DOUBLE_EQ(acc[size_t(MemLevel::L2)].writes,
+                                 acc[size_t(MemLevel::DRAM)].reads);
+                // Serving reads never exceed fills times... (sanity:
+                // both positive).
+                EXPECT_GT(acc[size_t(MemLevel::L2)].reads, 0.0);
+            } else {
+                // Every output word is written to DRAM at least once.
+                EXPECT_GE(acc[size_t(MemLevel::DRAM)].writes,
+                          words - 1e-6);
+                // RMW reads are strictly fewer than writes.
+                EXPECT_LT(acc[size_t(MemLevel::DRAM)].reads,
+                          acc[size_t(MemLevel::DRAM)].writes + 1e-9);
+            }
+        }
+
+        // The algorithmic minimum really is a lower bound.
+        EXPECT_GE(res.totalEnergyPj, lb.energyPj * 0.999);
+        EXPECT_GE(res.cycles, lb.cycles * 0.999);
+        EXPECT_GE(res.edp(), lb.edp() * 0.999);
+        EXPECT_GE(model.normalizedEdp(m), 0.999);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, CostModelSweep, ::testing::Range(0, 8));
+
+TEST(CostModel, PaddingIsCharged)
+{
+    // Same problem, two mappings identical except one pads a dimension.
+    AcceleratorSpec arch = AcceleratorSpec::tinyDefault();
+    Problem p = makeProblem(conv1dAlgo(), "pad", {12, 3});
+    MapSpace space(arch, p);
+    CostModel model(space);
+
+    Mapping exact;
+    exact.tiling[size_t(MemLevel::L1)] = {3, 3};
+    exact.spatial = {1, 1};
+    exact.tiling[size_t(MemLevel::L2)] = {2, 1};
+    exact.tiling[size_t(MemLevel::DRAM)] = {2, 1};
+    for (auto &order : exact.loopOrder)
+        order = {0, 1};
+    exact.bufferAlloc[0] = {2, 2, 2};
+    exact.bufferAlloc[1] = {4, 4, 4};
+    ASSERT_TRUE(space.isMember(exact)) << space.validityError(exact);
+
+    Mapping padded = exact;
+    padded.tiling[size_t(MemLevel::L1)][1] = 4; // R padded: 4 in [3, 4]
+    ASSERT_TRUE(space.isMember(padded)) << space.validityError(padded);
+
+    EXPECT_GT(model.evaluate(padded).paddedMacs,
+              model.evaluate(exact).paddedMacs);
+    EXPECT_GT(model.edp(padded), model.edp(exact));
+}
+
+TEST(CostModel, MoreParallelismReducesComputeCycles)
+{
+    AcceleratorSpec arch = AcceleratorSpec::paperDefault();
+    Problem p = cnnProblem("par", 16, 128, 128, 28, 28, 3, 3);
+    MapSpace space(arch, p);
+    CostModel model(space);
+
+    Mapping serial;
+    for (auto &t : serial.tiling)
+        t.assign(7, 1);
+    serial.spatial.assign(7, 1);
+    // All trips at DRAM level: fully sequential.
+    for (size_t d = 0; d < 7; ++d)
+        serial.tiling[size_t(MemLevel::DRAM)][d] = p.bounds[d];
+    for (auto &order : serial.loopOrder)
+        order = {0, 1, 2, 3, 4, 5, 6};
+    serial.bufferAlloc[0] = {6, 5, 5};
+    serial.bufferAlloc[1] = {11, 11, 10};
+    ASSERT_TRUE(space.isMember(serial)) << space.validityError(serial);
+
+    Mapping parallel = serial;
+    parallel.spatial[1] = 128; // K across PEs
+    parallel.tiling[size_t(MemLevel::DRAM)][1] = 1;
+    parallel = space.project(parallel);
+    ASSERT_TRUE(space.isMember(parallel));
+    ASSERT_EQ(parallel.usedPes(), 128);
+
+    EXPECT_LT(model.evaluate(parallel).computeCycles,
+              model.evaluate(serial).computeCycles);
+}
+
+TEST(CostModel, OuterIrrelevantLoopForcesRefetch)
+{
+    // DRAM-level loop over K is irrelevant to Inputs: putting it
+    // outermost forces the input working set to be re-read per k-tile,
+    // while putting it innermost (with nothing below) lets inputs stay.
+    AcceleratorSpec arch = AcceleratorSpec::paperDefault();
+    Problem p = cnnProblem("reuse", 4, 64, 64, 12, 12, 3, 3);
+    MapSpace space(arch, p);
+    CostModel model(space);
+    Rng rng(3);
+
+    Mapping m = space.randomValid(rng);
+    // Force a DRAM block with K and C trips only.
+    for (size_t d = 0; d < 7; ++d) {
+        int64_t total = m.dimProduct(d);
+        m.tiling[size_t(MemLevel::DRAM)][d] = 1;
+        m.tiling[size_t(MemLevel::L2)][d] = 1;
+        m.tiling[size_t(MemLevel::L1)][d] = 1;
+        m.spatial[d] = 1;
+        // Rebuild: put everything at L1 except K, C at DRAM.
+        if (d == 1 || d == 2) {
+            m.tiling[size_t(MemLevel::DRAM)][d] = total;
+        } else {
+            m.tiling[size_t(MemLevel::L1)][d] = total;
+        }
+    }
+    m = space.project(m);
+    ASSERT_TRUE(space.isMember(m));
+
+    // K outermost at DRAM: inputs refetched per K tile.
+    Mapping kOuter = m;
+    kOuter.loopOrder[size_t(MemLevel::DRAM)] = {1, 2, 0, 3, 4, 5, 6};
+    // K innermost at DRAM: trailing irrelevant loop -> input stationary.
+    Mapping kInner = m;
+    kInner.loopOrder[size_t(MemLevel::DRAM)] = {2, 0, 3, 4, 5, 6, 1};
+
+    double readsOuter =
+        model.evaluate(kOuter).access[0][size_t(MemLevel::DRAM)].reads;
+    double readsInner =
+        model.evaluate(kInner).access[0][size_t(MemLevel::DRAM)].reads;
+    EXPECT_GT(readsOuter, readsInner);
+}
+
+TEST(LowerBound, MatchesClosedForm)
+{
+    AcceleratorSpec arch = AcceleratorSpec::paperDefault();
+    Problem p = makeProblem(conv1dAlgo(), "lb", {16, 4});
+    LowerBound lb = computeLowerBound(arch, p);
+
+    double words = (16 + 4 - 1) + 4 + 16;
+    double perWord = 2.5 + 12.0 + 200.0;
+    double macE = 16.0 * 4.0 * 0.56;
+    EXPECT_DOUBLE_EQ(lb.energyPj, words * perWord + macE);
+    EXPECT_DOUBLE_EQ(lb.cycles, 64.0 / 256.0);
+    EXPECT_DOUBLE_EQ(lb.edp(), lb.energyPj * lb.cycles);
+}
+
+TEST(CostModel, EdpNormalizationUsesLowerBound)
+{
+    auto arch = AcceleratorSpec::paperDefault();
+    Problem p = mttkrpProblem("norm", 128, 256, 128, 64);
+    MapSpace space(arch, p);
+    CostModel model(space);
+    Rng rng(4);
+    Mapping m = space.randomValid(rng);
+    EXPECT_NEAR(model.normalizedEdp(m),
+                model.edp(m) / model.lowerBound().edp(), 1e-9);
+}
+
+} // namespace
+} // namespace mm

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Deeper cost-model property tests: multicast accounting, bandwidth-
+ * bound delay, energy-table monotonicity, spatial scaling, and an
+ * MTTKRP accounting case.
+ */
+#include <gtest/gtest.h>
+
+#include "costmodel/cost_model.hpp"
+
+namespace mm {
+namespace {
+
+/** A fully-specified MTTKRP mapping for accounting checks. */
+struct MttkrpCase
+{
+    AcceleratorSpec arch = AcceleratorSpec::paperDefault();
+    Problem problem = mttkrpProblem("acc", 8, 8, 4, 4);
+    MapSpace space{arch, problem};
+    Mapping m;
+
+    MttkrpCase()
+    {
+        enum { I, J, K, L };
+        for (auto &t : m.tiling)
+            t.assign(4, 1);
+        m.spatial.assign(4, 1);
+        // I: L1=2, spatial=2, L2=2, DRAM=1; J: L1=8; K: L2=4; L: DRAM=4.
+        m.tiling[size_t(MemLevel::L1)][I] = 2;
+        m.spatial[I] = 2;
+        m.tiling[size_t(MemLevel::L2)][I] = 2;
+        m.tiling[size_t(MemLevel::L1)][J] = 8;
+        m.tiling[size_t(MemLevel::L2)][K] = 4;
+        m.tiling[size_t(MemLevel::DRAM)][L] = 4;
+        for (auto &order : m.loopOrder)
+            order = {I, J, K, L};
+        m.bufferAlloc[0] = {4, 4, 4, 4};
+        m.bufferAlloc[1] = {8, 8, 8, 8};
+        EXPECT_TRUE(space.isMember(m)) << space.validityError(m);
+    }
+};
+
+TEST(CostModelProps, MttkrpAccounting)
+{
+    MttkrpCase c;
+    CostModel model(c.space);
+    CostResult res = model.evaluate(c.m);
+    // Padded space = 8*8*4*4 = 1024 MACs over 2 PEs (spatial I = 2).
+    EXPECT_DOUBLE_EQ(res.paddedMacs, 1024.0);
+    EXPECT_DOUBLE_EQ(res.actualMacs, 1024.0);
+    EXPECT_DOUBLE_EQ(res.computeCycles, 512.0);
+
+    // Tensor B[k,j] is irrelevant to the spatial dim I: the L2 read
+    // port serves the multicast union (one per-PE tile), while per-PE
+    // L1 fills are duplicated across both PEs.
+    const size_t B = 1;
+    const auto &acc = res.access[B];
+    double l2Reads = acc[size_t(MemLevel::L2)].reads;
+    double l1Fills = acc[size_t(MemLevel::L1)].writes;
+    EXPECT_DOUBLE_EQ(l1Fills, 2.0 * l2Reads);
+
+    // Output O[i,j]: the reduction loop K sits above O's relevant
+    // loops inside the combined nest, so partial sums are re-read at
+    // L2; the DRAM-level loop over L is trailing-irrelevant for O, so
+    // accumulation completes on-chip and DRAM sees no read-modify-write.
+    const size_t O = 3;
+    EXPECT_GT(res.access[O][size_t(MemLevel::L2)].reads, 0.0);
+    EXPECT_DOUBLE_EQ(res.access[O][size_t(MemLevel::DRAM)].reads, 0.0);
+    // Every output word still reaches DRAM at least once.
+    EXPECT_GE(res.access[O][size_t(MemLevel::DRAM)].writes,
+              double(c.problem.tensorWords(O)));
+}
+
+TEST(CostModelProps, MulticastCountsUnionOnce)
+{
+    // Spatially partitioning a dimension irrelevant to a tensor leaves
+    // the L2 serve count unchanged (multicast) while total L1 fills
+    // scale with the PE count.
+    MttkrpCase base;
+    CostModel model(base.space);
+    CostResult r2 = model.evaluate(base.m);
+
+    Mapping wider = base.m;
+    enum { I, J, K, L };
+    wider.spatial[I] = 4;                            // 2 -> 4 PEs
+    wider.tiling[size_t(MemLevel::L2)][I] = 1;
+    ASSERT_TRUE(base.space.isMember(wider))
+        << base.space.validityError(wider);
+    CostResult r4 = model.evaluate(wider);
+
+    const size_t B = 1; // irrelevant to I
+    EXPECT_DOUBLE_EQ(
+        r4.access[B][size_t(MemLevel::L1)].writes
+            / r4.access[B][size_t(MemLevel::L2)].reads,
+        4.0);
+    EXPECT_DOUBLE_EQ(
+        r2.access[B][size_t(MemLevel::L1)].writes
+            / r2.access[B][size_t(MemLevel::L2)].reads,
+        2.0);
+}
+
+TEST(CostModelProps, BandwidthBoundDelay)
+{
+    // Starve DRAM bandwidth: delay must become bandwidth-bound and
+    // exceed the compute bound.
+    AcceleratorSpec arch = AcceleratorSpec::paperDefault();
+    arch.levels[size_t(MemLevel::DRAM)].bandwidthWordsPerCycle = 0.01;
+    Problem p = cnnProblem("bw", 4, 64, 64, 12, 12, 3, 3);
+    MapSpace space(arch, p);
+    CostModel model(space);
+    Rng rng(5);
+    Mapping m = space.randomValid(rng);
+    CostResult res = model.evaluate(m);
+    EXPECT_GT(res.bandwidthCycles[size_t(MemLevel::DRAM)],
+              res.computeCycles);
+    EXPECT_DOUBLE_EQ(res.cycles,
+                     res.bandwidthCycles[size_t(MemLevel::DRAM)]);
+}
+
+TEST(CostModelProps, EnergyTableMonotonicity)
+{
+    // Doubling a level's per-access energy can only increase total
+    // energy, and leaves access counts untouched.
+    AcceleratorSpec cheap = AcceleratorSpec::paperDefault();
+    AcceleratorSpec dear = cheap;
+    dear.levels[size_t(MemLevel::DRAM)].energyPerWordPj *= 2.0;
+
+    Problem p = mttkrpProblem("e", 64, 128, 64, 32);
+    MapSpace cheapSpace(cheap, p), dearSpace(dear, p);
+    CostModel cheapModel(cheapSpace), dearModel(dearSpace);
+    Rng rng(7);
+    for (int i = 0; i < 20; ++i) {
+        Mapping m = cheapSpace.randomValid(rng);
+        ASSERT_TRUE(dearSpace.isMember(m));
+        CostResult a = cheapModel.evaluate(m);
+        CostResult b = dearModel.evaluate(m);
+        EXPECT_GT(b.totalEnergyPj, a.totalEnergyPj);
+        for (size_t t = 0; t < 4; ++t)
+            for (int lvl = 0; lvl < kNumMemLevels; ++lvl) {
+                EXPECT_DOUBLE_EQ(a.access[t][size_t(lvl)].reads,
+                                 b.access[t][size_t(lvl)].reads);
+                EXPECT_DOUBLE_EQ(a.access[t][size_t(lvl)].writes,
+                                 b.access[t][size_t(lvl)].writes);
+            }
+    }
+}
+
+TEST(CostModelProps, EnergyIdentityAcrossComponents)
+{
+    AcceleratorSpec arch = AcceleratorSpec::paperDefault();
+    Problem p = cnnProblem("id", 8, 96, 96, 14, 14, 3, 3);
+    MapSpace space(arch, p);
+    CostModel model(space);
+    Rng rng(9);
+    for (int i = 0; i < 25; ++i) {
+        CostResult res = model.evaluate(space.randomValid(rng));
+        double sum = res.macEnergyPj + res.nocEnergyPj;
+        for (size_t t = 0; t < space.tensorCount(); ++t)
+            for (int lvl = 0; lvl < kNumMemLevels; ++lvl) {
+                sum += res.energyPj[t][size_t(lvl)];
+                // Per-component energy equals accesses x table entry.
+                EXPECT_NEAR(res.energyPj[t][size_t(lvl)],
+                            res.access[t][size_t(lvl)].total()
+                                * arch.levels[size_t(lvl)].energyPerWordPj,
+                            1e-6 * res.energyPj[t][size_t(lvl)] + 1e-9);
+            }
+        EXPECT_NEAR(sum, res.totalEnergyPj, 1e-6 * sum);
+    }
+}
+
+TEST(CostModelProps, MetaStatsMatchEvaluateFields)
+{
+    AcceleratorSpec arch = AcceleratorSpec::paperDefault();
+    Problem p = mttkrpProblem("ms", 128, 128, 64, 64);
+    MapSpace space(arch, p);
+    CostModel model(space);
+    Rng rng(11);
+    CostResult res = model.evaluate(space.randomValid(rng));
+    auto stats = res.metaStats();
+    ASSERT_EQ(stats.size(), 15u);
+    EXPECT_DOUBLE_EQ(stats[12], res.totalEnergyPj);
+    EXPECT_DOUBLE_EQ(stats[13], res.utilization);
+    EXPECT_DOUBLE_EQ(stats[14], res.cycles);
+    EXPECT_DOUBLE_EQ(stats[0], res.energyPj[0][0]);
+}
+
+TEST(CostModelProps, StationarityReducesRegisterTraffic)
+{
+    // With J innermost at L1, tensor A[i,k,l] (irrelevant to J) enjoys
+    // operand-latch stationarity: its L1 reads shrink by the J trip.
+    MttkrpCase c;
+    enum { I, J, K, L };
+    Mapping jInner = c.m;
+    jInner.loopOrder[size_t(MemLevel::L1)] = {I, K, L, J};
+    Mapping jOuter = c.m;
+    jOuter.loopOrder[size_t(MemLevel::L1)] = {J, I, K, L};
+    CostModel model(c.space);
+    double readsInner =
+        model.evaluate(jInner).access[0][size_t(MemLevel::L1)].reads;
+    double readsOuter =
+        model.evaluate(jOuter).access[0][size_t(MemLevel::L1)].reads;
+    EXPECT_DOUBLE_EQ(readsOuter / readsInner, 8.0); // J trip at L1
+}
+
+} // namespace
+} // namespace mm

@@ -1,0 +1,338 @@
+/**
+ * @file
+ * Map-space tests: sampling validity, projection repair, the 62/40-float
+ * codec, move operators, loop-nest coverage (functional correctness of
+ * mappings) and size estimation.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "mapping/codec.hpp"
+#include "mapping/map_space.hpp"
+#include "mapping/moves.hpp"
+#include "mapping/nest.hpp"
+#include "mapping/printer.hpp"
+
+namespace mm {
+namespace {
+
+struct SpaceFixture
+{
+    AcceleratorSpec arch;
+    Problem problem;
+    MapSpace space;
+
+    SpaceFixture(AcceleratorSpec arch_, Problem problem_)
+        : arch(std::move(arch_)), problem(std::move(problem_)),
+          space(arch, problem)
+    {}
+};
+
+SpaceFixture
+paperCnnSpace()
+{
+    return {AcceleratorSpec::paperDefault(),
+            cnnProblem("ResNet_Conv_4", 16, 256, 256, 14, 14, 3, 3)};
+}
+
+SpaceFixture
+paperMttkrpSpace()
+{
+    return {AcceleratorSpec::paperDefault(),
+            mttkrpProblem("MTTKRP_0", 128, 1024, 4096, 2048)};
+}
+
+SpaceFixture
+tinyConvSpace()
+{
+    return {AcceleratorSpec::tinyDefault(),
+            makeProblem(conv1dAlgo(), "conv1d_tiny", {12, 3})};
+}
+
+TEST(MapSpace, RandomValidIsAlwaysMember)
+{
+    auto fx = paperCnnSpace();
+    Rng rng(1);
+    for (int i = 0; i < 200; ++i) {
+        Mapping m = fx.space.randomValid(rng);
+        EXPECT_TRUE(fx.space.isMember(m)) << fx.space.validityError(m);
+        EXPECT_LE(m.usedPes(), fx.arch.numPes);
+        for (size_t d = 0; d < fx.space.rank(); ++d) {
+            EXPECT_GE(m.dimProduct(d), fx.problem.bounds[d]);
+            EXPECT_LE(m.dimProduct(d), 2 * fx.problem.bounds[d]);
+        }
+    }
+}
+
+class MapSpaceSweep : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(MapSpaceSweep, AllTable1ProblemsSampleValid)
+{
+    auto problems = table1All();
+    auto arch = AcceleratorSpec::paperDefault();
+    const Problem &p = problems[size_t(GetParam())];
+    MapSpace space(arch, p);
+    Rng rng(uint64_t(GetParam()) + 17);
+    for (int i = 0; i < 50; ++i) {
+        Mapping m = space.randomValid(rng);
+        ASSERT_TRUE(space.isMember(m))
+            << p.name << ": " << space.validityError(m);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, MapSpaceSweep,
+                         ::testing::Range(0, 8));
+
+TEST(MapSpace, ProjectIsIdentityOnValidMappings)
+{
+    auto fx = paperMttkrpSpace();
+    Rng rng(2);
+    for (int i = 0; i < 100; ++i) {
+        Mapping m = fx.space.randomValid(rng);
+        EXPECT_EQ(fx.space.project(m), m);
+    }
+}
+
+TEST(MapSpace, ProjectRepairsCorruptedMappings)
+{
+    auto fx = paperCnnSpace();
+    Rng rng(3);
+    for (int i = 0; i < 100; ++i) {
+        Mapping m = fx.space.randomValid(rng);
+        // Corrupt every attribute class.
+        m.tiling[size_t(MemLevel::L1)][0] = 10000;
+        m.spatial[1] = 999;
+        m.loopOrder[size_t(MemLevel::L2)] = {0, 0, 0, 0, 0, 0, 0};
+        m.bufferAlloc[0] = {50, 0, -2};
+        Mapping fixed = fx.space.project(m);
+        EXPECT_TRUE(fx.space.isMember(fixed))
+            << fx.space.validityError(fixed);
+    }
+}
+
+TEST(MapSpace, ProjectIsIdempotent)
+{
+    auto fx = paperCnnSpace();
+    Rng rng(4);
+    for (int i = 0; i < 50; ++i) {
+        Mapping m = fx.space.randomValid(rng);
+        m.tiling[size_t(MemLevel::DRAM)][2] = 77;
+        m.spatial[0] = 40;
+        Mapping once = fx.space.project(m);
+        Mapping twice = fx.space.project(once);
+        EXPECT_EQ(once, twice);
+    }
+}
+
+TEST(MapSpace, CapacityConstraintIsEnforced)
+{
+    auto fx = paperCnnSpace();
+    Rng rng(5);
+    for (int i = 0; i < 100; ++i) {
+        Mapping m = fx.space.randomValid(rng);
+        auto e1 = m.extentsL1();
+        auto e2 = m.extentsL2();
+        for (size_t t = 0; t < fx.space.tensorCount(); ++t) {
+            EXPECT_LE(fx.space.tensorTileBytes(t, e1),
+                      fx.space.allocBytes(0, t, m));
+            EXPECT_LE(fx.space.tensorTileBytes(t, e2),
+                      fx.space.allocBytes(1, t, m));
+        }
+    }
+}
+
+TEST(MapSpace, RejectsUndersizedAccelerator)
+{
+    AcceleratorSpec arch = AcceleratorSpec::paperDefault();
+    arch.levels[0].banks = 2; // fewer banks than CNN's three tensors
+    Problem p = cnnProblem("x", 1, 32, 16, 10, 10, 3, 3);
+    EXPECT_THROW(MapSpace(arch, p), FatalError);
+}
+
+TEST(MapSpace, Log10SizeIsLargeForPaperProblems)
+{
+    auto cnn = paperCnnSpace();
+    auto mtt = paperMttkrpSpace();
+    // Section 5.1.3: ~1e25 for ResNet Conv_4, ~1e19 for MTTKRP_0. Our
+    // estimate counts the same attribute classes; just check order of
+    // magnitude regions and the CNN > MTTKRP ordering.
+    EXPECT_GT(cnn.space.log10Size(), 18.0);
+    EXPECT_LT(cnn.space.log10Size(), 40.0);
+    EXPECT_GT(mtt.space.log10Size(), 12.0);
+    EXPECT_GT(cnn.space.log10Size(), mtt.space.log10Size());
+}
+
+TEST(Codec, FeatureCountsMatchPaper)
+{
+    auto cnn = paperCnnSpace();
+    auto mtt = paperMttkrpSpace();
+    EXPECT_EQ(MappingCodec(cnn.space).featureCount(), 62u);
+    EXPECT_EQ(MappingCodec(mtt.space).featureCount(), 40u);
+}
+
+TEST(Codec, EncodeLayoutSegments)
+{
+    auto fx = paperCnnSpace();
+    MappingCodec codec(fx.space);
+    EXPECT_EQ(codec.pidCount(), 7u);
+    EXPECT_EQ(codec.tilingCount(), 21u);
+    EXPECT_EQ(codec.spatialCount(), 7u);
+    EXPECT_EQ(codec.orderCount(), 21u);
+    EXPECT_EQ(codec.allocCount(), 6u);
+    EXPECT_EQ(codec.allocOffset() + codec.allocCount(),
+              codec.featureCount());
+
+    Rng rng(6);
+    Mapping m = fx.space.randomValid(rng);
+    auto f = codec.encode(m);
+    ASSERT_EQ(f.size(), 62u);
+    // pid segment holds the problem bounds.
+    for (size_t d = 0; d < 7; ++d)
+        EXPECT_DOUBLE_EQ(f[d], double(fx.problem.bounds[d]));
+    // tiling segment starts with the L1 factors.
+    for (size_t d = 0; d < 7; ++d)
+        EXPECT_DOUBLE_EQ(f[codec.tilingOffset() + d],
+                         double(m.tiling[size_t(MemLevel::L1)][d]));
+}
+
+TEST(Codec, DecodeInvertsEncode)
+{
+    for (auto fx : {paperCnnSpace(), paperMttkrpSpace()}) {
+        MappingCodec codec(fx.space);
+        Rng rng(7);
+        for (int i = 0; i < 100; ++i) {
+            Mapping m = fx.space.randomValid(rng);
+            Mapping back = codec.decode(codec.encode(m));
+            EXPECT_EQ(back, m);
+        }
+    }
+}
+
+TEST(Codec, DecodeHandlesArbitraryReals)
+{
+    auto fx = paperCnnSpace();
+    MappingCodec codec(fx.space);
+    Rng rng(8);
+    for (int i = 0; i < 100; ++i) {
+        std::vector<double> f(codec.featureCount());
+        for (auto &v : f)
+            v = rng.uniformReal(-50.0, 300.0);
+        Mapping m = codec.decode(f);
+        EXPECT_TRUE(fx.space.isMember(m)) << fx.space.validityError(m);
+    }
+}
+
+TEST(Moves, NeighborsAreValidAndUsuallyDifferent)
+{
+    auto fx = paperCnnSpace();
+    Rng rng(9);
+    Mapping m = fx.space.randomValid(rng);
+    int changed = 0;
+    for (int i = 0; i < 100; ++i) {
+        Mapping n = randomNeighbor(fx.space, m, rng);
+        ASSERT_TRUE(fx.space.isMember(n)) << fx.space.validityError(n);
+        changed += (n == m) ? 0 : 1;
+    }
+    EXPECT_GT(changed, 50);
+}
+
+TEST(Moves, CrossoverAndMutateStayValid)
+{
+    auto fx = paperMttkrpSpace();
+    Rng rng(10);
+    Mapping a = fx.space.randomValid(rng);
+    Mapping b = fx.space.randomValid(rng);
+    for (int i = 0; i < 50; ++i) {
+        Mapping child = crossover(fx.space, a, b, rng);
+        ASSERT_TRUE(fx.space.isMember(child));
+        Mapping mutant = mutate(fx.space, child, 0.2, rng);
+        ASSERT_TRUE(fx.space.isMember(mutant));
+    }
+}
+
+TEST(Moves, ZeroProbabilityMutationIsIdentity)
+{
+    auto fx = paperCnnSpace();
+    Rng rng(11);
+    Mapping m = fx.space.randomValid(rng);
+    EXPECT_EQ(mutate(fx.space, m, 0.0, rng), m);
+}
+
+TEST(Nest, CoversEveryInBoundsPointExactlyOnce)
+{
+    auto fx = tinyConvSpace();
+    Rng rng(12);
+    for (int trial = 0; trial < 20; ++trial) {
+        Mapping m = fx.space.randomValid(rng);
+        std::map<std::vector<int64_t>, int> hits;
+        int64_t total = 0;
+        forEachNestPoint(fx.space, m, [&](std::span<const int64_t> pt) {
+            ++total;
+            std::vector<int64_t> key(pt.begin(), pt.end());
+            ++hits[key];
+        });
+        // Padded space size matches the factor products.
+        int64_t padded = 1;
+        for (size_t d = 0; d < fx.space.rank(); ++d)
+            padded *= m.dimProduct(d);
+        EXPECT_EQ(total, padded);
+
+        // Every padded point appears exactly once...
+        for (const auto &[pt, n] : hits)
+            EXPECT_EQ(n, 1);
+        // ...and every in-bounds point is covered.
+        int64_t inBounds = 0;
+        for (const auto &[pt, n] : hits) {
+            bool ok = true;
+            for (size_t d = 0; d < pt.size(); ++d)
+                ok &= pt[d] < fx.problem.bounds[d];
+            inBounds += ok ? 1 : 0;
+        }
+        EXPECT_EQ(inBounds, fx.problem.bounds[0] * fx.problem.bounds[1]);
+    }
+}
+
+TEST(Nest, CnnTinyCoverage)
+{
+    AcceleratorSpec arch = AcceleratorSpec::tinyDefault();
+    Problem p = cnnProblem("tiny", 2, 3, 2, 5, 5, 2, 2);
+    MapSpace space(arch, p);
+    Rng rng(13);
+    for (int trial = 0; trial < 5; ++trial) {
+        Mapping m = space.randomValid(rng);
+        std::set<std::vector<int64_t>> seen;
+        int64_t total = 0;
+        forEachNestPoint(space, m, [&](std::span<const int64_t> pt) {
+            ++total;
+            seen.emplace(pt.begin(), pt.end());
+        });
+        EXPECT_EQ(int64_t(seen.size()), total); // no duplicates
+        int64_t inBounds = 0;
+        for (const auto &pt : seen) {
+            bool ok = true;
+            for (size_t d = 0; d < pt.size(); ++d)
+                ok &= pt[d] < p.bounds[d];
+            inBounds += ok ? 1 : 0;
+        }
+        EXPECT_DOUBLE_EQ(double(inBounds), p.totalMacs());
+    }
+}
+
+TEST(Printer, RendersLoopNestAndBuffers)
+{
+    auto fx = paperCnnSpace();
+    Rng rng(14);
+    Mapping m = fx.space.randomValid(rng);
+    std::string full = renderMapping(fx.space, m);
+    EXPECT_NE(full.find("DRAM (temporal)"), std::string::npos);
+    EXPECT_NE(full.find("mac"), std::string::npos);
+    EXPECT_NE(full.find("buffers at L1"), std::string::npos);
+    std::string compact = renderMappingCompact(fx.space, m);
+    EXPECT_NE(compact.find("tiles[L1|sp|L2|DRAM]"), std::string::npos);
+}
+
+} // namespace
+} // namespace mm

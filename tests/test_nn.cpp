@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Neural-network library tests: finite-difference gradient checks for
+ * weights and inputs, loss values/gradients, optimizers, the trainer
+ * loop, and serialization.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "nn/loss.hpp"
+#include "tensor/gemm.hpp"
+#include "nn/mlp.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/trainer.hpp"
+
+namespace mm {
+namespace {
+
+Matrix
+randomMatrix(size_t rows, size_t cols, Rng &rng, double scale = 1.0)
+{
+    Matrix m(rows, cols);
+    for (size_t i = 0; i < m.size(); ++i)
+        m.data()[i] = float(rng.uniformReal(-scale, scale));
+    return m;
+}
+
+/** Loss of net(x) against target under MSE, for finite differencing. */
+double
+netLoss(Mlp &net, const Matrix &x, const Matrix &target)
+{
+    const Matrix &pred = net.forward(x);
+    return lossValue(LossKind::MSE, pred, target, 1.0);
+}
+
+TEST(Mlp, ShapesAndParamCount)
+{
+    Rng rng(1);
+    Mlp net(4, {{8, Activation::ReLU}, {3, Activation::Identity}}, rng);
+    EXPECT_EQ(net.inputDim(), 4u);
+    EXPECT_EQ(net.outputDim(), 3u);
+    EXPECT_EQ(net.layerCount(), 2u);
+    EXPECT_EQ(net.paramCount(), 4u * 8 + 8 + 8 * 3 + 3);
+
+    Matrix x(5, 4);
+    const Matrix &y = net.forward(x);
+    EXPECT_EQ(y.rows(), 5u);
+    EXPECT_EQ(y.cols(), 3u);
+}
+
+TEST(Mlp, WeightGradientsMatchFiniteDifferences)
+{
+    Rng rng(2);
+    Mlp net(3, {{6, Activation::Tanh}, {2, Activation::Identity}}, rng);
+    Matrix x = randomMatrix(4, 3, rng);
+    Matrix target = randomMatrix(4, 2, rng);
+
+    const Matrix &pred = net.forward(x);
+    Matrix grad;
+    lossForward(LossKind::MSE, pred, target, 1.0, grad);
+    net.zeroGrad();
+    net.backward(grad);
+
+    auto params = net.params();
+    auto grads = net.grads();
+    const double eps = 1e-3;
+    for (size_t p = 0; p < params.size(); ++p) {
+        for (size_t i = 0; i < std::min<size_t>(params[p]->size(), 6);
+             ++i) {
+            float saved = params[p]->data()[i];
+            params[p]->data()[i] = saved + float(eps);
+            double up = netLoss(net, x, target);
+            params[p]->data()[i] = saved - float(eps);
+            double down = netLoss(net, x, target);
+            params[p]->data()[i] = saved;
+            double numeric = (up - down) / (2.0 * eps);
+            double analytic = double(grads[p]->data()[i]);
+            EXPECT_NEAR(analytic, numeric,
+                        2e-2 * std::max(1.0, std::fabs(numeric)))
+                << "param " << p << " index " << i;
+        }
+    }
+}
+
+TEST(Mlp, InputGradientsMatchFiniteDifferences)
+{
+    // The input gradient is the core mechanism of Phase 2 (gradients of
+    // the surrogate with respect to the candidate mapping).
+    Rng rng(3);
+    Mlp net(5, {{8, Activation::ReLU}, {4, Activation::Tanh},
+                {1, Activation::Identity}},
+            rng);
+    Matrix x = randomMatrix(1, 5, rng);
+    Matrix target(1, 1);
+    target.at(0, 0) = 0.3f;
+
+    const Matrix &pred = net.forward(x);
+    Matrix grad;
+    lossForward(LossKind::MSE, pred, target, 1.0, grad);
+    net.zeroGrad();
+    Matrix dIn = net.backward(grad);
+    ASSERT_EQ(dIn.rows(), 1u);
+    ASSERT_EQ(dIn.cols(), 5u);
+
+    const double eps = 1e-3;
+    for (size_t i = 0; i < 5; ++i) {
+        float saved = x.at(0, i);
+        x.at(0, i) = saved + float(eps);
+        double up = netLoss(net, x, target);
+        x.at(0, i) = saved - float(eps);
+        double down = netLoss(net, x, target);
+        x.at(0, i) = saved;
+        double numeric = (up - down) / (2.0 * eps);
+        EXPECT_NEAR(double(dIn.at(0, i)), numeric,
+                    2e-2 * std::max(0.1, std::fabs(numeric)))
+            << "input " << i;
+    }
+}
+
+TEST(Loss, ValuesAndGradients)
+{
+    Matrix pred(1, 2), target(1, 2);
+    pred.at(0, 0) = 1.0f;
+    pred.at(0, 1) = -3.0f;
+    target.at(0, 0) = 0.5f;
+    target.at(0, 1) = 0.0f;
+    // errors: {0.5, -3}
+    Matrix grad;
+
+    // MSE: mean(0.5*e^2) = (0.125 + 4.5) / 2
+    EXPECT_NEAR(lossForward(LossKind::MSE, pred, target, 1.0, grad),
+                (0.125 + 4.5) / 2.0, 1e-6);
+    EXPECT_NEAR(grad.at(0, 0), 0.5 / 2.0, 1e-6);
+    EXPECT_NEAR(grad.at(0, 1), -3.0 / 2.0, 1e-6);
+
+    // MAE: mean(|e|) = (0.5 + 3) / 2
+    EXPECT_NEAR(lossForward(LossKind::MAE, pred, target, 1.0, grad),
+                1.75, 1e-6);
+    EXPECT_NEAR(grad.at(0, 1), -0.5, 1e-6);
+
+    // Huber(delta=1): quadratic for |e|<=1, linear beyond.
+    EXPECT_NEAR(lossForward(LossKind::Huber, pred, target, 1.0, grad),
+                (0.5 * 0.25 + (3.0 - 0.5)) / 2.0, 1e-6);
+    EXPECT_NEAR(grad.at(0, 0), 0.5 / 2.0, 1e-6);
+    EXPECT_NEAR(grad.at(0, 1), -1.0 / 2.0, 1e-6);
+}
+
+TEST(Loss, HuberEqualsMseInsideDelta)
+{
+    Rng rng(5);
+    Matrix pred = randomMatrix(3, 4, rng, 0.4);
+    Matrix target = randomMatrix(3, 4, rng, 0.4);
+    double huber = lossValue(LossKind::Huber, pred, target, 10.0);
+    double mse = lossValue(LossKind::MSE, pred, target, 10.0);
+    EXPECT_NEAR(huber, mse, 1e-9);
+}
+
+TEST(Loss, NameRoundTrip)
+{
+    for (auto kind : {LossKind::MSE, LossKind::MAE, LossKind::Huber})
+        EXPECT_EQ(lossFromName(lossName(kind)), kind);
+    EXPECT_THROW(lossFromName("bogus"), FatalError);
+}
+
+TEST(Optimizer, SgdDescendsQuadratic)
+{
+    // Minimize f(w) = 0.5*||w - c||^2 by hand-feeding gradients.
+    Matrix w(1, 3), g(1, 3), c(1, 3);
+    c.at(0, 0) = 1.0f;
+    c.at(0, 1) = -2.0f;
+    c.at(0, 2) = 0.5f;
+    SgdOptimizer opt(0.1, 0.9);
+    opt.attach({&w}, {&g});
+    for (int i = 0; i < 200; ++i) {
+        for (size_t j = 0; j < 3; ++j)
+            g.data()[j] = w.data()[j] - c.data()[j];
+        opt.step();
+    }
+    EXPECT_LT(maxAbsDiff(w, c), 1e-3);
+}
+
+TEST(Optimizer, AdamDescendsQuadratic)
+{
+    Matrix w(1, 3), g(1, 3), c(1, 3);
+    c.at(0, 0) = 2.0f;
+    c.at(0, 1) = -1.0f;
+    c.at(0, 2) = 4.0f;
+    AdamOptimizer opt(0.05);
+    opt.attach({&w}, {&g});
+    for (int i = 0; i < 2000; ++i) {
+        for (size_t j = 0; j < 3; ++j)
+            g.data()[j] = w.data()[j] - c.data()[j];
+        opt.step();
+    }
+    EXPECT_LT(maxAbsDiff(w, c), 1e-2);
+}
+
+TEST(Optimizer, StepDecaySchedule)
+{
+    StepDecaySchedule sched{1e-2, 0.1, 25};
+    EXPECT_DOUBLE_EQ(sched.at(0), 1e-2);
+    EXPECT_DOUBLE_EQ(sched.at(24), 1e-2);
+    EXPECT_DOUBLE_EQ(sched.at(25), 1e-3);
+    EXPECT_DOUBLE_EQ(sched.at(60), 1e-4);
+}
+
+TEST(Trainer, LearnsLinearMap)
+{
+    Rng rng(8);
+    // Target function: y = A x with fixed A.
+    Matrix a = randomMatrix(2, 6, rng);
+    auto makeSet = [&](size_t n) {
+        Matrix x = randomMatrix(n, 6, rng);
+        Matrix y(n, 2);
+        gemm(false, true, 1.0f, x, a, 0.0f, y);
+        return std::pair{x, y};
+    };
+    auto [xTrain, yTrain] = makeSet(512);
+    auto [xTest, yTest] = makeSet(128);
+
+    Mlp net(6, {{32, Activation::ReLU}, {2, Activation::Identity}}, rng);
+    TrainConfig cfg;
+    cfg.epochs = 40;
+    cfg.batchSize = 32;
+    cfg.loss = LossKind::MSE;
+    cfg.schedule = {5e-3, 0.5, 15};
+    RegressionTrainer trainer(net, cfg);
+    auto reports = trainer.fit(xTrain, yTrain, xTest, yTest, rng);
+
+    ASSERT_EQ(reports.size(), 40u);
+    EXPECT_LT(reports.back().trainLoss, 0.05 * reports.front().trainLoss);
+    EXPECT_LT(reports.back().testLoss, 0.02);
+}
+
+TEST(Mlp, SaveLoadRoundTrip)
+{
+    Rng rng(13);
+    Mlp net(7, {{9, Activation::ReLU}, {4, Activation::Tanh},
+                {2, Activation::Identity}},
+            rng);
+    Matrix x = randomMatrix(3, 7, rng);
+    Matrix before = net.forward(x);
+
+    std::stringstream ss;
+    net.save(ss);
+    Mlp loaded = Mlp::load(ss);
+    EXPECT_EQ(loaded.inputDim(), net.inputDim());
+    EXPECT_EQ(loaded.outputDim(), net.outputDim());
+    Matrix after = loaded.forward(x);
+    EXPECT_LT(maxAbsDiff(before, after), 1e-7);
+}
+
+TEST(Mlp, SoftUpdateBlendsParameters)
+{
+    Rng rng(17);
+    Mlp a(3, {{4, Activation::Identity}}, rng);
+    Mlp b(3, {{4, Activation::Identity}}, rng);
+    Mlp blended = a;
+    blended.softUpdateFrom(b, 0.25f);
+    // blended = 0.75 a + 0.25 b elementwise on every parameter.
+    auto pa = a.params(), pb = b.params(), pc = blended.params();
+    for (size_t p = 0; p < pa.size(); ++p)
+        for (size_t i = 0; i < pa[p]->size(); ++i)
+            EXPECT_NEAR(pc[p]->data()[i],
+                        0.75f * pa[p]->data()[i] + 0.25f * pb[p]->data()[i],
+                        1e-6);
+}
+
+TEST(Mlp, CopyParamsMakesIndependentClone)
+{
+    Rng rng(19);
+    Mlp a(2, {{3, Activation::Identity}}, rng);
+    Mlp b(2, {{3, Activation::Identity}}, rng);
+    b.copyParamsFrom(a);
+    Matrix x = randomMatrix(1, 2, rng);
+    Matrix ya = a.forward(x);
+    Matrix yb = b.forward(x);
+    EXPECT_LT(maxAbsDiff(ya, yb), 1e-7);
+    // Mutating the copy must not touch the original.
+    b.params()[0]->data()[0] += 1.0f;
+    Matrix ya2 = a.forward(x);
+    EXPECT_LT(maxAbsDiff(ya, ya2), 1e-7);
+}
+
+} // namespace
+} // namespace mm

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for the dense linear-algebra substrate: GEMM against the
+ * reference kernel for every transpose combination and shape class.
+ */
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/matrix.hpp"
+
+namespace mm {
+namespace {
+
+Matrix
+randomMatrix(size_t rows, size_t cols, Rng &rng)
+{
+    Matrix m(rows, cols);
+    for (size_t i = 0; i < m.size(); ++i)
+        m.data()[i] = float(rng.uniformReal(-1.0, 1.0));
+    return m;
+}
+
+TEST(Matrix, BasicAccessAndFill)
+{
+    Matrix m(2, 3);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    m.at(1, 2) = 5.0f;
+    EXPECT_FLOAT_EQ(m.at(1, 2), 5.0f);
+    m.fill(2.0f);
+    EXPECT_FLOAT_EQ(m.at(0, 0), 2.0f);
+    EXPECT_DOUBLE_EQ(squaredNorm(m), 6 * 4.0);
+}
+
+TEST(Matrix, ReshapePreservesData)
+{
+    Matrix m(2, 6);
+    for (size_t i = 0; i < m.size(); ++i)
+        m.data()[i] = float(i);
+    m.reshape(3, 4);
+    EXPECT_FLOAT_EQ(m.at(2, 3), 11.0f);
+}
+
+TEST(Matrix, RowSpanViewsUnderlyingData)
+{
+    Matrix m(3, 2);
+    m.at(1, 0) = 7.0f;
+    auto row = m.row(1);
+    EXPECT_FLOAT_EQ(row[0], 7.0f);
+    row[1] = 9.0f;
+    EXPECT_FLOAT_EQ(m.at(1, 1), 9.0f);
+}
+
+TEST(Matrix, AxpyAndScale)
+{
+    Matrix x(1, 3), y(1, 3);
+    x.fill(2.0f);
+    y.fill(1.0f);
+    axpy(3.0f, x, y);
+    EXPECT_FLOAT_EQ(y.at(0, 0), 7.0f);
+    scale(0.5f, y);
+    EXPECT_FLOAT_EQ(y.at(0, 2), 3.5f);
+}
+
+class GemmShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int, bool, bool>>
+{};
+
+TEST_P(GemmShapes, MatchesReference)
+{
+    auto [m, k, n, ta, tb] = GetParam();
+    Rng rng(uint64_t(m * 1000 + k * 100 + n * 10 + ta * 2 + tb));
+    Matrix a = ta ? randomMatrix(size_t(k), size_t(m), rng)
+                  : randomMatrix(size_t(m), size_t(k), rng);
+    Matrix b = tb ? randomMatrix(size_t(n), size_t(k), rng)
+                  : randomMatrix(size_t(k), size_t(n), rng);
+    Matrix c = randomMatrix(size_t(m), size_t(n), rng);
+    Matrix cRef = c;
+
+    gemm(ta, tb, 1.5f, a, b, 0.25f, c);
+    gemmReference(ta, tb, 1.5f, a, b, 0.25f, cRef);
+    EXPECT_LT(maxAbsDiff(c, cRef), 1e-3)
+        << "m=" << m << " k=" << k << " n=" << n << " ta=" << ta
+        << " tb=" << tb;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTransposes, GemmShapes,
+    ::testing::Combine(::testing::Values(1, 3, 17), ::testing::Values(1, 8, 33),
+                       ::testing::Values(1, 5, 29), ::testing::Bool(),
+                       ::testing::Bool()));
+
+TEST(Gemm, BetaZeroOverwritesGarbage)
+{
+    Rng rng(4);
+    Matrix a = randomMatrix(4, 4, rng);
+    Matrix b = randomMatrix(4, 4, rng);
+    Matrix c(4, 4);
+    c.fill(std::numeric_limits<float>::quiet_NaN());
+    gemm(false, false, 1.0f, a, b, 0.0f, c);
+    for (size_t i = 0; i < c.size(); ++i)
+        EXPECT_FALSE(std::isnan(c.data()[i]));
+}
+
+TEST(Gemm, IdentityIsNoOp)
+{
+    Rng rng(9);
+    Matrix a = randomMatrix(5, 5, rng);
+    Matrix eye(5, 5);
+    for (size_t i = 0; i < 5; ++i)
+        eye(i, i) = 1.0f;
+    Matrix c(5, 5);
+    gemm(false, false, 1.0f, a, eye, 0.0f, c);
+    EXPECT_LT(maxAbsDiff(a, c), 1e-6);
+}
+
+} // namespace
+} // namespace mm

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Workload tests: algorithm specs, Table 1 problems, halo-aware
+ * footprints and the golden reference kernels (checked against
+ * hand-written naive loops).
+ */
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "workload/problem.hpp"
+#include "workload/reference.hpp"
+
+namespace mm {
+namespace {
+
+TEST(Algorithm, CnnLayerShape)
+{
+    const auto &algo = cnnLayerAlgo();
+    EXPECT_EQ(algo.rank(), 7u);
+    EXPECT_EQ(algo.tensorCount(), 3u);
+    EXPECT_EQ(algo.outputTensor(), 2u);
+    EXPECT_EQ(algo.dimNames[0], "N");
+    EXPECT_EQ(algo.dimNames[6], "S");
+    // Inputs use N, C, X, Y, R, S but not K.
+    EXPECT_FALSE(algo.tensors[0].usesDim(1));
+    EXPECT_TRUE(algo.tensors[0].usesDim(5));
+    // Weights use K, C, R, S but not N, X, Y.
+    EXPECT_TRUE(algo.tensors[1].usesDim(1));
+    EXPECT_FALSE(algo.tensors[1].usesDim(0));
+    // Outputs use N, K, X, Y but not the reduction dims C, R, S.
+    EXPECT_FALSE(algo.tensors[2].usesDim(2));
+    EXPECT_FALSE(algo.tensors[2].usesDim(5));
+}
+
+TEST(Algorithm, MttkrpShape)
+{
+    const auto &algo = mttkrpAlgo();
+    EXPECT_EQ(algo.rank(), 4u);
+    EXPECT_EQ(algo.tensorCount(), 4u);
+    EXPECT_EQ(algo.outputTensor(), 3u);
+}
+
+TEST(Algorithm, HaloFootprint)
+{
+    const auto &algo = conv1dAlgo();
+    // Inputs: extent (X + R - 1); Filters: R; Outputs: X.
+    std::vector<int64_t> extents = {10, 3};
+    EXPECT_EQ(algo.tileFootprint(0, extents), 12);
+    EXPECT_EQ(algo.tileFootprint(1, extents), 3);
+    EXPECT_EQ(algo.tileFootprint(2, extents), 10);
+}
+
+TEST(Algorithm, CnnFootprintMatchesClosedForm)
+{
+    const auto &algo = cnnLayerAlgo();
+    // extents: N=2 K=4 C=3 X=5 Y=6 R=3 S=2
+    std::vector<int64_t> e = {2, 4, 3, 5, 6, 3, 2};
+    EXPECT_EQ(algo.tileFootprint(0, e), 2 * 3 * (5 + 3 - 1) * (6 + 2 - 1));
+    EXPECT_EQ(algo.tileFootprint(1, e), 4 * 3 * 3 * 2);
+    EXPECT_EQ(algo.tileFootprint(2, e), 2 * 4 * 5 * 6);
+}
+
+TEST(Problem, Table1ShapesMatchPaper)
+{
+    auto cnn = table1Cnn();
+    ASSERT_EQ(cnn.size(), 6u);
+    // ResNet Conv_3: N=16 K=128 C=128 H=W=28 R=S=3 -> X=Y=26.
+    EXPECT_EQ(cnn[0].name, "ResNet_Conv_3");
+    EXPECT_EQ(cnn[0].bounds,
+              (std::vector<int64_t>{16, 128, 128, 26, 26, 3, 3}));
+    // VGG Conv_2: W=H=112, R=S=3 -> X=Y=110.
+    EXPECT_EQ(cnn[3].bounds,
+              (std::vector<int64_t>{16, 128, 64, 110, 110, 3, 3}));
+    // AlexNet Conv_2: 27x27 with 5x5 filters -> 23x23.
+    EXPECT_EQ(cnn[4].bounds,
+              (std::vector<int64_t>{8, 256, 96, 23, 23, 5, 5}));
+
+    auto mtt = table1Mttkrp();
+    ASSERT_EQ(mtt.size(), 2u);
+    EXPECT_EQ(mtt[0].bounds,
+              (std::vector<int64_t>{128, 1024, 4096, 2048}));
+    EXPECT_EQ(mtt[1].bounds,
+              (std::vector<int64_t>{2048, 4096, 1024, 128}));
+
+    EXPECT_EQ(table1All().size(), 8u);
+}
+
+TEST(Problem, MacsAndTensorWords)
+{
+    Problem p = mttkrpProblem("tiny", 2, 3, 4, 5);
+    EXPECT_DOUBLE_EQ(p.totalMacs(), 2.0 * 3 * 4 * 5);
+    EXPECT_EQ(p.tensorWords(0), 2 * 4 * 5); // A[i,k,l]
+    EXPECT_EQ(p.tensorWords(1), 4 * 3);     // B[k,j]
+    EXPECT_EQ(p.tensorWords(2), 5 * 3);     // C[l,j]
+    EXPECT_EQ(p.tensorWords(3), 2 * 3);     // O[i,j]
+}
+
+TEST(Problem, PidFeaturesAreBounds)
+{
+    Problem p = cnnProblem("x", 1, 32, 16, 10, 10, 3, 3);
+    auto pid = p.pidFeatures();
+    ASSERT_EQ(pid.size(), 7u);
+    EXPECT_DOUBLE_EQ(pid[1], 32.0);
+    EXPECT_DOUBLE_EQ(pid[3], 8.0); // X = 10 - 3 + 1
+}
+
+TEST(Problem, RejectsBadBounds)
+{
+    EXPECT_THROW(makeProblem(cnnLayerAlgo(), "bad", {1, 2, 3}), FatalError);
+    EXPECT_THROW(makeProblem(mttkrpAlgo(), "bad", {1, 2, 3, 0}),
+                 FatalError);
+}
+
+TEST(Problem, RepresentativeSamplingStaysOnGrid)
+{
+    Rng rng(3);
+    for (int i = 0; i < 50; ++i) {
+        Problem p = sampleRepresentativeProblem(cnnLayerAlgo(), rng);
+        for (size_t d = 0; d < p.rank(); ++d) {
+            const auto &grid = cnnLayerAlgo().representativeValues[d];
+            EXPECT_NE(std::find(grid.begin(), grid.end(), p.bounds[d]),
+                      grid.end());
+        }
+    }
+}
+
+TEST(Reference, Conv1dMatchesManualLoop)
+{
+    Problem p = makeProblem(conv1dAlgo(), "c1d", {6, 3});
+    Rng rng(5);
+    auto tensors = makeTensors(p, rng);
+    ASSERT_EQ(tensors[0].words(), 8); // W = X + R - 1
+    ASSERT_EQ(tensors[1].words(), 3);
+    ASSERT_EQ(tensors[2].words(), 6);
+
+    auto expected = tensors;
+    for (int64_t x = 0; x < 6; ++x)
+        for (int64_t r = 0; r < 3; ++r)
+            expected[2].data[size_t(x)] +=
+                expected[0].data[size_t(x + r)]
+                * expected[1].data[size_t(r)];
+
+    runReference(p, tensors);
+    for (size_t i = 0; i < tensors[2].data.size(); ++i)
+        EXPECT_NEAR(tensors[2].data[i], expected[2].data[i], 1e-5);
+}
+
+TEST(Reference, MttkrpMatchesManualLoop)
+{
+    Problem p = mttkrpProblem("tiny", 3, 4, 2, 5);
+    Rng rng(6);
+    auto tensors = makeTensors(p, rng);
+    auto expected = tensors;
+
+    // O[i][j] += A[i][k][l] * B[k][j] * C[l][j]
+    auto &A = expected[0];
+    auto &B = expected[1];
+    auto &C = expected[2];
+    auto &O = expected[3];
+    for (int64_t i = 0; i < 3; ++i)
+        for (int64_t j = 0; j < 4; ++j)
+            for (int64_t k = 0; k < 2; ++k)
+                for (int64_t l = 0; l < 5; ++l)
+                    O.data[size_t(i * 4 + j)] +=
+                        A.data[size_t((i * 2 + k) * 5 + l)]
+                        * B.data[size_t(k * 4 + j)]
+                        * C.data[size_t(l * 4 + j)];
+
+    runReference(p, tensors);
+    for (size_t i = 0; i < tensors[3].data.size(); ++i)
+        EXPECT_NEAR(tensors[3].data[i], expected[3].data[i], 1e-4);
+}
+
+TEST(Reference, CnnLayerMatchesManualLoop)
+{
+    Problem p = cnnProblem("tiny", 2, 3, 2, 5, 5, 2, 2);
+    // bounds: N=2 K=3 C=2 X=4 Y=4 R=2 S=2
+    Rng rng(7);
+    auto tensors = makeTensors(p, rng);
+    auto expected = tensors;
+
+    const auto &I = expected[0];
+    const auto &W = expected[1];
+    auto &O = expected[2];
+    auto iAt = [&](int64_t n, int64_t c, int64_t h, int64_t w) {
+        return I.data[size_t(((n * 2 + c) * 5 + h) * 5 + w)];
+    };
+    auto wAt = [&](int64_t k, int64_t c, int64_t r, int64_t s) {
+        return W.data[size_t(((k * 2 + c) * 2 + r) * 2 + s)];
+    };
+    for (int64_t n = 0; n < 2; ++n)
+        for (int64_t k = 0; k < 3; ++k)
+            for (int64_t x = 0; x < 4; ++x)
+                for (int64_t y = 0; y < 4; ++y)
+                    for (int64_t c = 0; c < 2; ++c)
+                        for (int64_t r = 0; r < 2; ++r)
+                            for (int64_t s = 0; s < 2; ++s)
+                                O.data[size_t(((n * 3 + k) * 4 + x) * 4
+                                              + y)] +=
+                                    wAt(k, c, r, s)
+                                    * iAt(n, c, x + r, y + s);
+
+    runReference(p, tensors);
+    for (size_t i = 0; i < tensors[2].data.size(); ++i)
+        EXPECT_NEAR(tensors[2].data[i], expected[2].data[i], 1e-4);
+}
+
+TEST(Reference, TensorPointAppliesProjections)
+{
+    const auto &algo = cnnLayerAlgo();
+    std::vector<int64_t> point = {1, 2, 0, 3, 4, 1, 1};
+    auto input = tensorPoint(algo, 0, point);
+    EXPECT_EQ(input, (std::vector<int64_t>{1, 0, 4, 5})); // n, c, x+r, y+s
+    auto output = tensorPoint(algo, 2, point);
+    EXPECT_EQ(output, (std::vector<int64_t>{1, 2, 3, 4}));
+}
+
+} // namespace
+} // namespace mm
