@@ -73,6 +73,14 @@ makeSearcher(const std::string &name, const CostModel &model,
         return std::make_unique<MindMappingsSearcher>(
             model, *surrogate, GradientSearchConfig{}, timing);
     }
+    if (name == "MM-P") {
+        MM_ASSERT(surrogate != nullptr, "MM-P requires a surrogate");
+        ParallelSearchConfig pcfg;
+        pcfg.chains = env.chains;
+        pcfg.threads = env.threads;
+        return std::make_unique<ParallelGradientSearcher>(model, *surrogate,
+                                                          pcfg, timing);
+    }
     if (name == "SA")
         return std::make_unique<AnnealingSearcher>(model,
                                                    AnnealingConfig{},

@@ -35,6 +35,7 @@
 #include "search/annealing.hpp"
 #include "search/ddpg.hpp"
 #include "search/genetic.hpp"
+#include "search/parallel_driver.hpp"
 #include "search/random_search.hpp"
 
 namespace mm::bench {
@@ -45,6 +46,10 @@ struct BenchEnv
     int runs = int(envInt("MM_RUNS", 3));
     int64_t iters = envInt("MM_ITERS", 2000);
     double vtime = envDouble("MM_VTIME", 3000.0);
+    /** Restart chains of the parallel Phase-2 driver ("MM-P" method). */
+    int chains = int(envInt("MM_CHAINS", 4));
+    /** Fork-join lanes for MM-P; 0 = hardware concurrency. */
+    int threads = int(envInt("MM_THREADS", 0));
     bool paperPreset = envStr("MM_PRESET", "fast") == "paper";
 };
 
@@ -66,7 +71,8 @@ DdpgConfig benchDdpgConfig(const BenchEnv &env);
 
 /**
  * Instantiate a searcher by method name ("MM", "SA", "GA", "RL",
- * "Random"); @p surrogate is required for "MM" only.
+ * "Random", or "MM-P" for the batched parallel driver with env.chains
+ * chains); @p surrogate is required for "MM" and "MM-P" only.
  */
 std::unique_ptr<Searcher> makeSearcher(const std::string &name,
                                        const CostModel &model,

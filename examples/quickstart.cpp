@@ -33,6 +33,10 @@ main()
         size_t(envInt("MM_TRAIN_SAMPLES", int64_t(DatasetConfig{}.samples)));
     opts.phase1.train.epochs =
         int(envInt("MM_EPOCHS", int64_t(TrainConfig{}.epochs)));
+    // MM_CHAINS > 1 switches Phase 2 to the batched multi-threaded
+    // driver: that many independent gradient chains, one surrogate
+    // batch per step (same fixed-seed result at any thread count).
+    opts.searchChains = int(envInt("MM_CHAINS", 1));
     MindMappings mapper(arch, algo, opts);
 
     // --- 2. Phase 1 (offline, once per algorithm). ----------------------

@@ -1,0 +1,98 @@
+#include "common/thread_pool.hpp"
+
+#include "common/error.hpp"
+
+namespace mm {
+
+ThreadPool::ThreadPool(size_t threads)
+{
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+        if (threads == 0)
+            threads = 1;
+    }
+    workers.reserve(threads - 1);
+    for (size_t i = 0; i + 1 < threads; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        stopping = true;
+    }
+    workCv.notify_all();
+    for (auto &worker : workers)
+        worker.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    for (;;) {
+        workCv.wait(lock, [this] {
+            return stopping || (jobFn != nullptr && nextIndex < jobSize);
+        });
+        if (stopping)
+            return;
+        runIndices(lock);
+    }
+}
+
+void
+ThreadPool::runIndices(std::unique_lock<std::mutex> &lock)
+{
+    while (jobFn != nullptr && nextIndex < jobSize) {
+        const size_t i = nextIndex++;
+        ++inFlight;
+        const std::function<void(size_t)> *fn = jobFn;
+        lock.unlock();
+        std::exception_ptr err;
+        try {
+            (*fn)(i);
+        } catch (...) {
+            err = std::current_exception();
+        }
+        lock.lock();
+        if (err && !firstError)
+            firstError = err;
+        --inFlight;
+    }
+    if (nextIndex >= jobSize && inFlight == 0)
+        doneCv.notify_all();
+}
+
+void
+ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (workers.empty()) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    std::unique_lock<std::mutex> lock(mtx);
+    MM_ASSERT(jobFn == nullptr, "nested parallelFor on one ThreadPool");
+    jobFn = &fn;
+    jobSize = n;
+    nextIndex = 0;
+    inFlight = 0;
+    firstError = nullptr;
+    workCv.notify_all();
+
+    runIndices(lock);
+    doneCv.wait(lock,
+                [this] { return nextIndex >= jobSize && inFlight == 0; });
+    jobFn = nullptr;
+    std::exception_ptr err = firstError;
+    firstError = nullptr;
+    lock.unlock();
+    if (err)
+        std::rethrow_exception(err);
+}
+
+} // namespace mm

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Minimal blocking fork-join thread pool.
+ *
+ * parallelFor(n, fn) runs fn(i) for every i in [0, n) across the
+ * workers plus the calling thread and returns when all indices have
+ * finished. Indices must be independent: the parallel Phase-2 driver
+ * keeps all randomness in per-chain streams precisely so that the
+ * schedule the pool happens to pick cannot influence results — a fixed
+ * seed is bitwise reproducible at any thread count.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mm {
+
+/** Fixed-size fork-join pool; one live job at a time. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads Total execution lanes including the calling
+     *                thread; 0 selects hardware concurrency. One lane
+     *                means no workers: parallelFor runs inline.
+     */
+    explicit ThreadPool(size_t threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Execution lanes (workers + the calling thread). */
+    size_t lanes() const { return workers.size() + 1; }
+
+    /**
+     * Run fn(i) for every i in [0, n); blocks until all complete. The
+     * first exception thrown by any index is rethrown here. Not
+     * reentrant: fn must not call parallelFor on the same pool.
+     */
+    void parallelFor(size_t n, const std::function<void(size_t)> &fn);
+
+  private:
+    void workerLoop();
+
+    /** Claim and run indices until the job is drained (lock held). */
+    void runIndices(std::unique_lock<std::mutex> &lock);
+
+    std::vector<std::thread> workers;
+    std::mutex mtx;
+    std::condition_variable workCv;
+    std::condition_variable doneCv;
+    const std::function<void(size_t)> *jobFn = nullptr;
+    size_t jobSize = 0;
+    size_t nextIndex = 0;
+    size_t inFlight = 0;
+    std::exception_ptr firstError;
+    bool stopping = false;
+};
+
+} // namespace mm

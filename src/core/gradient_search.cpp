@@ -2,10 +2,77 @@
 
 #include <cmath>
 
-#include "common/clock.hpp"
-#include "mapping/codec.hpp"
+#include "search/parallel_driver.hpp"
 
 namespace mm {
+
+GradientChain::GradientChain(const MapSpace &space_,
+                             const MappingCodec &codec_,
+                             Surrogate &surrogate_,
+                             const GradientSearchConfig &cfg_, Rng rng_)
+    : space(&space_), codec(&codec_), surrogate(&surrogate_), cfg(cfg_),
+      rng(rng_), temperature(cfg_.initTemperature)
+{
+    MM_ASSERT(cfg.learningRate > 0.0, "non-positive learning rate");
+    MM_ASSERT(cfg.injectEvery > 0, "injection interval must be positive");
+    cur = space->randomValid(rng);
+    z = encodeZ(cur);
+}
+
+std::vector<double>
+GradientChain::encodeZ(const Mapping &m) const
+{
+    return surrogate->normalizeInput(codec->encode(m));
+}
+
+void
+GradientChain::applyGradient(std::span<const float> gradRow)
+{
+    MM_ASSERT(gradRow.size() == z.size(), "gradient arity mismatch");
+    // The problem id is an input to f*, not a search variable — freeze
+    // its coordinates.
+    const size_t pidLo = codec->pidOffset();
+    const size_t pidHi = pidLo + codec->pidCount();
+    for (size_t i = 0; i < z.size(); ++i) {
+        if (i >= pidLo && i < pidHi)
+            continue;
+        z[i] -= cfg.learningRate * double(gradRow[i]);
+    }
+
+    // Round to attribute domains and project to validity, then
+    // re-encode so the iterate matches the projected point.
+    cur = codec->decode(surrogate->denormalizeInput(z));
+    z = encodeZ(cur);
+    ++stepsTaken;
+}
+
+bool
+GradientChain::wantsInjection() const
+{
+    return cfg.enableInjection && stepsTaken > 0
+           && stepsTaken % cfg.injectEvery == 0;
+}
+
+void
+GradientChain::prepareInjection()
+{
+    candidate = space->randomValid(rng);
+    zCand = encodeZ(candidate);
+}
+
+void
+GradientChain::resolveInjection(double costCurrent, double costCandidate)
+{
+    double delta = costCandidate - costCurrent;
+    if (delta <= 0.0
+        || rng.uniformReal() < std::exp(-delta / temperature)) {
+        cur = std::move(candidate);
+        z = std::move(zCand);
+    }
+    ++injections;
+    if (injections % cfg.decayEveryInjections == 0)
+        temperature *= cfg.tempDecay;
+}
 
 MindMappingsSearcher::MindMappingsSearcher(const CostModel &model_,
                                            Surrogate &surrogate_,
@@ -21,70 +88,11 @@ MindMappingsSearcher::MindMappingsSearcher(const CostModel &model_,
 SearchResult
 MindMappingsSearcher::run(const SearchBudget &budget, Rng &rng)
 {
-    WallTimer timer;
-    const MapSpace &space = model->space();
-    MappingCodec codec(space);
-    MM_ASSERT(codec.featureCount() == surrogate->featureCount(),
-              "surrogate was trained for a different algorithm");
-
-    SearchRecorder rec(*model, budget, stepLatency);
-
-    auto encodeZ = [&](const Mapping &m) {
-        return surrogate->normalizeInput(codec.encode(m));
-    };
-
-    // m@0: a random valid mapping (step 1 of Section 4.2).
-    Mapping current = space.randomValid(rng);
-    std::vector<double> z = encodeZ(current);
-
-    double temperature = cfg.initTemperature;
-    int64_t injections = 0;
-    std::vector<double> grad;
-
-    while (!rec.exhausted()) {
-        // Steps 2-3: forward + backward through the surrogate.
-        surrogate->gradient(z, grad);
-
-        // Step 4: descend. The problem id is an input to f*, not a
-        // search variable — freeze its coordinates.
-        for (size_t i = codec.pidOffset();
-             i < codec.pidOffset() + codec.pidCount(); ++i)
-            grad[i] = 0.0;
-        for (size_t i = 0; i < z.size(); ++i)
-            z[i] -= cfg.learningRate * grad[i];
-
-        // Step 5: round to attribute domains and project to validity,
-        // then re-encode so the iterate matches the projected point.
-        current = codec.decode(surrogate->denormalizeInput(z));
-        z = encodeZ(current);
-
-        // Charged surrogate step; the true-EDP return value is trace
-        // instrumentation and deliberately unused.
-        rec.step(current);
-
-        // Step 6: random injection with annealed acceptance, judged by
-        // surrogate predictions only.
-        if (cfg.enableInjection && !rec.exhausted()
-            && rec.steps() % cfg.injectEvery == 0) {
-            Mapping candidate = space.randomValid(rng);
-            std::vector<double> zCand = encodeZ(candidate);
-            double costCand = surrogate->predictNormEdp(zCand);
-            double costCur = surrogate->predictNormEdp(z);
-            double delta = costCand - costCur;
-            if (delta <= 0.0
-                || rng.uniformReal() < std::exp(-delta / temperature)) {
-                current = std::move(candidate);
-                z = std::move(zCand);
-            }
-            ++injections;
-            if (injections % cfg.decayEveryInjections == 0)
-                temperature *= cfg.tempDecay;
-        }
-    }
-
-    SearchResult result = rec.finish(name());
-    result.wallSec = timer.elapsedSec();
-    return result;
+    // The batched driver with one chain on one thread is exactly the
+    // sequential algorithm of Section 4.2.
+    return runBatchedGradientSearch(*model, *surrogate, cfg,
+                                    /*chainCount=*/1, /*threadCount=*/1,
+                                    stepLatency, budget, rng, name());
 }
 
 } // namespace mm

@@ -15,10 +15,17 @@
  * The true cost model is never consulted for any search decision — only
  * the SearchRecorder's instrumentation probes it to plot search quality,
  * mirroring the paper's measurement methodology.
+ *
+ * The chain state machine is factored out of the searcher loop as
+ * GradientChain so that a driver can run many independent restart
+ * chains and batch their surrogate evaluations into one MLP
+ * forward/backward per step (see search/parallel_driver.hpp); the
+ * single-chain MindMappingsSearcher is the batch-of-one special case.
  */
 #pragma once
 
 #include "core/surrogate.hpp"
+#include "mapping/codec.hpp"
 #include "search/search.hpp"
 
 namespace mm {
@@ -45,7 +52,77 @@ struct GradientSearchConfig
     bool enableInjection = true;
 };
 
-/** The Mind Mappings searcher. */
+/**
+ * One independent Phase-2 chain with its own RNG stream.
+ *
+ * The driver loop per step:
+ *   1. reads features() of every chain into one batch row each,
+ *   2. runs Surrogate::gradientBatch once for the whole batch,
+ *   3. calls applyGradient(row) on every chain — parallelizable, since
+ *      it touches only chain-local state and const space/codec/whitening
+ *      data,
+ *   4. records every chain's current() as that step's proposals,
+ *   5. services injection trials: prepareInjection() on each willing
+ *      chain (chain-local RNG), one batched predictNormEdpBatch over
+ *      the [current, candidate] rows, then resolveInjection().
+ *
+ * All randomness comes from the chain's own stream, so a fixed seed is
+ * bitwise reproducible at any thread count and any batch composition.
+ */
+class GradientChain
+{
+  public:
+    /** Starts on a random valid mapping drawn from @p rng (step 1 of
+     * Section 4.2). @p surrogate is used for conditioning/whitening
+     * only; the driver owns all MLP evaluations. */
+    GradientChain(const MapSpace &space, const MappingCodec &codec,
+                  Surrogate &surrogate, const GradientSearchConfig &cfg,
+                  Rng rng);
+
+    /** z-scored features of the current iterate. */
+    const std::vector<double> &features() const { return z; }
+
+    /** The mapping the chain currently sits on. */
+    const Mapping &current() const { return cur; }
+
+    /**
+     * Consume this step's surrogate gradient row (steps 4-5 of Section
+     * 4.2): descend with problem-id coordinates frozen, round to
+     * attribute domains, project onto the valid map space, re-encode.
+     * current() afterwards is this step's proposal.
+     */
+    void applyGradient(std::span<const float> gradRow);
+
+    /** True when the annealed random-injection trial is due (step 6). */
+    bool wantsInjection() const;
+
+    /** Draw the injection candidate from the chain's own stream. */
+    void prepareInjection();
+
+    /** z-scored features of the pending injection candidate. */
+    const std::vector<double> &injectionFeatures() const { return zCand; }
+
+    /** Annealed acceptance over surrogate costs of current/candidate. */
+    void resolveInjection(double costCurrent, double costCandidate);
+
+  private:
+    std::vector<double> encodeZ(const Mapping &m) const;
+
+    const MapSpace *space;
+    const MappingCodec *codec;
+    Surrogate *surrogate;
+    GradientSearchConfig cfg;
+    Rng rng;
+    Mapping cur;
+    std::vector<double> z;
+    Mapping candidate;
+    std::vector<double> zCand;
+    double temperature;
+    int64_t stepsTaken = 0;
+    int64_t injections = 0;
+};
+
+/** The Mind Mappings searcher (single chain). */
 class MindMappingsSearcher : public Searcher
 {
   public:

@@ -1,5 +1,7 @@
 #include "core/mind_mappings.hpp"
 
+#include "search/parallel_driver.hpp"
+
 namespace mm {
 
 MindMappings::MindMappings(AcceleratorSpec arch, const AlgorithmSpec &algo_,
@@ -71,6 +73,15 @@ MindMappings::search(const Problem &problem, const SearchBudget &budget,
     prepare();
     MapSpace space(archSpec, problem);
     CostModel model(space);
+    if (opts.searchChains > 1) {
+        ParallelSearchConfig pcfg;
+        pcfg.chain = opts.search;
+        pcfg.chains = opts.searchChains;
+        pcfg.threads = opts.searchThreads;
+        ParallelGradientSearcher searcher(model, *surrogateModel, pcfg,
+                                          opts.timing);
+        return searcher.run(budget, rng);
+    }
     MindMappingsSearcher searcher(model, *surrogateModel, opts.search,
                                   opts.timing);
     return searcher.run(budget, rng);

@@ -33,6 +33,16 @@ struct MindMappingsOptions
     Phase1Config phase1;
     GradientSearchConfig search;
     TimingModel timing;
+    /**
+     * Phase-2 parallelism: independent gradient chains evaluated as a
+     * single surrogate batch per step. 1 selects the paper's sequential
+     * search; >1 the batched multi-threaded driver
+     * (search/parallel_driver.hpp). Fixed seeds stay bitwise
+     * reproducible at any thread count.
+     */
+    int searchChains = 1;
+    /** Fork-join lanes for chain-local work; 0 = hardware concurrency. */
+    int searchThreads = 0;
     bool useCache = true;
     /** Empty selects SurrogateCache::defaultDir(). */
     std::string cacheDir;

@@ -58,67 +58,95 @@ Surrogate::denormalizeInput(std::span<const double> z) const
     return raw;
 }
 
-const Matrix &
-Surrogate::forwardOne(std::span<const double> zFeatures)
+void
+Surrogate::packInputRow(std::span<const double> zFeatures)
 {
     MM_ASSERT(zFeatures.size() == featureCount(),
               "surrogate feature arity mismatch");
-    inputRow.resize(1, zFeatures.size());
+    inputRow.ensureShape(1, zFeatures.size());
     for (size_t i = 0; i < zFeatures.size(); ++i)
         inputRow(0, i) = float(zFeatures[i]);
+}
+
+const Matrix &
+Surrogate::forwardOne(std::span<const double> zFeatures)
+{
+    packInputRow(zFeatures);
     return mlp.forward(inputRow);
 }
 
 double
-Surrogate::predictNormEdp(std::span<const double> zFeatures)
+Surrogate::headEdp(const Matrix &out, size_t r) const
 {
-    const Matrix &out = forwardOne(zFeatures);
     if (tensors == 0) {
-        double logEdp = double(out(0, 0)) * outputNorm.std(0)
+        double logEdp = double(out(r, 0)) * outputNorm.std(0)
                         + outputNorm.mean(0);
         return safeExp(logEdp);
     }
     const size_t ei = totalEnergyIdx();
     const size_t ci = cyclesIdx();
-    double logE = double(out(0, ei)) * outputNorm.std(ei)
+    double logE = double(out(r, ei)) * outputNorm.std(ei)
                   + outputNorm.mean(ei);
-    double logC = double(out(0, ci)) * outputNorm.std(ci)
+    double logC = double(out(r, ci)) * outputNorm.std(ci)
                   + outputNorm.mean(ci);
     return safeExp(logE + logC);
+}
+
+double
+Surrogate::predictNormEdp(std::span<const double> zFeatures)
+{
+    return headEdp(forwardOne(zFeatures), 0);
+}
+
+std::vector<double>
+Surrogate::predictNormEdpBatch(const Matrix &zRows)
+{
+    MM_ASSERT(zRows.cols() == featureCount(),
+              "surrogate feature arity mismatch");
+    const Matrix &out = mlp.forward(zRows);
+    std::vector<double> preds(zRows.rows());
+    for (size_t r = 0; r < preds.size(); ++r)
+        preds[r] = headEdp(out, r);
+    return preds;
+}
+
+const Matrix &
+Surrogate::gradientBatch(const Matrix &zRows, std::vector<double> &predsOut)
+{
+    MM_ASSERT(zRows.cols() == featureCount(),
+              "surrogate feature arity mismatch");
+    const Matrix &out = mlp.forward(zRows);
+    const size_t rows = zRows.rows();
+    headGrad.ensureShape(rows, outputCount());
+    headGrad.zero();
+    predsOut.assign(rows, 0.0);
+
+    // Outputs are whitened *logs*, so d(log EDP)/d(head) is constant:
+    // the head's training-set standard deviation.
+    for (size_t r = 0; r < rows; ++r) {
+        predsOut[r] = headEdp(out, r);
+        if (tensors == 0) {
+            headGrad(r, 0) = float(outputNorm.std(0));
+        } else {
+            headGrad(r, totalEnergyIdx()) =
+                float(outputNorm.std(totalEnergyIdx()));
+            headGrad(r, cyclesIdx()) = float(outputNorm.std(cyclesIdx()));
+        }
+    }
+    return mlp.backwardInPlace(headGrad);
 }
 
 double
 Surrogate::gradient(std::span<const double> zFeatures,
                     std::vector<double> &gradOut)
 {
-    const Matrix &out = forwardOne(zFeatures);
-    Matrix dOut(1, outputCount());
-    double pred = 0.0;
-
-    // Outputs are whitened *logs*, so d(log EDP)/d(head) is constant:
-    // the head's training-set standard deviation.
-    if (tensors == 0) {
-        double logEdp = double(out(0, 0)) * outputNorm.std(0)
-                        + outputNorm.mean(0);
-        pred = safeExp(logEdp);
-        dOut(0, 0) = float(outputNorm.std(0));
-    } else {
-        const size_t ei = totalEnergyIdx();
-        const size_t ci = cyclesIdx();
-        double logE = double(out(0, ei)) * outputNorm.std(ei)
-                      + outputNorm.mean(ei);
-        double logC = double(out(0, ci)) * outputNorm.std(ci)
-                      + outputNorm.mean(ci);
-        pred = safeExp(logE + logC);
-        dOut(0, ei) = float(outputNorm.std(ei));
-        dOut(0, ci) = float(outputNorm.std(ci));
-    }
-
-    Matrix dIn = mlp.backward(dOut);
+    packInputRow(zFeatures);
+    std::vector<double> preds;
+    const Matrix &dIn = gradientBatch(inputRow, preds);
     gradOut.assign(featureCount(), 0.0);
     for (size_t i = 0; i < featureCount(); ++i)
         gradOut[i] = double(dIn(0, i));
-    return pred;
+    return preds[0];
 }
 
 std::vector<double>

@@ -66,6 +66,24 @@ class Surrogate
                     std::vector<double> &gradOut);
 
     /**
+     * Batched prediction: one z-scored feature row per candidate, one
+     * MLP forward for the whole batch. Every row's arithmetic is
+     * independent and identically ordered, so results are bitwise equal
+     * to the per-sample path.
+     */
+    std::vector<double> predictNormEdpBatch(const Matrix &zRows);
+
+    /**
+     * Batched gradient of log(predicted normalized EDP): one row per
+     * candidate, one MLP forward/backward for the whole batch. Fills
+     * @p predsOut with each row's predicted normalized EDP and returns
+     * the per-row input gradients as a reference to an internal
+     * workspace, valid until the next surrogate call.
+     */
+    const Matrix &gradientBatch(const Matrix &zRows,
+                                std::vector<double> &predsOut);
+
+    /**
      * Predicted lower-bound-normalized meta-statistics (de-whitened,
      * de-logged; diagnostics and tests).
      */
@@ -80,8 +98,14 @@ class Surrogate
     static Surrogate load(std::istream &is);
 
   private:
+    /** Fill the batch-1 workspace from one z-scored feature row. */
+    void packInputRow(std::span<const double> zFeatures);
+
     /** Forward the MLP on one z-scored feature row. */
     const Matrix &forwardOne(std::span<const double> zFeatures);
+
+    /** De-whitened predicted normalized EDP of row @p r of @p out. */
+    double headEdp(const Matrix &out, size_t r) const;
 
     /** Output indices of total energy / cycles in the meta layout. */
     size_t totalEnergyIdx() const { return tensors * size_t(kNumMemLevels); }
@@ -92,7 +116,8 @@ class Surrogate
     Normalizer inputNorm;
     Normalizer outputNorm;
     size_t tensors;
-    Matrix inputRow; ///< batch-1 workspace
+    Matrix inputRow;  ///< batch-1 workspace
+    Matrix headGrad;  ///< dL/d(output) workspace
 };
 
 } // namespace mm

@@ -25,7 +25,7 @@ DenseLayer::forward(const Matrix &x)
 {
     MM_ASSERT(x.cols() == inDim(), "dense input width mismatch");
     cachedIn = x;
-    cachedOut.resize(x.rows(), outDim());
+    cachedOut.ensureShape(x.rows(), outDim());
     gemm(false, true, 1.0f, x, weights, 0.0f, cachedOut);
     for (size_t r = 0; r < cachedOut.rows(); ++r) {
         float *row = cachedOut.data() + r * outDim();
@@ -38,6 +38,14 @@ DenseLayer::forward(const Matrix &x)
 
 Matrix
 DenseLayer::backward(const Matrix &dOut)
+{
+    Matrix dIn;
+    backwardInto(dOut, dIn);
+    return dIn;
+}
+
+void
+DenseLayer::backwardInto(const Matrix &dOut, Matrix &dIn)
 {
     MM_ASSERT(dOut.rows() == cachedOut.rows()
                   && dOut.cols() == cachedOut.cols(),
@@ -55,9 +63,8 @@ DenseLayer::backward(const Matrix &dOut)
     }
 
     // dX = dZ * W
-    Matrix dIn(scratch.rows(), inDim());
+    dIn.ensureShape(scratch.rows(), inDim());
     gemm(false, false, 1.0f, scratch, weights, 0.0f, dIn);
-    return dIn;
 }
 
 void

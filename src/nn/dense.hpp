@@ -35,6 +35,12 @@ class DenseLayer
      */
     Matrix backward(const Matrix &dOut);
 
+    /**
+     * Allocation-free backward: writes dL/dx into @p dIn (reshaped as
+     * needed). @p dIn must not alias @p dOut.
+     */
+    void backwardInto(const Matrix &dOut, Matrix &dIn);
+
     /** Clear accumulated gradients. */
     void zeroGrad();
 

@@ -76,10 +76,22 @@ Mlp::forward(const Matrix &x)
 Matrix
 Mlp::backward(const Matrix &dOut)
 {
-    Matrix grad = dOut;
-    for (size_t i = layers.size(); i > 0; --i)
-        grad = layers[i - 1].backward(grad);
-    return grad;
+    return backwardInPlace(dOut);
+}
+
+const Matrix &
+Mlp::backwardInPlace(const Matrix &dOut)
+{
+    // Alternate between the two workspaces so no layer reads and writes
+    // the same buffer.
+    const Matrix *grad = &dOut;
+    Matrix *next = &gradPing;
+    for (size_t i = layers.size(); i > 0; --i) {
+        layers[i - 1].backwardInto(*grad, *next);
+        grad = next;
+        next = next == &gradPing ? &gradPong : &gradPing;
+    }
+    return *grad;
 }
 
 void

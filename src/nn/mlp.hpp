@@ -40,6 +40,13 @@ class Mlp
      */
     Matrix backward(const Matrix &dOut);
 
+    /**
+     * Allocation-free backward: returns dL/d(input) as a reference to an
+     * internal workspace, valid until the next backward call. The hot
+     * path for Phase-2 batched gradient queries.
+     */
+    const Matrix &backwardInPlace(const Matrix &dOut);
+
     /** Clear all accumulated gradients. */
     void zeroGrad();
 
@@ -70,6 +77,8 @@ class Mlp
   private:
     size_t inDim;
     std::vector<DenseLayer> layers;
+    Matrix gradPing; ///< backward ping-pong workspace
+    Matrix gradPong;
 };
 
 } // namespace mm

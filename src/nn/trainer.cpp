@@ -61,7 +61,7 @@ RegressionTrainer::fit(const Matrix &x, const Matrix &y, const Matrix &xTest,
             ++batches;
 
             net.zeroGrad();
-            net.backward(grad);
+            net.backwardInPlace(grad);
             opt.step();
         }
 

@@ -262,7 +262,7 @@ DdpgSearcher::run(const SearchBudget &budget, Rng &rng)
         for (size_t i = 0; i < b; ++i)
             dq(i, 0) = (q(i, 0) - y(i, 0)) / float(b);
         critic.zeroGrad();
-        critic.backward(dq);
+        critic.backwardInPlace(dq);
         criticOpt.step();
 
         // Actor step: ascend Q(s, actor(s)) through the critic's input
@@ -279,13 +279,13 @@ DdpgSearcher::run(const SearchBudget &budget, Rng &rng)
         Matrix dOut(b, 1);
         dOut.fill(-1.0f / float(b));
         critic.zeroGrad();
-        Matrix dx = critic.backward(dOut);
+        const Matrix &dx = critic.backwardInPlace(dOut);
         Matrix da(b, aDim);
         for (size_t i = 0; i < b; ++i)
             std::copy(dx.row(i).begin() + long(sDim), dx.row(i).end(),
                       da.row(i).begin());
         actor.zeroGrad();
-        actor.backward(da);
+        actor.backwardInPlace(da);
         actorOpt.step();
         critic.zeroGrad();
 

@@ -1,0 +1,131 @@
+#include "search/parallel_driver.hpp"
+
+#include <algorithm>
+
+#include "common/clock.hpp"
+#include "common/string_util.hpp"
+#include "common/thread_pool.hpp"
+
+namespace mm {
+
+SearchResult
+runBatchedGradientSearch(const CostModel &model, Surrogate &surrogate,
+                         const GradientSearchConfig &chainCfg,
+                         int chainCount, int threadCount,
+                         double stepLatencySec, const SearchBudget &budget,
+                         Rng &rng, const std::string &method)
+{
+    MM_ASSERT(chainCount >= 1, "need at least one chain");
+    WallTimer timer;
+    const MapSpace &space = model.space();
+    MappingCodec codec(space);
+    MM_ASSERT(codec.featureCount() == surrogate.featureCount(),
+              "surrogate was trained for a different algorithm");
+
+    SearchRecorder rec(model, budget, stepLatencySec);
+    // More lanes than chains only adds wakeup/contention overhead.
+    size_t lanes = threadCount <= 0 ? std::thread::hardware_concurrency()
+                                    : size_t(threadCount);
+    if (threadCount < 0 || lanes == 0)
+        lanes = 1;
+    ThreadPool pool(std::min(lanes, size_t(chainCount)));
+
+    // Chain RNG streams are forked in chain order, never shared: batch
+    // composition and thread schedule cannot perturb any draw.
+    std::vector<GradientChain> chains;
+    chains.reserve(size_t(chainCount));
+    for (int i = 0; i < chainCount; ++i)
+        chains.emplace_back(space, codec, surrogate, chainCfg, rng.fork());
+
+    const size_t P = chains.size();
+    const size_t F = codec.featureCount();
+    Matrix zBatch(P, F);
+    Matrix injBatch;
+    std::vector<double> preds;
+    std::vector<Mapping> proposals(P);
+    std::vector<size_t> injecting;
+
+    while (!rec.exhausted()) {
+        // Steps 2-3 of Section 4.2 for all chains at once: one batched
+        // forward/backward through the surrogate.
+        for (size_t i = 0; i < P; ++i) {
+            const std::vector<double> &z = chains[i].features();
+            float *row = zBatch.data() + i * F;
+            for (size_t j = 0; j < F; ++j)
+                row[j] = float(z[j]);
+        }
+        const Matrix &grads = surrogate.gradientBatch(zBatch, preds);
+
+        // Steps 4-5: chain-local descend + round + project, fanned out
+        // over the pool.
+        pool.parallelFor(P, [&](size_t i) {
+            chains[i].applyGradient(grads.row(i));
+        });
+
+        // Charged surrogate queries; the true-EDP probes inside are
+        // trace instrumentation and deliberately unused.
+        for (size_t i = 0; i < P; ++i)
+            proposals[i] = chains[i].current();
+        rec.stepBatch(proposals);
+        if (rec.exhausted())
+            break;
+
+        // Step 6: annealed injection trials, candidates drawn from the
+        // chain streams in parallel, judged by one batched prediction.
+        injecting.clear();
+        for (size_t i = 0; i < P; ++i)
+            if (chains[i].wantsInjection())
+                injecting.push_back(i);
+        if (injecting.empty())
+            continue;
+        pool.parallelFor(injecting.size(), [&](size_t k) {
+            chains[injecting[k]].prepareInjection();
+        });
+        injBatch.ensureShape(2 * injecting.size(), F);
+        for (size_t k = 0; k < injecting.size(); ++k) {
+            const GradientChain &chain = chains[injecting[k]];
+            const std::vector<double> &zCur = chain.features();
+            const std::vector<double> &zCand = chain.injectionFeatures();
+            float *curRow = injBatch.data() + (2 * k) * F;
+            float *candRow = injBatch.data() + (2 * k + 1) * F;
+            for (size_t j = 0; j < F; ++j) {
+                curRow[j] = float(zCur[j]);
+                candRow[j] = float(zCand[j]);
+            }
+        }
+        std::vector<double> costs = surrogate.predictNormEdpBatch(injBatch);
+        for (size_t k = 0; k < injecting.size(); ++k)
+            chains[injecting[k]].resolveInjection(costs[2 * k],
+                                                  costs[2 * k + 1]);
+    }
+
+    SearchResult result = rec.finish(method);
+    result.wallSec = timer.elapsedSec();
+    return result;
+}
+
+ParallelGradientSearcher::ParallelGradientSearcher(const CostModel &model_,
+                                                   Surrogate &surrogate_,
+                                                   ParallelSearchConfig cfg_,
+                                                   const TimingModel &timing)
+    : model(&model_), surrogate(&surrogate_), cfg(cfg_),
+      stepLatency(timing.surrogateStepSec)
+{
+    MM_ASSERT(cfg.chains >= 1, "need at least one chain");
+}
+
+std::string
+ParallelGradientSearcher::name() const
+{
+    return strCat("MM-P", cfg.chains);
+}
+
+SearchResult
+ParallelGradientSearcher::run(const SearchBudget &budget, Rng &rng)
+{
+    return runBatchedGradientSearch(*model, *surrogate, cfg.chain,
+                                    cfg.chains, cfg.threads, stepLatency,
+                                    budget, rng, name());
+}
+
+} // namespace mm

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Batched, multi-threaded Phase-2 search driver.
+ *
+ * Mind Mappings' gradient search is embarrassingly parallel across
+ * restart chains: every chain is an independent trajectory whose only
+ * shared resource is the (read-only) surrogate. The driver exploits
+ * this twice over:
+ *
+ *  - **Batching**: per step, all P chains' feature rows are stacked
+ *    into one matrix and evaluated with a single MLP forward/backward
+ *    (Surrogate::gradientBatch) — the gemm over a P-row batch amortizes
+ *    the weight-matrix traffic that dominates batch-1 inference. The
+ *    annealed injection trials are batched the same way.
+ *
+ *  - **Threading**: the per-chain decode/round/project/re-encode work —
+ *    the CPU-heavy non-gemm part of a step — fans out over a fork-join
+ *    pool.
+ *
+ * Determinism: every chain owns a forked RNG stream fixed at
+ * construction, batch rows are always packed in chain order, and the
+ * recorder probes proposals in chain order, so a fixed seed yields
+ * bitwise-identical results at ANY thread count (including 1).
+ *
+ * Budget semantics: one driver step advances all P chains and charges
+ * the virtual clock ONE surrogate-step latency — the chains run
+ * concurrently in wall-clock terms, which is exactly the iso-time
+ * advantage being modeled — while the step counter advances by P (one
+ * per surrogate query, the paper's iteration unit). Under a step
+ * budget the final batch is truncated so the step count is exact.
+ */
+#pragma once
+
+#include "core/gradient_search.hpp"
+
+namespace mm {
+
+/** Knobs of the parallel batched Phase-2 driver. */
+struct ParallelSearchConfig
+{
+    /** Per-chain gradient-search hyper-parameters. */
+    GradientSearchConfig chain{};
+    /** Independent restart chains evaluated as one batch. */
+    int chains = 4;
+    /** Fork-join lanes; 0 selects hardware concurrency. */
+    int threads = 0;
+};
+
+/** Multi-chain Mind Mappings searcher ("MM-P<chains>"). */
+class ParallelGradientSearcher : public Searcher
+{
+  public:
+    ParallelGradientSearcher(const CostModel &model, Surrogate &surrogate,
+                             ParallelSearchConfig cfg = {},
+                             const TimingModel &timing = {});
+
+    std::string name() const override;
+    SearchResult run(const SearchBudget &budget, Rng &rng) override;
+
+  private:
+    const CostModel *model;
+    Surrogate *surrogate;
+    ParallelSearchConfig cfg;
+    double stepLatency;
+};
+
+/**
+ * The shared driver loop: run @p chainCount chains under @p budget,
+ * batching surrogate evaluations, with chain-local work spread over
+ * @p threadCount lanes (0 = hardware concurrency). Chain RNG streams
+ * are forked from @p rng in chain order. @p method tags the result.
+ */
+SearchResult runBatchedGradientSearch(const CostModel &model,
+                                      Surrogate &surrogate,
+                                      const GradientSearchConfig &chainCfg,
+                                      int chainCount, int threadCount,
+                                      double stepLatencySec,
+                                      const SearchBudget &budget, Rng &rng,
+                                      const std::string &method);
+
+} // namespace mm

@@ -66,6 +66,26 @@ SearchRecorder::step(const Mapping &candidate)
     return norm;
 }
 
+void
+SearchRecorder::stepBatch(std::span<const Mapping> candidates)
+{
+    MM_ASSERT(!exhausted(), "stepBatch() called after budget exhaustion");
+    if (candidates.empty())
+        return;
+    virtualClock += stepLatency;
+    for (const Mapping &candidate : candidates) {
+        if (stepCount >= budget.maxSteps)
+            break;
+        ++stepCount;
+        double norm = model->normalizedEdp(candidate);
+        if (norm < best) {
+            best = norm;
+            bestMapping = candidate;
+            trace.push_back({stepCount, virtualClock, best});
+        }
+    }
+}
+
 SearchResult
 SearchRecorder::finish(std::string method) const
 {

@@ -27,6 +27,7 @@
 
 #include <limits>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -123,6 +124,18 @@ class SearchRecorder
      * their cost-function query; Mind Mappings ignores it).
      */
     double step(const Mapping &candidate);
+
+    /**
+     * Account one *wall-clock* step of P concurrent chains proposing
+     * @p candidates: the virtual clock is charged a single step latency
+     * (the chains run in parallel and the surrogate evaluates them as
+     * one batch), while the step counter advances once per candidate —
+     * a step remains one cost-function query, the paper's iteration
+     * unit. Candidates are probed in order; under a step budget the
+     * tail of the batch beyond maxSteps is dropped so the final count
+     * is exact.
+     */
+    void stepBatch(std::span<const Mapping> candidates);
 
     int64_t steps() const { return stepCount; }
     double virtualSec() const { return virtualClock; }

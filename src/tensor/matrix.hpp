@@ -95,6 +95,21 @@ class Matrix
         buf.assign(rows * cols, 0.0f);
     }
 
+    /**
+     * Set the shape, reusing the allocation when the element count
+     * already matches; contents are unspecified afterwards. The fast
+     * path for per-step workspaces that are fully overwritten anyway
+     * (e.g. gemm outputs with beta = 0).
+     */
+    void
+    ensureShape(size_t rows, size_t cols)
+    {
+        if (rows * cols != buf.size())
+            buf.resize(rows * cols);
+        nRows = rows;
+        nCols = cols;
+    }
+
   private:
     size_t nRows = 0;
     size_t nCols = 0;

@@ -418,6 +418,28 @@ TEST(MindMappingsFacade, CacheHitSkipsTraining)
     std::filesystem::remove_all(dir);
 }
 
+TEST(MindMappingsFacade, ParallelChainsKnob)
+{
+    AcceleratorSpec arch = AcceleratorSpec::paperDefault();
+    MindMappingsOptions opts;
+    opts.phase1 = tinyPhase1();
+    opts.useCache = false;
+    // Batched multi-threaded Phase 2: 3 chains, 2 lanes.
+    opts.searchChains = 3;
+    opts.searchThreads = 2;
+    MindMappings mapper(arch, conv1dAlgo(), opts);
+
+    Problem p = makeProblem(conv1dAlgo(), "par", {170, 4});
+    Rng a(53), b(53);
+    SearchResult r1 = mapper.search(p, SearchBudget::bySteps(90), a);
+    SearchResult r2 = mapper.search(p, SearchBudget::bySteps(90), b);
+    EXPECT_EQ(r1.steps, 90);
+    EXPECT_TRUE(mapper.isMember(p, r1.best));
+    EXPECT_DOUBLE_EQ(r1.bestNormEdp, r2.bestNormEdp);
+    // 30 wall-clock batches of 3 concurrent chains.
+    EXPECT_NEAR(r1.virtualSec, 30 * TimingModel{}.surrogateStepSec, 1e-9);
+}
+
 TEST(GradientSearcherTest, RespectsBudgetInjectionToggleAndSeeds)
 {
     AcceleratorSpec arch = AcceleratorSpec::paperDefault();

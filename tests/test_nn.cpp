@@ -51,6 +51,56 @@ TEST(Mlp, ShapesAndParamCount)
     EXPECT_EQ(y.cols(), 3u);
 }
 
+TEST(Mlp, BatchedForwardBackwardMatchesPerSample)
+{
+    // The parallel Phase-2 driver relies on a B-row batch being exactly
+    // the B per-sample evaluations: every row's arithmetic must be
+    // independent and identically ordered through gemm.
+    Rng rng(71);
+    Mlp batched(6,
+                {{16, Activation::ReLU}, {8, Activation::Tanh},
+                 {3, Activation::Identity}},
+                rng);
+    Rng cloneRng(0);
+    Mlp single(6,
+               {{16, Activation::ReLU}, {8, Activation::Tanh},
+                {3, Activation::Identity}},
+               cloneRng);
+    single.copyParamsFrom(batched);
+
+    const size_t batchSize = 13;
+    Rng dataRng(72);
+    Matrix x = randomMatrix(batchSize, 6, dataRng);
+    Matrix dOut = randomMatrix(batchSize, 3, dataRng);
+
+    Matrix outBatch = batched.forward(x);
+    batched.zeroGrad();
+    Matrix dInBatch = batched.backward(dOut);
+
+    Matrix outSingle(batchSize, 3), dInSingle(batchSize, 6);
+    single.zeroGrad();
+    Matrix xr(1, 6), dr(1, 3);
+    for (size_t r = 0; r < batchSize; ++r) {
+        std::copy(x.row(r).begin(), x.row(r).end(), xr.row(0).begin());
+        std::copy(dOut.row(r).begin(), dOut.row(r).end(), dr.row(0).begin());
+        const Matrix &o = single.forward(xr);
+        std::copy(o.row(0).begin(), o.row(0).end(), outSingle.row(r).begin());
+        Matrix di = single.backward(dr);
+        std::copy(di.row(0).begin(), di.row(0).end(),
+                  dInSingle.row(r).begin());
+    }
+
+    EXPECT_LE(maxAbsDiff(outBatch, outSingle), 1e-10);
+    EXPECT_LE(maxAbsDiff(dInBatch, dInSingle), 1e-10);
+    // The batch accumulates weight gradients in the same sample order as
+    // the sequential loop.
+    auto gb = batched.grads();
+    auto gs = single.grads();
+    ASSERT_EQ(gb.size(), gs.size());
+    for (size_t i = 0; i < gb.size(); ++i)
+        EXPECT_LE(maxAbsDiff(*gb[i], *gs[i]), 1e-10) << "grad " << i;
+}
+
 TEST(Mlp, WeightGradientsMatchFiniteDifferences)
 {
     Rng rng(2);

@@ -7,9 +7,12 @@
 #include <gtest/gtest.h>
 
 #include "common/stats.hpp"
+#include "core/phase1.hpp"
+#include "mapping/codec.hpp"
 #include "search/annealing.hpp"
 #include "search/ddpg.hpp"
 #include "search/genetic.hpp"
+#include "search/parallel_driver.hpp"
 #include "search/random_search.hpp"
 
 namespace mm {
@@ -215,6 +218,179 @@ TEST(DdpgSearcher, Deterministic)
     DdpgSearcher s1(fx.model, cfg), s2(fx.model, cfg);
     EXPECT_DOUBLE_EQ(s1.run(SearchBudget::bySteps(80), a).bestNormEdp,
                      s2.run(SearchBudget::bySteps(80), b).bestNormEdp);
+}
+
+/** Shares one small trained surrogate across the parallel-driver tests. */
+class ParallelDriverFixture : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        arch = new AcceleratorSpec(AcceleratorSpec::paperDefault());
+        Phase1Config cfg;
+        cfg.data.samples = 3000;
+        cfg.data.problemCount = 10;
+        cfg.data.seed = 3;
+        cfg.train.epochs = 6;
+        cfg.hidden = {32, 48, 32};
+        cfg.seed = 5;
+        result = new Phase1Result(
+            trainSurrogate(*arch, conv1dAlgo(), cfg));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete result;
+        delete arch;
+        result = nullptr;
+        arch = nullptr;
+    }
+
+    static AcceleratorSpec *arch;
+    static Phase1Result *result;
+};
+
+AcceleratorSpec *ParallelDriverFixture::arch = nullptr;
+Phase1Result *ParallelDriverFixture::result = nullptr;
+
+TEST_F(ParallelDriverFixture, SurrogateBatchedMatchesPerSample)
+{
+    // Batched prediction/gradient must agree with the per-sample path
+    // to 1e-10 (they share one gemm whose rows are independent).
+    Surrogate &sur = result->surrogate;
+    Problem p = makeProblem(conv1dAlgo(), "pd-batch", {130, 4});
+    MapSpace space(*arch, p);
+    MappingCodec codec(space);
+    Rng rng(73);
+
+    const size_t batchSize = 16;
+    const size_t featDim = codec.featureCount();
+    std::vector<std::vector<double>> zs;
+    Matrix zRows(batchSize, featDim);
+    for (size_t r = 0; r < batchSize; ++r) {
+        auto z = sur.normalizeInput(codec.encode(space.randomValid(rng)));
+        for (size_t j = 0; j < featDim; ++j)
+            zRows(r, j) = float(z[j]);
+        zs.push_back(std::move(z));
+    }
+
+    std::vector<double> predOne(batchSize);
+    Matrix gradOne(batchSize, featDim);
+    std::vector<double> grad;
+    for (size_t r = 0; r < batchSize; ++r) {
+        predOne[r] = sur.gradient(zs[r], grad);
+        for (size_t j = 0; j < featDim; ++j)
+            gradOne(r, j) = float(grad[j]);
+        EXPECT_DOUBLE_EQ(sur.predictNormEdp(zs[r]), predOne[r]);
+    }
+
+    std::vector<double> predBatchOnly = sur.predictNormEdpBatch(zRows);
+    std::vector<double> predBatch;
+    const Matrix &gradBatch = sur.gradientBatch(zRows, predBatch);
+    ASSERT_EQ(predBatch.size(), batchSize);
+    for (size_t r = 0; r < batchSize; ++r) {
+        EXPECT_NEAR(predBatch[r], predOne[r],
+                    1e-10 * std::max(1.0, predOne[r]));
+        EXPECT_NEAR(predBatchOnly[r], predOne[r],
+                    1e-10 * std::max(1.0, predOne[r]));
+    }
+    EXPECT_LE(maxAbsDiff(gradBatch, gradOne), 1e-10);
+}
+
+TEST_F(ParallelDriverFixture, SingleChainMatchesSequentialSearcher)
+{
+    // Both entry points delegate to runBatchedGradientSearch, so this
+    // guards the config plumbing of the two facades (one chain, one
+    // thread, same latency), not two independent implementations; the
+    // sequential semantics themselves are pinned by
+    // GradientSearcherTest and the batch-equivalence tests above.
+    Problem p = makeProblem(conv1dAlgo(), "pd-one", {120, 4});
+    MapSpace space(*arch, p);
+    CostModel model(space);
+    MindMappingsSearcher seq(model, result->surrogate);
+    ParallelSearchConfig pcfg;
+    pcfg.chains = 1;
+    pcfg.threads = 1;
+    ParallelGradientSearcher par(model, result->surrogate, pcfg);
+
+    Rng a(61), b(61);
+    SearchResult r1 = seq.run(SearchBudget::bySteps(100), a);
+    SearchResult r2 = par.run(SearchBudget::bySteps(100), b);
+    EXPECT_EQ(r1.steps, r2.steps);
+    EXPECT_DOUBLE_EQ(r1.bestNormEdp, r2.bestNormEdp);
+    EXPECT_EQ(r1.best, r2.best);
+}
+
+TEST_F(ParallelDriverFixture, DeterministicAcrossThreadCounts)
+{
+    Problem p = makeProblem(conv1dAlgo(), "pd-det", {140, 5});
+    MapSpace space(*arch, p);
+    CostModel model(space);
+
+    std::vector<SearchResult> results;
+    for (int threads : {1, 2, 4}) {
+        ParallelSearchConfig pcfg;
+        pcfg.chains = 4;
+        pcfg.threads = threads;
+        ParallelGradientSearcher searcher(model, result->surrogate, pcfg);
+        Rng rng(67);
+        results.push_back(searcher.run(SearchBudget::bySteps(160), rng));
+    }
+    for (size_t i = 1; i < results.size(); ++i) {
+        EXPECT_EQ(results[0].steps, results[i].steps);
+        EXPECT_DOUBLE_EQ(results[0].bestNormEdp, results[i].bestNormEdp);
+        EXPECT_EQ(results[0].best, results[i].best);
+        ASSERT_EQ(results[0].trace.size(), results[i].trace.size());
+        for (size_t t = 0; t < results[0].trace.size(); ++t) {
+            EXPECT_EQ(results[0].trace[t].step, results[i].trace[t].step);
+            EXPECT_DOUBLE_EQ(results[0].trace[t].bestNormEdp,
+                             results[i].trace[t].bestNormEdp);
+        }
+    }
+    EXPECT_TRUE(space.isMember(results[0].best));
+}
+
+TEST_F(ParallelDriverFixture, StepBudgetTruncatesFinalBatch)
+{
+    Problem p = makeProblem(conv1dAlgo(), "pd-trunc", {110, 3});
+    MapSpace space(*arch, p);
+    CostModel model(space);
+    ParallelSearchConfig pcfg;
+    pcfg.chains = 4;
+    pcfg.threads = 2;
+    ParallelGradientSearcher searcher(model, result->surrogate, pcfg);
+    Rng rng(71);
+    // 102 = 25 full batches of 4 + a truncated batch of 2.
+    SearchResult res = searcher.run(SearchBudget::bySteps(102), rng);
+    EXPECT_EQ(res.steps, 102);
+    EXPECT_TRUE(space.isMember(res.best));
+    // 26 wall-clock driver steps, one surrogate-step latency each.
+    EXPECT_NEAR(res.virtualSec, 26 * TimingModel{}.surrogateStepSec, 1e-9);
+}
+
+TEST_F(ParallelDriverFixture, IsoTimeExploresChainsTimesMoreSteps)
+{
+    Problem p = makeProblem(conv1dAlgo(), "pd-iso", {150, 4});
+    MapSpace space(*arch, p);
+    CostModel model(space);
+    auto budget = SearchBudget::byVirtualTime(2.0);
+
+    MindMappingsSearcher seq(model, result->surrogate);
+    ParallelSearchConfig pcfg;
+    pcfg.chains = 4;
+    pcfg.threads = 2;
+    ParallelGradientSearcher par(model, result->surrogate, pcfg);
+
+    Rng a(79), b(79);
+    SearchResult rs = seq.run(budget, a);
+    SearchResult rp = par.run(budget, b);
+    // Same virtual wall-clock, chains-times the explored candidates —
+    // the iso-time advantage of the batched driver.
+    EXPECT_EQ(rp.steps, 4 * rs.steps);
+    EXPECT_GE(rs.virtualSec, 2.0);
+    EXPECT_GE(rp.virtualSec, 2.0);
 }
 
 TEST(TimingModel, PaperCalibratedRatios)
