@@ -1,11 +1,13 @@
 #include "bench/bench_util.hpp"
 
 #include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
 #include <limits>
+#include <sstream>
 
 #include "common/clock.hpp"
-
-#include <iostream>
 
 namespace mm::bench {
 
@@ -29,6 +31,7 @@ benchOptions(const BenchEnv &env)
     opts.phase1.train.epochs =
         int(envInt("MM_EPOCHS", opts.phase1.train.epochs));
     opts.useCache = !SurrogateCache::disabled();
+    opts.phase1.threads = int(envInt("MM_TRAIN_THREADS", 0));
     return opts;
 }
 
@@ -156,6 +159,157 @@ banner(const std::string &title, const std::string &paperRef)
     std::cout << "=== " << title << "\n=== reproduces: " << paperRef
               << "\n"
               << std::endl;
+}
+
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char ch : s) {
+        switch (ch) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            out += ch;
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    std::ostringstream ss;
+    ss << std::setprecision(12) << v;
+    return ss.str();
+}
+
+} // namespace
+
+JsonObject &
+JsonObject::set(const std::string &key, const std::string &v)
+{
+    std::string quoted;
+    quoted += '"';
+    quoted += jsonEscape(v);
+    quoted += '"';
+    fields.emplace_back(key, std::move(quoted));
+    return *this;
+}
+
+JsonObject &
+JsonObject::set(const std::string &key, const char *v)
+{
+    return set(key, std::string(v));
+}
+
+JsonObject &
+JsonObject::set(const std::string &key, double v)
+{
+    fields.emplace_back(key, jsonNumber(v));
+    return *this;
+}
+
+JsonObject &
+JsonObject::set(const std::string &key, int64_t v)
+{
+    fields.emplace_back(key, std::to_string(v));
+    return *this;
+}
+
+JsonObject &
+JsonObject::setRaw(const std::string &key, std::string rawJson)
+{
+    fields.emplace_back(key, std::move(rawJson));
+    return *this;
+}
+
+std::string
+JsonObject::str() const
+{
+    std::string out = "{";
+    for (size_t i = 0; i < fields.size(); ++i) {
+        if (i > 0)
+            out += ", ";
+        out += '"';
+        out += jsonEscape(fields[i].first);
+        out += "\": ";
+        out += fields[i].second;
+    }
+    out += '}';
+    return out;
+}
+
+JsonArray &
+JsonArray::add(const JsonObject &obj)
+{
+    items.push_back(obj.str());
+    return *this;
+}
+
+JsonArray &
+JsonArray::addRaw(std::string rawJson)
+{
+    items.push_back(std::move(rawJson));
+    return *this;
+}
+
+std::string
+JsonArray::str() const
+{
+    std::string out = "[";
+    for (size_t i = 0; i < items.size(); ++i) {
+        if (i > 0)
+            out += ", ";
+        out += items[i];
+    }
+    out += ']';
+    return out;
+}
+
+JsonObject
+benchJsonHeader(const std::string &bench, const BenchEnv &env)
+{
+    JsonObject obj;
+    obj.set("bench", bench)
+        .set("preset", env.paperPreset ? "paper" : "fast")
+        .set("runs", env.runs)
+        .set("iters", env.iters)
+        .set("vtime", env.vtime)
+        .set("chains", env.chains)
+        .set("threads", env.threads)
+        .set("train_threads", env.trainThreads);
+    return obj;
+}
+
+std::string
+writeBenchJson(const std::string &name, const JsonObject &obj)
+{
+    std::string dir = envStr("MM_BENCH_JSON_DIR", ".");
+    std::string path = dir + "/BENCH_" + name + ".json";
+    std::ofstream os(path);
+    if (!os) {
+        std::cerr << "[bench] cannot write " << path << std::endl;
+        return path;
+    }
+    os << obj.str() << "\n";
+    std::cerr << "[bench] wrote " << path << std::endl;
+    return path;
 }
 
 } // namespace mm::bench

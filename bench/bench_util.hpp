@@ -50,6 +50,8 @@ struct BenchEnv
     int chains = int(envInt("MM_CHAINS", 4));
     /** Fork-join lanes for MM-P; 0 = hardware concurrency. */
     int threads = int(envInt("MM_THREADS", 0));
+    /** Phase-1 lanes (dataset labeling + training GEMMs); 0 = hw. */
+    int trainThreads = int(envInt("MM_TRAIN_THREADS", 0));
     bool paperPreset = envStr("MM_PRESET", "fast") == "paper";
 };
 
@@ -99,5 +101,57 @@ runMethod(const std::string &method, const CostModel &model,
 
 /** Standard header line announcing a bench. */
 void banner(const std::string &title, const std::string &paperRef);
+
+// ---------------------------------------------------------------------------
+// Machine-readable perf trajectory: every bench can drop a
+// BENCH_<name>.json next to its table output so successive PRs have
+// numbers to compare against (see README "Performance").
+// ---------------------------------------------------------------------------
+
+/** Insertion-ordered JSON object builder (values pre-serialized). */
+class JsonObject
+{
+  public:
+    JsonObject &set(const std::string &key, const std::string &v);
+    JsonObject &set(const std::string &key, const char *v);
+    /** Non-finite doubles serialize as null. */
+    JsonObject &set(const std::string &key, double v);
+    JsonObject &set(const std::string &key, int64_t v);
+    JsonObject &
+    set(const std::string &key, int v)
+    {
+        return set(key, int64_t(v));
+    }
+    /** Attach an already-serialized JSON value (object/array). */
+    JsonObject &setRaw(const std::string &key, std::string rawJson);
+    std::string str() const;
+
+  private:
+    std::vector<std::pair<std::string, std::string>> fields;
+};
+
+/** JSON array of pre-serialized values. */
+class JsonArray
+{
+  public:
+    JsonArray &add(const JsonObject &obj);
+    JsonArray &addRaw(std::string rawJson);
+    std::string str() const;
+
+  private:
+    std::vector<std::string> items;
+};
+
+/**
+ * An object pre-filled with the bench name and the shared scale knobs
+ * (preset, runs, iters, threads, chains).
+ */
+JsonObject benchJsonHeader(const std::string &bench, const BenchEnv &env);
+
+/**
+ * Write BENCH_<name>.json into MM_BENCH_JSON_DIR (default "."); returns
+ * the path written.
+ */
+std::string writeBenchJson(const std::string &name, const JsonObject &obj);
 
 } // namespace mm::bench

@@ -52,6 +52,7 @@ main()
     Table table(cols);
 
     std::map<std::string, std::vector<double>> finals;
+    std::map<std::string, double> wallByMethod;
     AcceleratorSpec arch = AcceleratorSpec::paperDefault();
     auto budget = SearchBudget::byVirtualTime(env.vtime);
     uint64_t problemSeed = 101;
@@ -77,6 +78,7 @@ main()
             row.push_back(fmtDouble(wall / double(runs.size()), 3));
             table.addRow(row);
             finals[method].push_back(geomeanFinal(runs));
+            wallByMethod[method] += wall / double(runs.size());
             std::cerr << "[fig6] " << p.name << " " << method << " -> "
                       << fmtDouble(geomeanFinal(runs), 5) << std::endl;
         }
@@ -113,5 +115,17 @@ main()
          "425.5x"});
     std::cout << "\n";
     summary.print(std::cout);
+
+    JsonArray perMethod;
+    for (const auto &[method, vals] : finals) {
+        JsonObject mo;
+        mo.set("method", method)
+            .set("geomean_edp", geomean(vals))
+            .set("wall_sec", wallByMethod[method]);
+        perMethod.add(mo);
+    }
+    JsonObject json = benchJsonHeader("fig6_iso_time", env);
+    json.setRaw("methods", perMethod.str());
+    writeBenchJson("fig6_iso_time", json);
     return 0;
 }

@@ -56,5 +56,15 @@ main()
                     "-"});
     std::cout << "\n";
     summary.print(std::cout);
+
+    JsonObject json = benchJsonHeader("fig7a_surrogate_training", env);
+    json.set("samples", int64_t(opts.phase1.data.samples))
+        .set("epochs", int64_t(hist.size()))
+        .set("dataset_sec", result.datasetSec)
+        .set("train_sec", result.trainSec)
+        .set("sec_per_epoch", result.trainSec / double(hist.size()))
+        .set("final_train_loss", last)
+        .set("final_test_loss", hist.back().testLoss);
+    writeBenchJson("fig7a_surrogate_training", json);
     return 0;
 }

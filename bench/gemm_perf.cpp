@@ -1,0 +1,159 @@
+/**
+ * @file
+ * GEMM backend throughput: blocked+packed kernel vs the scalar baseline.
+ *
+ * Measures the MLP-shaped sizes that dominate Phase-1 training and the
+ * batched Phase-2 driver (the 128-row batch against the fast- and
+ * paper-preset weight shapes), verifies every kernel against
+ * gemmReference, and writes BENCH_gemm.json so the perf trajectory is
+ * tracked from this PR on.
+ *
+ * Knobs: MM_GEMM_SECS (target seconds per measurement, default 0.25),
+ * MM_THREADS (lanes for the threaded rows, 0 = hardware concurrency).
+ */
+#include <iostream>
+#include <limits>
+
+#include "bench/bench_util.hpp"
+#include "common/clock.hpp"
+#include "common/thread_pool.hpp"
+#include "tensor/gemm.hpp"
+
+namespace {
+
+using namespace mm;
+using namespace mm::bench;
+
+Matrix
+randomMatrix(size_t rows, size_t cols, Rng &rng)
+{
+    Matrix m(rows, cols);
+    for (size_t i = 0; i < m.size(); ++i)
+        m.data()[i] = float(rng.uniformReal(-1.0, 1.0));
+    return m;
+}
+
+struct Shape
+{
+    const char *name;
+    size_t m, k, n;
+};
+
+using GemmFn = std::function<void(const Matrix &, const Matrix &, Matrix &)>;
+
+/** Median-of-3 wall seconds per call, each sample >= targetSecs long. */
+double
+timeGemm(const GemmFn &fn, const Matrix &a, const Matrix &b, Matrix &c,
+         double targetSecs)
+{
+    // Warm up and estimate a single-call cost.
+    WallTimer probe;
+    fn(a, b, c);
+    double once = std::max(probe.elapsedSec(), 1e-7);
+    const int reps = std::max(1, int(targetSecs / once));
+    double best = std::numeric_limits<double>::infinity();
+    for (int sample = 0; sample < 3; ++sample) {
+        WallTimer timer;
+        for (int r = 0; r < reps; ++r)
+            fn(a, b, c);
+        best = std::min(best, timer.elapsedSec() / double(reps));
+    }
+    return best;
+}
+
+} // namespace
+
+int
+main()
+{
+    BenchEnv env;
+    banner("GEMM backend: blocked+packed+threaded vs scalar baseline",
+           "perf infrastructure (ISSUE 2); MLP-shaped sizes");
+
+    const double targetSecs = envDouble("MM_GEMM_SECS", 0.25);
+    size_t lanes = env.threads <= 0 ? std::thread::hardware_concurrency()
+                                    : size_t(env.threads);
+    if (lanes == 0)
+        lanes = 1;
+    ThreadPool pool(lanes);
+
+    const std::vector<Shape> shapes = {
+        {"batch128_fast_hidden", 128, 128, 128},
+        {"batch128_wide", 128, 512, 512},
+        {"batch128_paper_hidden", 128, 2048, 2048},
+    };
+
+    Table table({"shape", "kernel", "threads", "ms/call", "gflops",
+                 "speedup_vs_naive"});
+    JsonArray series;
+    Rng rng(42);
+    for (const Shape &s : shapes) {
+        Matrix a = randomMatrix(s.m, s.k, rng);
+        Matrix b = randomMatrix(s.k, s.n, rng);
+        Matrix c(s.m, s.n);
+        const double flops = 2.0 * double(s.m) * double(s.k) * double(s.n);
+
+        // Correctness gate before timing anything.
+        Matrix ref(s.m, s.n);
+        gemmReference(false, false, 1.0f, a, b, 0.0f, ref);
+        gemm(false, false, 1.0f, a, b, 0.0f, c, &pool);
+        double err = maxAbsDiff(c, ref);
+        MM_ASSERT(err < 1e-2 * double(s.k),
+                  strCat("blocked gemm mismatch on ", s.name));
+
+        struct Variant
+        {
+            const char *kernel;
+            int threads;
+            GemmFn fn;
+        };
+        std::vector<Variant> variants = {
+            {"naive", 1,
+             [](const Matrix &a_, const Matrix &b_, Matrix &c_) {
+                 gemmNaive(false, false, 1.0f, a_, b_, 0.0f, c_);
+             }},
+            {"blocked", 1,
+             [](const Matrix &a_, const Matrix &b_, Matrix &c_) {
+                 gemm(false, false, 1.0f, a_, b_, 0.0f, c_);
+             }},
+        };
+        if (lanes > 1)
+            variants.push_back(
+                {"blocked", int(lanes),
+                 [&pool](const Matrix &a_, const Matrix &b_, Matrix &c_) {
+                     gemm(false, false, 1.0f, a_, b_, 0.0f, c_, &pool);
+                 }});
+
+        double naiveSec = 0.0;
+        for (const Variant &v : variants) {
+            double sec = timeGemm(v.fn, a, b, c, targetSecs);
+            if (std::string(v.kernel) == "naive")
+                naiveSec = sec;
+            double speedup = naiveSec > 0.0 ? naiveSec / sec : 1.0;
+            table.addRow({s.name, v.kernel, strCat(v.threads),
+                          fmtDouble(sec * 1e3, 4),
+                          fmtDouble(flops / sec * 1e-9, 3),
+                          fmtDouble(speedup, 3)});
+            JsonObject point;
+            point.set("shape", s.name)
+                .set("m", int64_t(s.m))
+                .set("k", int64_t(s.k))
+                .set("n", int64_t(s.n))
+                .set("kernel", v.kernel)
+                .set("threads", v.threads)
+                .set("sec_per_call", sec)
+                .set("gflops", flops / sec * 1e-9)
+                .set("speedup_vs_naive", speedup);
+            series.add(point);
+            std::cerr << "[gemm] " << s.name << " " << v.kernel << " t="
+                      << v.threads << " " << fmtDouble(flops / sec * 1e-9, 3)
+                      << " GFLOP/s" << std::endl;
+        }
+    }
+    table.print(std::cout);
+
+    JsonObject json = benchJsonHeader("gemm", env);
+    json.set("lanes", int64_t(lanes)).setRaw("series", series.str());
+    writeBenchJson("gemm", json);
+    return 0;
+}

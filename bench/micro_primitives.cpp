@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.hpp"
+#include "common/thread_pool.hpp"
 #include "mapping/codec.hpp"
 #include "mapping/moves.hpp"
 #include "tensor/gemm.hpp"
@@ -125,6 +126,72 @@ BM_Gemm128(benchmark::State &state)
                             * 128);
 }
 BENCHMARK(BM_Gemm128);
+
+void
+BM_Gemm128Naive(benchmark::State &state)
+{
+    Rng rng(5);
+    Matrix a(128, 128), b(128, 128), c(128, 128);
+    for (size_t i = 0; i < a.size(); ++i) {
+        a.data()[i] = float(rng.uniformReal(-1, 1));
+        b.data()[i] = float(rng.uniformReal(-1, 1));
+    }
+    for (auto _ : state)
+        gemmNaive(false, false, 1.0f, a, b, 0.0f, c);
+    state.SetItemsProcessed(int64_t(state.iterations()) * 2 * 128 * 128
+                            * 128);
+}
+BENCHMARK(BM_Gemm128Naive);
+
+/** The Phase-1 paper-preset hidden-layer shape: 128 x 2048 x 2048. */
+void
+BM_GemmMlpShaped(benchmark::State &state)
+{
+    Rng rng(6);
+    Matrix a(128, 2048), b(2048, 2048), c(128, 2048);
+    for (size_t i = 0; i < a.size(); ++i)
+        a.data()[i] = float(rng.uniformReal(-1, 1));
+    for (size_t i = 0; i < b.size(); ++i)
+        b.data()[i] = float(rng.uniformReal(-1, 1));
+    for (auto _ : state)
+        gemm(false, false, 1.0f, a, b, 0.0f, c);
+    state.SetItemsProcessed(int64_t(state.iterations()) * 2 * 128 * 2048
+                            * 2048);
+}
+BENCHMARK(BM_GemmMlpShaped);
+
+void
+BM_GemmMlpShapedNaive(benchmark::State &state)
+{
+    Rng rng(6);
+    Matrix a(128, 2048), b(2048, 2048), c(128, 2048);
+    for (size_t i = 0; i < a.size(); ++i)
+        a.data()[i] = float(rng.uniformReal(-1, 1));
+    for (size_t i = 0; i < b.size(); ++i)
+        b.data()[i] = float(rng.uniformReal(-1, 1));
+    for (auto _ : state)
+        gemmNaive(false, false, 1.0f, a, b, 0.0f, c);
+    state.SetItemsProcessed(int64_t(state.iterations()) * 2 * 128 * 2048
+                            * 2048);
+}
+BENCHMARK(BM_GemmMlpShapedNaive);
+
+void
+BM_GemmMlpShapedThreaded(benchmark::State &state)
+{
+    Rng rng(6);
+    Matrix a(128, 2048), b(2048, 2048), c(128, 2048);
+    for (size_t i = 0; i < a.size(); ++i)
+        a.data()[i] = float(rng.uniformReal(-1, 1));
+    for (size_t i = 0; i < b.size(); ++i)
+        b.data()[i] = float(rng.uniformReal(-1, 1));
+    ThreadPool pool(0); // hardware concurrency
+    for (auto _ : state)
+        gemm(false, false, 1.0f, a, b, 0.0f, c, &pool);
+    state.SetItemsProcessed(int64_t(state.iterations()) * 2 * 128 * 2048
+                            * 2048);
+}
+BENCHMARK(BM_GemmMlpShapedThreaded);
 
 void
 BM_LowerBound(benchmark::State &state)

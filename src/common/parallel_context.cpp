@@ -1,0 +1,19 @@
+#include "common/parallel_context.hpp"
+
+#include <thread>
+
+namespace mm {
+
+ParallelContext::ParallelContext(size_t threads)
+{
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+        if (threads == 0)
+            threads = 1;
+    }
+    laneCount = threads;
+    if (laneCount > 1)
+        tp = std::make_unique<ThreadPool>(laneCount);
+}
+
+} // namespace mm

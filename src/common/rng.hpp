@@ -70,16 +70,23 @@ class Rng
         }
     }
 
-    /** Derive an independent child stream (splitmix-style mixing). */
-    Rng
-    fork()
+    /**
+     * Seed of the next child stream (splitmix-style mixing). Lets
+     * callers store millions of pending forks as 8-byte seeds instead
+     * of full engine states; Rng(forkSeed()) == fork() bitwise.
+     */
+    uint64_t
+    forkSeed()
     {
         uint64_t s = raw();
         s ^= s >> 30;
         s *= 0xbf58476d1ce4e5b9ULL;
         s ^= s >> 27;
-        return Rng(s);
+        return s;
     }
+
+    /** Derive an independent child stream (splitmix-style mixing). */
+    Rng fork() { return Rng(forkSeed()); }
 
     /** Access the underlying engine (for std::distributions). */
     std::mt19937_64 &engine() { return gen; }

@@ -4,6 +4,18 @@
 
 namespace mm {
 
+namespace {
+
+/**
+ * Pool whose job the current thread is executing, if any. Lets a
+ * nested parallelFor on the same pool degrade to an inline loop
+ * instead of deadlocking on the single-job slot (e.g. a threaded GEMM
+ * invoked from inside a parallel Phase-2 chain step).
+ */
+thread_local const ThreadPool *tlsActivePool = nullptr;
+
+} // namespace
+
 ThreadPool::ThreadPool(size_t threads)
 {
     if (threads == 0) {
@@ -50,11 +62,14 @@ ThreadPool::runIndices(std::unique_lock<std::mutex> &lock)
         const std::function<void(size_t)> *fn = jobFn;
         lock.unlock();
         std::exception_ptr err;
+        const ThreadPool *prevActive = tlsActivePool;
+        tlsActivePool = this;
         try {
             (*fn)(i);
         } catch (...) {
             err = std::current_exception();
         }
+        tlsActivePool = prevActive;
         lock.lock();
         if (err && !firstError)
             firstError = err;
@@ -69,14 +84,18 @@ ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn)
 {
     if (n == 0)
         return;
-    if (workers.empty()) {
+    if (workers.empty() || tlsActivePool == this) {
+        // Serial pool, or a nested call from inside one of our own
+        // jobs: run inline on the calling thread.
         for (size_t i = 0; i < n; ++i)
             fn(i);
         return;
     }
 
     std::unique_lock<std::mutex> lock(mtx);
-    MM_ASSERT(jobFn == nullptr, "nested parallelFor on one ThreadPool");
+    // Concurrent submitters from distinct threads queue up for the
+    // single job slot instead of asserting.
+    doneCv.wait(lock, [this] { return jobFn == nullptr; });
     jobFn = &fn;
     jobSize = n;
     nextIndex = 0;
@@ -90,6 +109,7 @@ ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn)
     jobFn = nullptr;
     std::exception_ptr err = firstError;
     firstError = nullptr;
+    doneCv.notify_all(); // admit any submitter waiting for the job slot
     lock.unlock();
     if (err)
         std::rethrow_exception(err);

@@ -41,8 +41,10 @@ class ThreadPool
 
     /**
      * Run fn(i) for every i in [0, n); blocks until all complete. The
-     * first exception thrown by any index is rethrown here. Not
-     * reentrant: fn must not call parallelFor on the same pool.
+     * first exception thrown by any index is rethrown here. Safe to
+     * call from inside a job on the same pool (the nested call runs
+     * inline on the calling thread) and from multiple external threads
+     * at once (submissions serialize on the single job slot).
      */
     void parallelFor(size_t n, const std::function<void(size_t)> &fn);
 

@@ -41,7 +41,7 @@ normalizeMetaStatsByBound(std::vector<double> &stats, size_t tensorCount,
 
 SurrogateDataset
 generateDataset(const AcceleratorSpec &arch, const AlgorithmSpec &algo,
-                const DatasetConfig &cfg)
+                const DatasetConfig &cfg, ParallelContext *par)
 {
     MM_ASSERT(cfg.samples >= 10, "dataset too small");
     MM_ASSERT(cfg.testFraction >= 0.0 && cfg.testFraction < 1.0,
@@ -73,14 +73,28 @@ generateDataset(const AcceleratorSpec &arch, const AlgorithmSpec &algo,
               "elite fraction out of range");
     Matrix x(cfg.samples, features);
     Matrix y(cfg.samples, outputs);
-    for (size_t i = 0; i < cfg.samples; ++i) {
+
+    // Every sample draws from its own stream, forked in sample order on
+    // this thread: labeling fans out over the context's lanes (sampling
+    // and cost-model evaluation dominate Phase-1 wall time) yet the
+    // dataset is bitwise identical at any lane count. Contexts are
+    // read-only during labeling (all their entry points are const).
+    // Only the 8-byte fork seeds are materialized — full engine states
+    // would be ~2.5 KB per sample, gigabytes at paper scale.
+    std::vector<uint64_t> sampleSeeds;
+    sampleSeeds.reserve(cfg.samples);
+    for (size_t i = 0; i < cfg.samples; ++i)
+        sampleSeeds.push_back(rng.forkSeed());
+
+    auto labelSample = [&](size_t i) {
+        Rng srng(sampleSeeds[i]);
         ProblemContext &ctx = *pool[size_t(
-            rng.uniformInt(0, int64_t(pool.size()) - 1))];
-        Mapping m = ctx.space.randomValid(rng);
-        if (cfg.eliteFraction > 0.0 && rng.bernoulli(cfg.eliteFraction)) {
+            srng.uniformInt(0, int64_t(pool.size()) - 1))];
+        Mapping m = ctx.space.randomValid(srng);
+        if (cfg.eliteFraction > 0.0 && srng.bernoulli(cfg.eliteFraction)) {
             // Best-of-k draw: biases coverage toward the low-EDP tail.
             for (int c = 1; c < cfg.eliteCandidates; ++c) {
-                Mapping cand = ctx.space.randomValid(rng);
+                Mapping cand = ctx.space.randomValid(srng);
                 if (ctx.model.edp(cand) < ctx.model.edp(m))
                     m = std::move(cand);
             }
@@ -102,7 +116,12 @@ generateDataset(const AcceleratorSpec &arch, const AlgorithmSpec &algo,
         } else {
             y(i, 0) = float(std::log(res.edp() / lb.edp()));
         }
-    }
+    };
+    if (par != nullptr)
+        par->parallelFor(cfg.samples, labelSample);
+    else
+        for (size_t i = 0; i < cfg.samples; ++i)
+            labelSample(i);
 
     // Split, then fit normalizers on the training rows only.
     size_t testRows = size_t(double(cfg.samples) * cfg.testFraction);

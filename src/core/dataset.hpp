@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/parallel_context.hpp"
 #include "core/normalizer.hpp"
 #include "mapping/codec.hpp"
 #include "nn/loss.hpp"
@@ -75,10 +76,15 @@ struct SurrogateDataset
  * parallelism + order ranks + allocation); targets are the cost model's
  * meta-statistics divided by the per-problem lower bound (energy terms
  * by LB energy, cycles by LB cycles, utilization as-is).
+ *
+ * Labeling parallelizes over @p par's lanes when provided. Each sample
+ * owns an RNG stream forked in sample order, so the dataset is bitwise
+ * identical at any lane count (and with a null context).
  */
 SurrogateDataset generateDataset(const AcceleratorSpec &arch,
                                  const AlgorithmSpec &algo,
-                                 const DatasetConfig &cfg);
+                                 const DatasetConfig &cfg,
+                                 ParallelContext *par = nullptr);
 
 /** Lower-bound-normalize a raw meta-statistics vector in place. */
 void normalizeMetaStatsByBound(std::vector<double> &stats,

@@ -46,7 +46,9 @@ Phase1Config::fingerprint(const AcceleratorSpec &arch,
     std::string probs;
     for (const Problem &p : r.data.problems)
         probs += join(p.bounds, "x") + ";";
-    return strCat("fmt=2|", algo.name, "|", arch.name, "|lin=", r.linear,
+    // fmt=3: dataset samples moved to per-sample forked RNG streams
+    // (thread-count-invariant), invalidating fmt=2 caches.
+    return strCat("fmt=3|", algo.name, "|", arch.name, "|lin=", r.linear,
                   "|h=", join(r.hidden, "-"),
                   "|n=", r.data.samples, "|p=", r.data.problemCount,
                   "|probs=", probs, "|meta=", r.data.metaStatOutputs, "|elite=",
@@ -76,8 +78,11 @@ trainSurrogate(const AcceleratorSpec &arch, const AlgorithmSpec &algo,
                const std::function<void(const EpochReport &)> &onEpoch)
 {
     cfg.resolve();
+    // One pool serves dataset labeling and the training GEMMs.
+    ParallelContext par(cfg.threads <= 0 ? 0 : size_t(cfg.threads));
+
     WallTimer dataTimer;
-    SurrogateDataset ds = generateDataset(arch, algo, cfg.data);
+    SurrogateDataset ds = generateDataset(arch, algo, cfg.data, &par);
     double datasetSec = dataTimer.elapsedSec();
 
     Rng rng(cfg.seed);
@@ -88,7 +93,7 @@ trainSurrogate(const AcceleratorSpec &arch, const AlgorithmSpec &algo,
             rng);
 
     WallTimer trainTimer;
-    RegressionTrainer trainer(net, cfg.train);
+    RegressionTrainer trainer(net, cfg.train, &par);
     auto history =
         trainer.fit(ds.xTrain, ds.yTrain, ds.xTest, ds.yTest, rng, onEpoch);
     double trainSec = trainTimer.elapsedSec();

@@ -38,6 +38,12 @@ struct Phase1Config
      * (Section 4.1). Still differentiable, so Phase 2 works unchanged.
      */
     bool linear = false;
+    /**
+     * Execution lanes shared by dataset labeling and training GEMMs
+     * (0 = hardware concurrency). Results are bitwise identical at any
+     * value, so this is excluded from the cache fingerprint.
+     */
+    int threads = 1;
     uint64_t seed = 1;
     bool resolved = false;
 

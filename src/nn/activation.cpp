@@ -45,6 +45,72 @@ applyActivationGrad(Activation act, const Matrix &out, Matrix &grad)
     MM_ASSERT(false, "unknown activation");
 }
 
+void
+applyBiasActivation(Activation act, const Matrix &bias, Matrix &m)
+{
+    MM_ASSERT(bias.rows() == 1 && bias.cols() == m.cols(),
+              "bias shape mismatch");
+    const float *bp = bias.data();
+    const size_t cols = m.cols();
+    for (size_t r = 0; r < m.rows(); ++r) {
+        float *row = m.data() + r * cols;
+        switch (act) {
+          case Activation::Identity:
+            for (size_t c = 0; c < cols; ++c)
+                row[c] += bp[c];
+            break;
+          case Activation::ReLU:
+            for (size_t c = 0; c < cols; ++c) {
+                const float z = row[c] + bp[c];
+                row[c] = z > 0.0f ? z : 0.0f;
+            }
+            break;
+          case Activation::Tanh:
+            for (size_t c = 0; c < cols; ++c)
+                row[c] = std::tanh(row[c] + bp[c]);
+            break;
+        }
+    }
+}
+
+void
+applyActivationGradBias(Activation act, const Matrix &out,
+                        const Matrix &dOut, Matrix &grad, Matrix &dBias)
+{
+    MM_ASSERT(out.rows() == dOut.rows() && out.cols() == dOut.cols(),
+              "activation grad shape mismatch");
+    MM_ASSERT(dBias.rows() == 1 && dBias.cols() == out.cols(),
+              "bias grad shape mismatch");
+    grad.ensureShape(dOut.rows(), dOut.cols());
+    const size_t cols = out.cols();
+    float *db = dBias.data();
+    for (size_t r = 0; r < out.rows(); ++r) {
+        const float *o = out.data() + r * cols;
+        const float *d = dOut.data() + r * cols;
+        float *g = grad.data() + r * cols;
+        switch (act) {
+          case Activation::Identity:
+            for (size_t c = 0; c < cols; ++c) {
+                g[c] = d[c];
+                db[c] += g[c];
+            }
+            break;
+          case Activation::ReLU:
+            for (size_t c = 0; c < cols; ++c) {
+                g[c] = o[c] > 0.0f ? d[c] : 0.0f;
+                db[c] += g[c];
+            }
+            break;
+          case Activation::Tanh:
+            for (size_t c = 0; c < cols; ++c) {
+                g[c] = d[c] * (1.0f - o[c] * o[c]);
+                db[c] += g[c];
+            }
+            break;
+        }
+    }
+}
+
 const char *
 activationName(Activation act)
 {

@@ -25,6 +25,24 @@ void applyActivation(Activation act, Matrix &m);
  */
 void applyActivationGrad(Activation act, const Matrix &out, Matrix &grad);
 
+/**
+ * Fused epilogue of a dense forward: m[r][c] = act(m[r][c] + bias[0][c])
+ * in a single pass (one memory sweep instead of a bias pass plus an
+ * activation pass).
+ */
+void applyBiasActivation(Activation act, const Matrix &bias, Matrix &m);
+
+/**
+ * Fused prologue of a dense backward: grad[r][c] = dOut[r][c] * act'(out)
+ * and dBias[0][c] += grad[r][c], in a single pass (replaces a copy, an
+ * activation-grad pass and a bias-reduction pass). @p grad is reshaped
+ * to match @p dOut; rows are accumulated into @p dBias in row order, so
+ * results are bitwise identical to the unfused sequence.
+ */
+void applyActivationGradBias(Activation act, const Matrix &out,
+                             const Matrix &dOut, Matrix &grad,
+                             Matrix &dBias);
+
 /** Human-readable name (serialization and diagnostics). */
 const char *activationName(Activation act);
 

@@ -26,13 +26,8 @@ DenseLayer::forward(const Matrix &x)
     MM_ASSERT(x.cols() == inDim(), "dense input width mismatch");
     cachedIn = x;
     cachedOut.ensureShape(x.rows(), outDim());
-    gemm(false, true, 1.0f, x, weights, 0.0f, cachedOut);
-    for (size_t r = 0; r < cachedOut.rows(); ++r) {
-        float *row = cachedOut.data() + r * outDim();
-        for (size_t c = 0; c < outDim(); ++c)
-            row[c] += bias(0, c);
-    }
-    applyActivation(act, cachedOut);
+    gemm(false, true, 1.0f, x, weights, 0.0f, cachedOut, gemmPool);
+    applyBiasActivation(act, bias, cachedOut);
     return cachedOut;
 }
 
@@ -50,21 +45,15 @@ DenseLayer::backwardInto(const Matrix &dOut, Matrix &dIn)
     MM_ASSERT(dOut.rows() == cachedOut.rows()
                   && dOut.cols() == cachedOut.cols(),
               "dense backward shape mismatch");
-    // dZ = dOut * act'(out)
-    scratch = dOut;
-    applyActivationGrad(act, cachedOut, scratch);
+    // dZ = dOut * act'(out) and dB += column-sum(dZ), one fused pass.
+    applyActivationGradBias(act, cachedOut, dOut, scratch, dBias);
 
-    // dW += dZ^T * x ; dB += column-sum(dZ)
-    gemm(true, false, 1.0f, scratch, cachedIn, 1.0f, dWeights);
-    for (size_t r = 0; r < scratch.rows(); ++r) {
-        const float *row = scratch.data() + r * outDim();
-        for (size_t c = 0; c < outDim(); ++c)
-            dBias(0, c) += row[c];
-    }
+    // dW += dZ^T * x
+    gemm(true, false, 1.0f, scratch, cachedIn, 1.0f, dWeights, gemmPool);
 
     // dX = dZ * W
     dIn.ensureShape(scratch.rows(), inDim());
-    gemm(false, false, 1.0f, scratch, weights, 0.0f, dIn);
+    gemm(false, false, 1.0f, scratch, weights, 0.0f, dIn, gemmPool);
 }
 
 void

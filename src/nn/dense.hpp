@@ -10,6 +10,8 @@
 
 namespace mm {
 
+class ThreadPool;
+
 /**
  * y = act(x * W^T + b).
  *
@@ -44,6 +46,12 @@ class DenseLayer
     /** Clear accumulated gradients. */
     void zeroGrad();
 
+    /**
+     * Use @p pool for the layer's GEMMs (nullptr = serial). Results are
+     * bitwise identical at any lane count.
+     */
+    void setPool(ThreadPool *pool) { gemmPool = pool; }
+
     size_t inDim() const { return weights.cols(); }
     size_t outDim() const { return weights.rows(); }
     Activation activation() const { return act; }
@@ -55,6 +63,7 @@ class DenseLayer
 
   private:
     Activation act;
+    ThreadPool *gemmPool = nullptr; ///< not owned; nullptr = serial
     Matrix cachedIn;
     Matrix cachedOut;
     Matrix scratch; ///< pre-activation gradient workspace

@@ -4,6 +4,7 @@
 #include <istream>
 #include <ostream>
 
+#include "common/parallel_context.hpp"
 #include "common/string_util.hpp"
 
 namespace mm {
@@ -99,6 +100,14 @@ Mlp::zeroGrad()
 {
     for (auto &layer : layers)
         layer.zeroGrad();
+}
+
+void
+Mlp::setParallel(ParallelContext *ctx)
+{
+    ThreadPool *pool = ctx != nullptr ? ctx->pool() : nullptr;
+    for (auto &layer : layers)
+        layer.setPool(pool);
 }
 
 std::vector<Matrix *>

@@ -17,6 +17,8 @@
 
 namespace mm {
 
+class ParallelContext;
+
 /** Width and nonlinearity of one MLP layer. */
 struct LayerSpec
 {
@@ -49,6 +51,14 @@ class Mlp
 
     /** Clear all accumulated gradients. */
     void zeroGrad();
+
+    /**
+     * Run every layer's GEMMs on @p ctx's pool (nullptr = serial).
+     * Deterministic: results are bitwise identical at any lane count.
+     * Copies of the network share the pool pointer, so the context must
+     * outlive them all (or be reset with nullptr first).
+     */
+    void setParallel(ParallelContext *ctx);
 
     /** Mutable views of every parameter / gradient matrix, in order. */
     std::vector<Matrix *> params();

@@ -7,12 +7,16 @@ namespace mm {
 
 namespace {
 
-/** Copy the index-selected rows of src into dst (dst pre-sized). */
+/**
+ * Copy the index-selected rows of src into dst. Capacity is reused
+ * across batches: after the first call of an epoch only the row count
+ * changes (for the final partial batch), so no batch ever reallocates.
+ */
 void
 gatherRows(const Matrix &src, const std::vector<size_t> &idx, size_t begin,
            size_t count, Matrix &dst)
 {
-    dst.resize(count, src.cols());
+    dst.ensureShape(count, src.cols());
     for (size_t r = 0; r < count; ++r) {
         auto from = src.row(idx[begin + r]);
         std::copy(from.begin(), from.end(), dst.row(r).begin());
@@ -21,8 +25,9 @@ gatherRows(const Matrix &src, const std::vector<size_t> &idx, size_t begin,
 
 } // namespace
 
-RegressionTrainer::RegressionTrainer(Mlp &net_, TrainConfig cfg_)
-    : net(net_), cfg(cfg_)
+RegressionTrainer::RegressionTrainer(Mlp &net_, TrainConfig cfg_,
+                                     ParallelContext *par_)
+    : net(net_), cfg(cfg_), par(par_)
 {
     MM_ASSERT(cfg.epochs > 0 && cfg.batchSize > 0, "bad train config");
 }
@@ -42,7 +47,21 @@ RegressionTrainer::fit(const Matrix &x, const Matrix &y, const Matrix &xTest,
     std::vector<size_t> idx(x.rows());
     std::iota(idx.begin(), idx.end(), size_t(0));
 
+    // Detach the pool even when an onEpoch callback or a pool worker
+    // throws: the context may not outlive the caller's net otherwise.
+    struct PoolGuard
+    {
+        Mlp &net;
+        ~PoolGuard() { net.setParallel(nullptr); }
+    } poolGuard{net};
+    net.setParallel(par);
+
+    // Pre-size the batch workspaces once; the batch loop only ever
+    // adjusts the row count (final partial batch), never reallocates.
     Matrix bx, by, grad;
+    bx.ensureShape(std::min(cfg.batchSize, idx.size()), x.cols());
+    by.ensureShape(std::min(cfg.batchSize, idx.size()), y.cols());
+
     std::vector<EpochReport> reports;
     for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
         opt.setLr(cfg.schedule.at(epoch));

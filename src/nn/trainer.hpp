@@ -12,6 +12,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/parallel_context.hpp"
 #include "common/rng.hpp"
 #include "nn/loss.hpp"
 #include "nn/mlp.hpp"
@@ -43,7 +44,13 @@ struct EpochReport
 class RegressionTrainer
 {
   public:
-    RegressionTrainer(Mlp &net, TrainConfig cfg);
+    /**
+     * @param par Optional shared execution context for the network's
+     *            GEMMs; results are bitwise identical at any lane
+     *            count. Must outlive the trainer's fit() calls.
+     */
+    RegressionTrainer(Mlp &net, TrainConfig cfg,
+                      ParallelContext *par = nullptr);
 
     /**
      * Run the full training loop.
@@ -66,6 +73,7 @@ class RegressionTrainer
   private:
     Mlp &net;
     TrainConfig cfg;
+    ParallelContext *par; ///< not owned; nullptr = serial
 };
 
 } // namespace mm

@@ -2,9 +2,22 @@
  * @file
  * General matrix multiply with optional operand transposes.
  *
- * Three hand-specialized loop orders keep the innermost loop contiguous
- * for each transpose combination so GCC auto-vectorizes them; this is the
- * compute backbone of surrogate training and the DDPG baseline.
+ * Two tiers share one entry point:
+ *
+ *  - A cache-blocked kernel (MC x KC x NC tiling) that packs A and B
+ *    into aligned MR x NR micro-panels and drives a vectorizable
+ *    micro-kernel; large shapes optionally fan row ranges out over a
+ *    ThreadPool. This is the compute backbone of surrogate training and
+ *    the batched Phase-2 driver.
+ *  - Hand-specialized scalar loop orders for small shapes, where
+ *    packing overhead would dominate.
+ *
+ * Kernel dispatch depends only on (k, n) — never on the row count — so
+ * every row of a batched call goes through bitwise-identical arithmetic
+ * to the same row evaluated alone (the batched-vs-per-sample surrogate
+ * equivalence the Phase-2 driver relies on). Threading partitions C by
+ * disjoint row ranges, so results are bitwise identical at any thread
+ * count.
  */
 #pragma once
 
@@ -12,16 +25,29 @@
 
 namespace mm {
 
+class ThreadPool;
+
 /**
  * C = alpha * op(A) * op(B) + beta * C.
  *
- * op(X) is X or X^T according to the transpose flags. C must already have
- * the result shape; shapes are checked.
+ * op(X) is X or X^T according to the transpose flags. C must already
+ * have the result shape; shapes are checked. When @p pool is non-null,
+ * large shapes are parallelized over disjoint row ranges of C (bitwise
+ * deterministic at any lane count).
  */
 void gemm(bool transA, bool transB, float alpha, const Matrix &a,
-          const Matrix &b, float beta, Matrix &c);
+          const Matrix &b, float beta, Matrix &c,
+          ThreadPool *pool = nullptr);
 
-/** Reference triple-loop implementation used for testing. */
+/**
+ * The pre-blocking scalar kernels (contiguous-innermost loop orders,
+ * no packing, no threading). Kept as the measurable baseline for the
+ * blocked kernel and as the small-shape fast path.
+ */
+void gemmNaive(bool transA, bool transB, float alpha, const Matrix &a,
+               const Matrix &b, float beta, Matrix &c);
+
+/** Reference triple-loop implementation used for testing (fp64 acc). */
 void gemmReference(bool transA, bool transB, float alpha, const Matrix &a,
                    const Matrix &b, float beta, Matrix &c);
 

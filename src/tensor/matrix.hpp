@@ -4,17 +4,73 @@
  *
  * The minimal linear-algebra substrate for the neural-network library:
  * a contiguous row-major buffer with element access, row views and a few
- * whole-matrix helpers. All heavy math lives in gemm.hpp.
+ * whole-matrix helpers. Storage is 64-byte (cache-line) aligned so the
+ * blocked GEMM kernel can assume aligned panel bases. All heavy math
+ * lives in gemm.hpp.
  */
 #pragma once
 
 #include <cstddef>
+#include <cstdlib>
+#include <new>
 #include <span>
 #include <vector>
 
 #include "common/error.hpp"
 
 namespace mm {
+
+/** Alignment (bytes) of Matrix storage and GEMM packing buffers. */
+inline constexpr size_t kMatrixAlignment = 64;
+
+/**
+ * Minimal std::allocator drop-in returning @p Align-byte-aligned
+ * storage; lets std::vector keep its value semantics while the data
+ * pointer satisfies the kernel's alignment assumption.
+ */
+template <typename T, size_t Align>
+struct AlignedAllocator
+{
+    using value_type = T;
+
+    /** Required explicitly: the non-type Align defeats the default. */
+    template <typename U>
+    struct rebind
+    {
+        using other = AlignedAllocator<U, Align>;
+    };
+
+    AlignedAllocator() = default;
+    template <typename U>
+    AlignedAllocator(const AlignedAllocator<U, Align> &)
+    {}
+
+    T *
+    allocate(size_t n)
+    {
+        if (n == 0)
+            return nullptr;
+        void *p = ::operator new(n * sizeof(T), std::align_val_t(Align));
+        return static_cast<T *>(p);
+    }
+
+    void
+    deallocate(T *p, size_t)
+    {
+        ::operator delete(p, std::align_val_t(Align));
+    }
+
+    template <typename U>
+    bool
+    operator==(const AlignedAllocator<U, Align> &) const
+    {
+        return true;
+    }
+};
+
+/** Cache-line-aligned float buffer used by Matrix and GEMM packing. */
+using AlignedFloatBuffer =
+    std::vector<float, AlignedAllocator<float, kMatrixAlignment>>;
 
 /** Row-major float matrix with value semantics. */
 class Matrix
@@ -113,7 +169,7 @@ class Matrix
   private:
     size_t nRows = 0;
     size_t nCols = 0;
-    std::vector<float> buf;
+    AlignedFloatBuffer buf;
 };
 
 /** Sum of squared elements. */

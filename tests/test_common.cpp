@@ -15,6 +15,7 @@
 #include "common/env.hpp"
 #include "common/error.hpp"
 #include "common/factorization.hpp"
+#include "common/parallel_context.hpp"
 #include "common/permutation.hpp"
 #include "common/stats.hpp"
 #include "common/string_util.hpp"
@@ -317,6 +318,63 @@ TEST(WallTimer, MonotoneAndResettable)
     EXPECT_GE(t2, t1);
     timer.reset();
     EXPECT_GE(timer.elapsedSec(), 0.0);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline)
+{
+    ThreadPool pool(4);
+    std::vector<int> outer(8, 0);
+    pool.parallelFor(outer.size(), [&](size_t i) {
+        // Same-pool nesting degrades to an inline loop instead of
+        // deadlocking on the single job slot.
+        std::vector<int> inner(5, 0);
+        pool.parallelFor(inner.size(), [&](size_t j) { inner[j] = 1; });
+        int sum = 0;
+        for (int v : inner)
+            sum += v;
+        outer[i] = sum;
+    });
+    for (int v : outer)
+        EXPECT_EQ(v, 5);
+}
+
+TEST(ThreadPoolTest, ConcurrentSubmittersSerialize)
+{
+    ThreadPool pool(3);
+    std::vector<std::vector<int>> results(4);
+    std::vector<std::thread> callers;
+    for (size_t t = 0; t < results.size(); ++t)
+        callers.emplace_back([&, t] {
+            results[t].assign(100, 0);
+            pool.parallelFor(100, [&, t](size_t i) { results[t][i] = 1; });
+        });
+    for (auto &c : callers)
+        c.join();
+    for (const auto &r : results) {
+        int sum = 0;
+        for (int v : r)
+            sum += v;
+        EXPECT_EQ(sum, 100);
+    }
+}
+
+TEST(ParallelContextTest, SerialAndPooledLanes)
+{
+    ParallelContext serial(1);
+    EXPECT_EQ(serial.lanes(), 1u);
+    EXPECT_EQ(serial.pool(), nullptr);
+    std::vector<int> hits(7, 0);
+    serial.parallelFor(hits.size(), [&](size_t i) { hits[i] = 1; });
+    for (int v : hits)
+        EXPECT_EQ(v, 1);
+
+    ParallelContext pooled(3);
+    EXPECT_EQ(pooled.lanes(), 3u);
+    ASSERT_NE(pooled.pool(), nullptr);
+    std::vector<int> hits2(29, 0);
+    pooled.parallelFor(hits2.size(), [&](size_t i) { hits2[i] = 1; });
+    for (int v : hits2)
+        EXPECT_EQ(v, 1);
 }
 
 } // namespace

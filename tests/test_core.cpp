@@ -135,6 +135,31 @@ TEST(Dataset, DeterministicBySeed)
     EXPECT_LT(maxAbsDiff(a.yTrain, b.yTrain), 1e-9);
 }
 
+TEST(Dataset, BitwiseIdenticalAtAnyLaneCount)
+{
+    // Labeling fans out over the context's pool, but each sample draws
+    // from its own forked stream and writes its own rows, so the
+    // dataset must not depend on the lane count (or on a null context).
+    AcceleratorSpec arch = AcceleratorSpec::paperDefault();
+    DatasetConfig cfg;
+    cfg.samples = 240;
+    cfg.problemCount = 3;
+    cfg.eliteFraction = 0.25;
+    cfg.seed = 23;
+    SurrogateDataset serial = generateDataset(arch, conv1dAlgo(), cfg);
+    for (size_t lanes : {1u, 2u, 4u}) {
+        ParallelContext ctx(lanes);
+        SurrogateDataset par =
+            generateDataset(arch, conv1dAlgo(), cfg, &ctx);
+        EXPECT_EQ(maxAbsDiff(serial.xTrain, par.xTrain), 0.0)
+            << "lanes=" << lanes;
+        EXPECT_EQ(maxAbsDiff(serial.yTrain, par.yTrain), 0.0)
+            << "lanes=" << lanes;
+        EXPECT_EQ(maxAbsDiff(serial.xTest, par.xTest), 0.0)
+            << "lanes=" << lanes;
+    }
+}
+
 TEST(Dataset, ExplicitProblemListIsHonored)
 {
     AcceleratorSpec arch = AcceleratorSpec::paperDefault();

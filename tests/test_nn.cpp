@@ -285,6 +285,125 @@ TEST(Trainer, LearnsLinearMap)
     EXPECT_LT(reports.back().testLoss, 0.02);
 }
 
+TEST(Trainer, PartialFinalBatchTrains)
+{
+    // Dataset size deliberately not divisible by the batch size: the
+    // final batch of every epoch is partial, exercising the workspace
+    // row-count shrink/grow path of gatherRows.
+    Rng rng(29);
+    Matrix a = randomMatrix(2, 5, rng);
+    Matrix x = randomMatrix(131, 5, rng);
+    Matrix y(131, 2);
+    gemm(false, true, 1.0f, x, a, 0.0f, y);
+
+    Mlp net(5, {{16, Activation::ReLU}, {2, Activation::Identity}}, rng);
+    TrainConfig cfg;
+    cfg.epochs = 12;
+    cfg.batchSize = 32; // 131 = 4 * 32 + 3
+    cfg.loss = LossKind::MSE;
+    cfg.schedule = {5e-3, 0.5, 6};
+    RegressionTrainer trainer(net, cfg);
+    Rng trainRng(3);
+    auto reports = trainer.fit(x, y, {}, {}, trainRng);
+    ASSERT_EQ(reports.size(), 12u);
+    for (const auto &r : reports)
+        EXPECT_TRUE(std::isfinite(r.trainLoss));
+    EXPECT_LT(reports.back().trainLoss, reports.front().trainLoss);
+}
+
+TEST(Trainer, PartialFinalBatchDeterministic)
+{
+    Rng dataRng(31);
+    Matrix x = randomMatrix(71, 4, dataRng);
+    Matrix y = randomMatrix(71, 1, dataRng, 0.5);
+
+    auto train = [&] {
+        Rng rng(9);
+        Mlp net(4, {{8, Activation::Tanh}, {1, Activation::Identity}},
+                rng);
+        TrainConfig cfg;
+        cfg.epochs = 5;
+        cfg.batchSize = 16; // 71 = 4 * 16 + 7
+        cfg.loss = LossKind::MSE;
+        RegressionTrainer trainer(net, cfg);
+        Rng trainRng(5);
+        return trainer.fit(x, y, {}, {}, trainRng);
+    };
+    auto r1 = train();
+    auto r2 = train();
+    ASSERT_EQ(r1.size(), r2.size());
+    for (size_t i = 0; i < r1.size(); ++i)
+        EXPECT_DOUBLE_EQ(r1[i].trainLoss, r2[i].trainLoss);
+}
+
+TEST(Dense, FusedBiasActivationMatchesUnfused)
+{
+    Rng rng(41);
+    DenseLayer layer(6, 9, Activation::ReLU, rng);
+    for (size_t c = 0; c < 9; ++c)
+        layer.bias(0, c) = float(rng.uniformReal(-0.5, 0.5));
+    Matrix x = randomMatrix(7, 6, rng);
+
+    // Unfused reference: gemm, then bias, then activation.
+    Matrix expect(7, 9);
+    gemm(false, true, 1.0f, x, layer.weights, 0.0f, expect);
+    for (size_t r = 0; r < 7; ++r)
+        for (size_t c = 0; c < 9; ++c)
+            expect(r, c) += layer.bias(0, c);
+    applyActivation(Activation::ReLU, expect);
+
+    const Matrix &got = layer.forward(x);
+    EXPECT_EQ(maxAbsDiff(got, expect), 0.0);
+
+    // Backward: fused dBias must equal the column sums of dZ.
+    Matrix dOut = randomMatrix(7, 9, rng);
+    Matrix dZ = dOut;
+    applyActivationGrad(Activation::ReLU, expect, dZ);
+    layer.zeroGrad();
+    layer.backward(dOut);
+    for (size_t c = 0; c < 9; ++c) {
+        float colSum = 0.0f;
+        for (size_t r = 0; r < 7; ++r)
+            colSum += dZ(r, c);
+        EXPECT_FLOAT_EQ(layer.dBias(0, c), colSum);
+    }
+}
+
+TEST(Mlp, ParallelContextBitwiseEqualsSerial)
+{
+    // A pooled network must produce bitwise-identical outputs and
+    // gradients: GEMM threading partitions by disjoint row ranges.
+    // Batch and widths sized so the GEMMs cross the threading threshold.
+    Rng rng(83);
+    Mlp serial(64,
+               {{128, Activation::ReLU}, {128, Activation::ReLU},
+                {4, Activation::Identity}},
+               rng);
+    Mlp pooled = serial;
+    ParallelContext ctx(3);
+    pooled.setParallel(&ctx);
+
+    Rng dataRng(7);
+    Matrix x = randomMatrix(600, 64, dataRng);
+    Matrix dOut = randomMatrix(600, 4, dataRng);
+
+    const Matrix &outSerial = serial.forward(x);
+    Matrix outS = outSerial;
+    const Matrix &outPooled = pooled.forward(x);
+    EXPECT_EQ(maxAbsDiff(outS, outPooled), 0.0);
+
+    serial.zeroGrad();
+    pooled.zeroGrad();
+    Matrix gS = serial.backward(dOut);
+    Matrix gP = pooled.backward(dOut);
+    EXPECT_EQ(maxAbsDiff(gS, gP), 0.0);
+    auto gradsS = serial.grads();
+    auto gradsP = pooled.grads();
+    ASSERT_EQ(gradsS.size(), gradsP.size());
+    for (size_t i = 0; i < gradsS.size(); ++i)
+        EXPECT_EQ(maxAbsDiff(*gradsS[i], *gradsP[i]), 0.0) << "grad " << i;
+}
+
 TEST(Mlp, SaveLoadRoundTrip)
 {
     Rng rng(13);

@@ -1,11 +1,15 @@
 /**
  * @file
  * Tests for the dense linear-algebra substrate: GEMM against the
- * reference kernel for every transpose combination and shape class.
+ * reference kernel for every transpose combination and shape class
+ * (including the blocked+packed kernel, threading determinism and the
+ * aligned allocator).
  */
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/matrix.hpp"
 
@@ -101,6 +105,183 @@ TEST(Gemm, BetaZeroOverwritesGarbage)
     gemm(false, false, 1.0f, a, b, 0.0f, c);
     for (size_t i = 0; i < c.size(); ++i)
         EXPECT_FALSE(std::isnan(c.data()[i]));
+}
+
+TEST(Matrix, StorageIsCacheLineAligned)
+{
+    for (size_t rows : {1u, 3u, 7u, 64u, 129u}) {
+        Matrix m(rows, rows + 1);
+        EXPECT_EQ(uintptr_t(m.data()) % kMatrixAlignment, 0u)
+            << "rows=" << rows;
+    }
+    Matrix m(2, 3);
+    m.resize(37, 53);
+    EXPECT_EQ(uintptr_t(m.data()) % kMatrixAlignment, 0u);
+    m.ensureShape(200, 17);
+    EXPECT_EQ(uintptr_t(m.data()) % kMatrixAlignment, 0u);
+    Matrix copy = m;
+    EXPECT_EQ(uintptr_t(copy.data()) % kMatrixAlignment, 0u);
+}
+
+/**
+ * Randomized sweep over all four transpose combinations and the shape
+ * classes the dispatcher distinguishes: degenerate (empty / 1xN / Nx1),
+ * scalar-kernel small shapes, blocked shapes, and tile-edge shapes that
+ * exercise partial MR/NR/KC tiles.
+ */
+TEST(Gemm, RandomizedPropertySweep)
+{
+    const std::vector<size_t> dims = {0, 1, 2, 3, 5, 16, 31, 64, 65, 130};
+    Rng rng(20240721);
+    for (int trial = 0; trial < 200; ++trial) {
+        const size_t m = dims[size_t(rng.uniformInt(0, 9))];
+        const size_t k = dims[size_t(rng.uniformInt(0, 9))];
+        const size_t n = dims[size_t(rng.uniformInt(0, 9))];
+        const bool ta = rng.bernoulli(0.5);
+        const bool tb = rng.bernoulli(0.5);
+        const float alpha =
+            float(rng.pick(std::vector<double>{0.0, 1.0, -1.5, 0.37}));
+        const float beta =
+            float(rng.pick(std::vector<double>{0.0, 1.0, 0.5}));
+
+        Matrix a = ta ? randomMatrix(k, m, rng) : randomMatrix(m, k, rng);
+        Matrix b = tb ? randomMatrix(n, k, rng) : randomMatrix(k, n, rng);
+        Matrix c = randomMatrix(m, n, rng);
+        Matrix cRef = c;
+
+        gemm(ta, tb, alpha, a, b, beta, c);
+        gemmReference(ta, tb, alpha, a, b, beta, cRef);
+        const double tol = 1e-5 * double(k + 1);
+        EXPECT_LT(maxAbsDiff(c, cRef), tol)
+            << "m=" << m << " k=" << k << " n=" << n << " ta=" << ta
+            << " tb=" << tb << " alpha=" << alpha << " beta=" << beta;
+    }
+}
+
+/** The blocked kernel must agree with the reference on large shapes. */
+TEST(Gemm, BlockedMatchesReferenceOnLargeShapes)
+{
+    Rng rng(77);
+    for (auto [m, k, n] : {std::tuple<size_t, size_t, size_t>{128, 300, 70},
+                           {1, 2048, 96},
+                           {130, 257, 1030}}) {
+        for (bool ta : {false, true}) {
+            for (bool tb : {false, true}) {
+                Matrix a = ta ? randomMatrix(k, m, rng)
+                              : randomMatrix(m, k, rng);
+                Matrix b = tb ? randomMatrix(n, k, rng)
+                              : randomMatrix(k, n, rng);
+                Matrix c(m, n), cRef(m, n);
+                gemm(ta, tb, 1.0f, a, b, 0.0f, c);
+                gemmReference(ta, tb, 1.0f, a, b, 0.0f, cRef);
+                EXPECT_LT(maxAbsDiff(c, cRef), 1e-5 * double(k))
+                    << "m=" << m << " k=" << k << " n=" << n
+                    << " ta=" << ta << " tb=" << tb;
+            }
+        }
+    }
+}
+
+/**
+ * Rows of a batched product must be bitwise identical to the same row
+ * evaluated alone — the invariant the Phase-2 batched driver's
+ * per-sample equivalence rests on (dispatch depends only on (k, n)).
+ */
+TEST(Gemm, RowResultIndependentOfBatchSize)
+{
+    Rng rng(31);
+    const size_t k = 96, n = 80;
+    Matrix a = randomMatrix(64, k, rng);
+    Matrix b = randomMatrix(k, n, rng);
+    Matrix full(64, n);
+    gemm(false, false, 1.0f, a, b, 0.0f, full);
+    for (size_t r : {size_t(0), size_t(13), size_t(63)}) {
+        Matrix one(1, k);
+        std::copy(a.row(r).begin(), a.row(r).end(), one.row(0).begin());
+        Matrix cOne(1, n);
+        gemm(false, false, 1.0f, one, b, 0.0f, cOne);
+        for (size_t j = 0; j < n; ++j)
+            EXPECT_EQ(cOne(0, j), full(r, j)) << "r=" << r << " j=" << j;
+    }
+}
+
+/** Threaded GEMM must be bitwise identical at any lane count. */
+TEST(Gemm, ThreadedBitwiseEqualsSerial)
+{
+    Rng rng(55);
+    const size_t m = 400, k = 160, n = 220;
+    Matrix a = randomMatrix(m, k, rng);
+    Matrix b = randomMatrix(k, n, rng);
+    Matrix serial(m, n);
+    gemm(false, false, 1.0f, a, b, 0.0f, serial);
+    for (size_t lanes : {2u, 3u, 5u}) {
+        ThreadPool pool(lanes);
+        Matrix c(m, n);
+        gemm(false, false, 1.0f, a, b, 0.0f, c, &pool);
+        EXPECT_EQ(maxAbsDiff(c, serial), 0.0) << "lanes=" << lanes;
+    }
+}
+
+/** Nested use: a GEMM issued from inside a pool job runs inline. */
+TEST(Gemm, NestedCallInsidePoolJob)
+{
+    Rng rng(91);
+    // Big enough that the inner gemm itself wants to thread.
+    const size_t m = 300, k = 140, n = 110;
+    Matrix a = randomMatrix(m, k, rng);
+    Matrix b = randomMatrix(k, n, rng);
+    Matrix expect(m, n);
+    gemm(false, false, 1.0f, a, b, 0.0f, expect);
+
+    ThreadPool pool(4);
+    std::vector<Matrix> results(6, Matrix(m, n));
+    pool.parallelFor(results.size(), [&](size_t i) {
+        gemm(false, false, 1.0f, a, b, 0.0f, results[i], &pool);
+    });
+    for (size_t i = 0; i < results.size(); ++i)
+        EXPECT_EQ(maxAbsDiff(results[i], expect), 0.0) << "job " << i;
+}
+
+/** Concurrent submitters from distinct threads share one pool safely. */
+TEST(Gemm, ConcurrentExternalCallersShareOnePool)
+{
+    Rng rng(17);
+    const size_t m = 256, k = 128, n = 128;
+    Matrix a = randomMatrix(m, k, rng);
+    Matrix b = randomMatrix(k, n, rng);
+    Matrix expect(m, n);
+    gemm(false, false, 1.0f, a, b, 0.0f, expect);
+
+    ThreadPool pool(3);
+    std::vector<Matrix> results(4, Matrix(m, n));
+    std::vector<std::thread> callers;
+    for (size_t i = 0; i < results.size(); ++i)
+        callers.emplace_back([&, i] {
+            gemm(false, false, 1.0f, a, b, 0.0f, results[i], &pool);
+        });
+    for (auto &t : callers)
+        t.join();
+    for (size_t i = 0; i < results.size(); ++i)
+        EXPECT_EQ(maxAbsDiff(results[i], expect), 0.0) << "caller " << i;
+}
+
+TEST(Gemm, NaiveMatchesReference)
+{
+    Rng rng(7);
+    for (bool ta : {false, true}) {
+        for (bool tb : {false, true}) {
+            const size_t m = 33, k = 47, n = 29;
+            Matrix a = ta ? randomMatrix(k, m, rng)
+                          : randomMatrix(m, k, rng);
+            Matrix b = tb ? randomMatrix(n, k, rng)
+                          : randomMatrix(k, n, rng);
+            Matrix c(m, n), cRef(m, n);
+            gemmNaive(ta, tb, 2.0f, a, b, 0.0f, c);
+            gemmReference(ta, tb, 2.0f, a, b, 0.0f, cRef);
+            EXPECT_LT(maxAbsDiff(c, cRef), 1e-4)
+                << "ta=" << ta << " tb=" << tb;
+        }
+    }
 }
 
 TEST(Gemm, IdentityIsNoOp)
