@@ -7,6 +7,8 @@
 #include <limits>
 #include <sstream>
 
+#include <sys/resource.h>
+
 #include "common/clock.hpp"
 
 namespace mm::bench {
@@ -32,7 +34,22 @@ benchOptions(const BenchEnv &env)
         int(envInt("MM_EPOCHS", opts.phase1.train.epochs));
     opts.useCache = !SurrogateCache::disabled();
     opts.phase1.threads = int(envInt("MM_TRAIN_THREADS", 0));
+    opts.phase1.data.streamDir = env.streamDir;
+    opts.phase1.data.shardSize = size_t(envInt(
+        "MM_SHARD_ROWS", int64_t(opts.phase1.data.shardSize)));
+    opts.phase1.train.shuffleWindow =
+        size_t(envInt("MM_SHUFFLE_WINDOW", 0));
     return opts;
+}
+
+double
+peakRssMb()
+{
+    struct rusage ru{};
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0.0;
+    // Linux reports ru_maxrss in KiB.
+    return double(ru.ru_maxrss) / 1024.0;
 }
 
 std::unique_ptr<MindMappings>

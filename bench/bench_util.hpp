@@ -16,6 +16,10 @@
  *   MM_PRESET         fast (default) | paper
  *   MM_CACHE_DIR      surrogate cache location (def. ./mm_cache)
  *   MM_NO_CACHE       1 disables the cache
+ *   MM_STREAM_DIR     non-empty: run Phase 1 out-of-core, streaming
+ *                     labeled shards through this directory
+ *   MM_SHARD_ROWS     rows per shard for the streamed path
+ *   MM_SHUFFLE_WINDOW shuffle-window rows (0 = global shuffle)
  *
  * Phase-1 surrogates are provisioned once per algorithm through the
  * MindMappings facade and shared across benches via the disk cache.
@@ -53,7 +57,12 @@ struct BenchEnv
     /** Phase-1 lanes (dataset labeling + training GEMMs); 0 = hw. */
     int trainThreads = int(envInt("MM_TRAIN_THREADS", 0));
     bool paperPreset = envStr("MM_PRESET", "fast") == "paper";
+    /** Non-empty runs Phase 1 out-of-core through this directory. */
+    std::string streamDir = envStr("MM_STREAM_DIR", "");
 };
+
+/** Peak resident set size of this process so far, in MiB. */
+double peakRssMb();
 
 /** The method names of Section 5.2, in the paper's order. */
 const std::vector<std::string> &methodNames();

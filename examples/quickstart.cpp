@@ -33,6 +33,11 @@ main()
         size_t(envInt("MM_TRAIN_SAMPLES", int64_t(DatasetConfig{}.samples)));
     opts.phase1.train.epochs =
         int(envInt("MM_EPOCHS", int64_t(TrainConfig{}.epochs)));
+    // MM_STREAM_DIR runs Phase 1 out-of-core: labeled samples stream
+    // through checksummed shards in that directory instead of two dense
+    // in-RAM matrices — same result bit for bit, peak memory bounded by
+    // the shard size (see README "Phase 1 at scale").
+    opts.phase1.data.streamDir = envStr("MM_STREAM_DIR", "");
     // MM_CHAINS > 1 switches Phase 2 to the batched multi-threaded
     // driver: that many independent gradient chains, one surrogate
     // batch per step (same fixed-seed result at any thread count).

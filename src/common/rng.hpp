@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <random>
+#include <span>
 #include <vector>
 
 #include "common/error.hpp"
@@ -62,12 +63,19 @@ class Rng
     /** Fisher-Yates shuffle of @p v. */
     template <typename T>
     void
-    shuffle(std::vector<T> &v)
+    shuffle(std::span<T> v)
     {
         for (size_t i = v.size(); i > 1; --i) {
             size_t j = static_cast<size_t>(uniformInt(0, int64_t(i) - 1));
             std::swap(v[i - 1], v[j]);
         }
+    }
+
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        shuffle(std::span<T>(v));
     }
 
     /**

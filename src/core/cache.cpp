@@ -1,36 +1,61 @@
 #include "core/cache.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <vector>
 
 #include "common/env.hpp"
+#include "core/shard_store.hpp"
 
 namespace mm {
 
+namespace fs = std::filesystem;
+
 namespace {
 
-/** FNV-1a over the fingerprint string; filenames stay filesystem-safe. */
+constexpr const char *kEntrySuffix = ".surrogate";
+
+/** Hex FNV-1a of the fingerprint string; filenames stay fs-safe. */
 std::string
 hashKey(const std::string &key)
 {
-    uint64_t h = 1469598103934665603ULL;
-    for (unsigned char c : key) {
-        h ^= c;
-        h *= 1099511628211ULL;
-    }
     char buf[17];
     std::snprintf(buf, sizeof(buf), "%016llx",
-                  static_cast<unsigned long long>(h));
+                  static_cast<unsigned long long>(fnv1a64(key)));
     return buf;
+}
+
+bool
+isEntry(const fs::path &p)
+{
+    return p.extension() == kEntrySuffix;
+}
+
+/** All entries under @p root (error-swallowing: racing deletes are fine). */
+std::vector<fs::path>
+listEntries(const std::string &root)
+{
+    std::vector<fs::path> entries;
+    std::error_code ec;
+    fs::recursive_directory_iterator it(root, ec), end;
+    for (; !ec && it != end; it.increment(ec)) {
+        if (it->is_regular_file(ec) && isEntry(it->path()))
+            entries.push_back(it->path());
+    }
+    return entries;
 }
 
 } // namespace
 
-SurrogateCache::SurrogateCache(std::string dir) : root(std::move(dir))
+SurrogateCache::SurrogateCache(std::string dir, int64_t maxEntries)
+    : root(std::move(dir)), cap(maxEntries)
 {
     if (root.empty())
         root = defaultDir();
+    if (cap < 0)
+        cap = std::max<int64_t>(0, envInt("MM_CACHE_MAX_ENTRIES", 0));
 }
 
 std::string
@@ -48,7 +73,10 @@ SurrogateCache::disabled()
 std::string
 SurrogateCache::pathFor(const std::string &fingerprint) const
 {
-    return root + "/" + hashKey(fingerprint) + ".surrogate";
+    // Two-hex-char shard prefix: 256-way fan-out keeps per-directory
+    // entry counts (and thus scans and rename contention) small.
+    std::string h = hashKey(fingerprint);
+    return root + "/" + h.substr(0, 2) + "/" + h + kEntrySuffix;
 }
 
 std::optional<Surrogate>
@@ -56,10 +84,21 @@ SurrogateCache::load(const std::string &fingerprint) const
 {
     if (disabled())
         return std::nullopt;
-    std::ifstream is(pathFor(fingerprint), std::ios::binary);
+    const std::string path = pathFor(fingerprint);
+    std::ifstream is(path, std::ios::binary);
     if (!is)
         return std::nullopt;
-    return Surrogate::load(is);
+    std::optional<Surrogate> s = Surrogate::tryLoad(is);
+    std::error_code ec;
+    if (!s.has_value()) {
+        // Truncated or corrupt entry (torn writer, bit rot): treat as
+        // a miss and drop it so it cannot poison later runs.
+        fs::remove(path, ec);
+        return std::nullopt;
+    }
+    // LRU touch; best effort (the entry may be racing an eviction).
+    fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+    return s;
 }
 
 void
@@ -68,13 +107,48 @@ SurrogateCache::store(const std::string &fingerprint,
 {
     if (disabled())
         return;
+    const std::string path = pathFor(fingerprint);
     std::error_code ec;
-    std::filesystem::create_directories(root, ec);
+    fs::create_directories(fs::path(path).parent_path(), ec);
     if (ec)
         return; // best effort: caching failures never break training
-    std::ofstream os(pathFor(fingerprint), std::ios::binary);
-    if (os)
-        surrogate.save(os);
+
+    // Shared tmp-sibling + atomic-rename protocol: readers see old or
+    // new — never a torn file. Failure is a silent no-op here.
+    bool ok = commitFileAtomic(
+        path, [&](std::ostream &os) { surrogate.save(os); });
+    if (ok)
+        evictOverCap();
+}
+
+size_t
+SurrogateCache::entryCount() const
+{
+    return listEntries(root).size();
+}
+
+void
+SurrogateCache::evictOverCap() const
+{
+    if (cap <= 0)
+        return;
+    std::vector<fs::path> entries = listEntries(root);
+    if (int64_t(entries.size()) <= cap)
+        return;
+    std::vector<std::pair<fs::file_time_type, fs::path>> byAge;
+    byAge.reserve(entries.size());
+    std::error_code ec;
+    for (const fs::path &p : entries) {
+        auto t = fs::last_write_time(p, ec);
+        if (!ec)
+            byAge.emplace_back(t, p);
+    }
+    std::sort(byAge.begin(), byAge.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+    const size_t evict =
+        byAge.size() > size_t(cap) ? byAge.size() - size_t(cap) : 0;
+    for (size_t i = 0; i < evict; ++i)
+        fs::remove(byAge[i].second, ec); // racing removals are fine
 }
 
 } // namespace mm

@@ -5,11 +5,27 @@
  * Phase 1 is a one-time offline cost amortized over many searches
  * (Section 4.1); this cache is the engineering counterpart — bench
  * binaries and examples share trained surrogates keyed by a fingerprint
- * of (algorithm, accelerator, full Phase-1 config). Controlled by the
- * MM_CACHE_DIR env var; set MM_NO_CACHE=1 to disable.
+ * of (algorithm, accelerator, full Phase-1 config).
+ *
+ * The store is built for many concurrent readers and writers:
+ *   - entries are sharded into 256 hash-prefix subdirectories
+ *     (root/ab/<hash>.surrogate), so directory scans stay cheap as the
+ *     entry count grows;
+ *   - writes go to a unique tmp file and are renamed into place
+ *     (atomic on POSIX), so a reader never observes a torn entry and a
+ *     crashed writer leaves only a tmp file behind;
+ *   - loads verify the surrogate's checksummed envelope and treat any
+ *     truncated/corrupt entry as a miss (removing it) instead of
+ *     deserializing garbage;
+ *   - an LRU entry cap (MM_CACHE_MAX_ENTRIES, 0 = unlimited) bounds
+ *     disk usage: loads touch the entry's mtime, stores evict the
+ *     stalest entries beyond the cap.
+ *
+ * Controlled by the MM_CACHE_DIR env var; set MM_NO_CACHE=1 to disable.
  */
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -17,22 +33,39 @@
 
 namespace mm {
 
-/** Directory-backed store of serialized surrogates. */
+/** Directory-backed, concurrently accessible store of surrogates. */
 class SurrogateCache
 {
   public:
-    /** Empty dir selects defaultDir(). */
-    explicit SurrogateCache(std::string dir = "");
+    /**
+     * @param dir        Cache root; empty selects defaultDir().
+     * @param maxEntries LRU cap; < 0 selects MM_CACHE_MAX_ENTRIES
+     *                   (0 = unlimited).
+     */
+    explicit SurrogateCache(std::string dir = "", int64_t maxEntries = -1);
 
     /** The cache directory in use. */
     const std::string &dir() const { return root; }
 
-    /** Load the surrogate stored under @p fingerprint, if any. */
+    /** The effective LRU entry cap (0 = unlimited). */
+    int64_t entryCap() const { return cap; }
+
+    /**
+     * Load the surrogate stored under @p fingerprint. Corrupt or torn
+     * entries are misses (and are removed); successful loads are
+     * checksum-verified and refresh the entry's LRU stamp.
+     */
     std::optional<Surrogate> load(const std::string &fingerprint) const;
 
-    /** Persist @p surrogate under @p fingerprint (best effort). */
+    /**
+     * Persist @p surrogate under @p fingerprint (best effort, atomic),
+     * then evict the least-recently-used entries beyond the cap.
+     */
     void store(const std::string &fingerprint,
                const Surrogate &surrogate) const;
+
+    /** Entries currently in the store (all shards). */
+    size_t entryCount() const;
 
     /** MM_CACHE_DIR env var, defaulting to ./mm_cache. */
     static std::string defaultDir();
@@ -42,7 +75,10 @@ class SurrogateCache
 
   private:
     std::string pathFor(const std::string &fingerprint) const;
+    void evictOverCap() const;
+
     std::string root;
+    int64_t cap = 0;
 };
 
 } // namespace mm

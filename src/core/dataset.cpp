@@ -1,9 +1,12 @@
 #include "core/dataset.hpp"
 
 #include <cmath>
+#include <filesystem>
 #include <memory>
 
+#include "common/string_util.hpp"
 #include "core/feature_transform.hpp"
+#include "core/shard_store.hpp"
 #include "costmodel/cost_model.hpp"
 
 namespace mm {
@@ -24,6 +27,114 @@ struct ProblemContext
     {}
 };
 
+/**
+ * Shared labeling core of the in-RAM and streamed paths: the problem
+ * pool plus the per-sample sample-and-label step. Both paths construct
+ * it from the same Rng in the same order and then label each sample
+ * from a seed forked in global sample order, which is what makes the
+ * two paths (and any lane count) bitwise identical.
+ */
+struct DatasetBuilder
+{
+    std::vector<std::unique_ptr<ProblemContext>> pool;
+    FeatureTransform transform{0};
+    size_t features = 0;
+    size_t outputs = 0;
+    size_t tensors = 0;
+    const DatasetConfig &cfg;
+
+    DatasetBuilder(const AcceleratorSpec &arch, const AlgorithmSpec &algo,
+                   const DatasetConfig &cfg_, Rng &rng)
+        : cfg(cfg_)
+    {
+        MM_ASSERT(cfg.samples >= 10, "dataset too small");
+        MM_ASSERT(cfg.testFraction >= 0.0 && cfg.testFraction < 1.0,
+                  "bad test fraction");
+        MM_ASSERT(cfg.eliteFraction >= 0.0 && cfg.eliteFraction <= 1.0,
+                  "elite fraction out of range");
+        if (!cfg.problems.empty()) {
+            for (const Problem &p : cfg.problems) {
+                MM_ASSERT(p.algo == &algo, "problem/algorithm mismatch");
+                pool.push_back(std::make_unique<ProblemContext>(arch, p));
+            }
+        } else {
+            for (size_t i = 0; i < cfg.problemCount; ++i)
+                pool.push_back(std::make_unique<ProblemContext>(
+                    arch, sampleRepresentativeProblem(algo, rng)));
+        }
+        features = pool.front()->codec.featureCount();
+        tensors = algo.tensorCount();
+        outputs = cfg.metaStatOutputs ? CostResult::metaStatCount(tensors)
+                                      : 1;
+        transform = FeatureTransform{pool.front()->codec.orderOffset()};
+    }
+
+    /** Sample + label one row from its forked seed. Thread-safe: the
+     * pool's entry points are all const. */
+    void
+    label(uint64_t seed, std::span<float> xRow, std::span<float> yRow) const
+    {
+        Rng srng(seed);
+        ProblemContext &ctx = *pool[size_t(
+            srng.uniformInt(0, int64_t(pool.size()) - 1))];
+        Mapping m = ctx.space.randomValid(srng);
+        if (cfg.eliteFraction > 0.0 && srng.bernoulli(cfg.eliteFraction)) {
+            // Best-of-k draw: biases coverage toward the low-EDP tail.
+            for (int c = 1; c < cfg.eliteCandidates; ++c) {
+                Mapping cand = ctx.space.randomValid(srng);
+                if (ctx.model.edp(cand) < ctx.model.edp(m))
+                    m = std::move(cand);
+            }
+        }
+        auto feat = ctx.codec.encode(m);
+        transform.apply(feat);
+        for (size_t c = 0; c < features; ++c)
+            xRow[c] = float(feat[c]);
+
+        CostResult res = ctx.model.evaluate(m);
+        const LowerBound &lb = ctx.model.lowerBound();
+        if (cfg.metaStatOutputs) {
+            auto stats = res.metaStats();
+            normalizeMetaStatsByBound(stats, tensors, lb.energyPj,
+                                      lb.cycles);
+            logTransformOutputs(stats);
+            for (size_t c = 0; c < outputs; ++c)
+                yRow[c] = float(stats[c]);
+        } else {
+            yRow[0] = float(std::log(res.edp() / lb.edp()));
+        }
+    }
+};
+
+/** Train/test split sizes for @p cfg. */
+void
+splitRows(const DatasetConfig &cfg, size_t &trainRows, size_t &testRows)
+{
+    testRows = size_t(double(cfg.samples) * cfg.testFraction);
+    trainRows = cfg.samples - testRows;
+    MM_ASSERT(trainRows > 0, "empty training split");
+}
+
+/**
+ * Identity of a streamed dataset: every knob that changes its bytes.
+ * Shards and manifest from a different config never validate, so stale
+ * stream directories are regenerated instead of silently reused.
+ */
+uint64_t
+datasetConfigHash(const AcceleratorSpec &arch, const AlgorithmSpec &algo,
+                  const DatasetConfig &cfg)
+{
+    std::string probs;
+    for (const Problem &p : cfg.problems)
+        probs += join(p.bounds, "x") + ";";
+    return fnv1a64(strCat(
+        "ds|", arch.name, "|", algo.name, "|n=", cfg.samples,
+        "|tf=", cfg.testFraction, "|pc=", cfg.problemCount, "|probs=", probs,
+        "|meta=", cfg.metaStatOutputs, "|elite=", cfg.eliteFraction,
+        "|ec=", cfg.eliteCandidates, "|seed=", cfg.seed,
+        "|shard=", cfg.shardSize));
+}
+
 } // namespace
 
 void
@@ -43,34 +154,11 @@ SurrogateDataset
 generateDataset(const AcceleratorSpec &arch, const AlgorithmSpec &algo,
                 const DatasetConfig &cfg, ParallelContext *par)
 {
-    MM_ASSERT(cfg.samples >= 10, "dataset too small");
-    MM_ASSERT(cfg.testFraction >= 0.0 && cfg.testFraction < 1.0,
-              "bad test fraction");
     Rng rng(cfg.seed);
+    DatasetBuilder builder(arch, algo, cfg, rng);
+    const size_t features = builder.features;
+    const size_t outputs = builder.outputs;
 
-    // Build the pool of map spaces to draw from.
-    std::vector<std::unique_ptr<ProblemContext>> pool;
-    if (!cfg.problems.empty()) {
-        for (const Problem &p : cfg.problems) {
-            MM_ASSERT(p.algo == &algo, "problem/algorithm mismatch");
-            pool.push_back(std::make_unique<ProblemContext>(arch, p));
-        }
-    } else {
-        for (size_t i = 0; i < cfg.problemCount; ++i)
-            pool.push_back(std::make_unique<ProblemContext>(
-                arch, sampleRepresentativeProblem(algo, rng)));
-    }
-
-    const size_t features = pool.front()->codec.featureCount();
-    const size_t tensors = algo.tensorCount();
-    const size_t outputs =
-        cfg.metaStatOutputs ? CostResult::metaStatCount(tensors) : 1;
-
-    const FeatureTransform transform{
-        pool.front()->codec.orderOffset()};
-
-    MM_ASSERT(cfg.eliteFraction >= 0.0 && cfg.eliteFraction <= 1.0,
-              "elite fraction out of range");
     Matrix x(cfg.samples, features);
     Matrix y(cfg.samples, outputs);
 
@@ -87,35 +175,7 @@ generateDataset(const AcceleratorSpec &arch, const AlgorithmSpec &algo,
         sampleSeeds.push_back(rng.forkSeed());
 
     auto labelSample = [&](size_t i) {
-        Rng srng(sampleSeeds[i]);
-        ProblemContext &ctx = *pool[size_t(
-            srng.uniformInt(0, int64_t(pool.size()) - 1))];
-        Mapping m = ctx.space.randomValid(srng);
-        if (cfg.eliteFraction > 0.0 && srng.bernoulli(cfg.eliteFraction)) {
-            // Best-of-k draw: biases coverage toward the low-EDP tail.
-            for (int c = 1; c < cfg.eliteCandidates; ++c) {
-                Mapping cand = ctx.space.randomValid(srng);
-                if (ctx.model.edp(cand) < ctx.model.edp(m))
-                    m = std::move(cand);
-            }
-        }
-        auto feat = ctx.codec.encode(m);
-        transform.apply(feat);
-        for (size_t c = 0; c < features; ++c)
-            x(i, c) = float(feat[c]);
-
-        CostResult res = ctx.model.evaluate(m);
-        const LowerBound &lb = ctx.model.lowerBound();
-        if (cfg.metaStatOutputs) {
-            auto stats = res.metaStats();
-            normalizeMetaStatsByBound(stats, tensors, lb.energyPj,
-                                      lb.cycles);
-            logTransformOutputs(stats);
-            for (size_t c = 0; c < outputs; ++c)
-                y(i, c) = float(stats[c]);
-        } else {
-            y(i, 0) = float(std::log(res.edp() / lb.edp()));
-        }
+        builder.label(sampleSeeds[i], x.row(i), y.row(i));
     };
     if (par != nullptr)
         par->parallelFor(cfg.samples, labelSample);
@@ -124,14 +184,13 @@ generateDataset(const AcceleratorSpec &arch, const AlgorithmSpec &algo,
             labelSample(i);
 
     // Split, then fit normalizers on the training rows only.
-    size_t testRows = size_t(double(cfg.samples) * cfg.testFraction);
-    size_t trainRows = cfg.samples - testRows;
-    MM_ASSERT(trainRows > 0, "empty training split");
+    size_t trainRows = 0, testRows = 0;
+    splitRows(cfg, trainRows, testRows);
 
     SurrogateDataset ds;
     ds.featureCount = features;
     ds.outputCount = outputs;
-    ds.featureLogPrefix = transform.logPrefix;
+    ds.featureLogPrefix = builder.transform.logPrefix;
     ds.xTrain.resize(trainRows, features);
     ds.yTrain.resize(trainRows, outputs);
     ds.xTest.resize(testRows, features);
@@ -158,6 +217,135 @@ generateDataset(const AcceleratorSpec &arch, const AlgorithmSpec &algo,
         ds.outputNorm.applyInPlace(ds.yTest);
     }
     return ds;
+}
+
+StreamedDataset
+generateDatasetStreamed(const AcceleratorSpec &arch,
+                        const AlgorithmSpec &algo, const DatasetConfig &cfg,
+                        ParallelContext *par)
+{
+    MM_ASSERT(!cfg.streamDir.empty(),
+              "generateDatasetStreamed needs cfg.streamDir");
+    MM_ASSERT(cfg.shardSize > 0, "shard size must be positive");
+
+    size_t trainRows = 0, testRows = 0;
+    splitRows(cfg, trainRows, testRows);
+    const uint64_t configHash = datasetConfigHash(arch, algo, cfg);
+
+    auto asResult = [&](const ShardManifest &m, bool reused) {
+        StreamedDataset sd;
+        sd.dir = cfg.streamDir;
+        sd.inputNorm = m.inputNorm;
+        sd.outputNorm = m.outputNorm;
+        sd.featureCount = size_t(m.layout.features);
+        sd.outputCount = size_t(m.layout.outputs);
+        sd.featureLogPrefix = size_t(m.layout.featureLogPrefix);
+        sd.trainRows = size_t(m.layout.trainRows);
+        sd.testRows = size_t(m.layout.testRows);
+        sd.shardSize = size_t(m.layout.shardSize);
+        sd.shardCount = size_t(m.layout.shardCount);
+        sd.reused = reused;
+        return sd;
+    };
+
+    // Reuse-on-restart fast path: a committed store for this exact
+    // config is the dataset (generation is deterministic). Every shard
+    // must still be present AND claim this config in its header (a
+    // cheap peek, no checksum pass) — a store with deleted or foreign
+    // shards falls through and regenerates just the bad ones.
+    if (auto m = ShardedDatasetReader::tryReadManifest(cfg.streamDir)) {
+        bool complete = m->layout.configHash == configHash;
+        for (size_t s = 0; complete && s < size_t(m->layout.shardCount);
+             ++s)
+            complete = peekShardConfigHash(cfg.streamDir, s) == configHash;
+        if (complete)
+            return asResult(*m, true);
+        // Different config or incomplete store: drop the manifest
+        // FIRST (it is the commit point — leaving it while shards are
+        // rewritten would let a crashed regeneration masquerade as a
+        // committed store for the old config), then fall through and
+        // regenerate; shards that don't validate against this config
+        // hash are rewritten, valid ones are kept.
+        std::error_code ec;
+        std::filesystem::remove(manifestPath(cfg.streamDir), ec);
+    }
+
+    Rng rng(cfg.seed);
+    DatasetBuilder builder(arch, algo, cfg, rng);
+
+    ShardLayout layout;
+    layout.rows = cfg.samples;
+    layout.features = builder.features;
+    layout.outputs = builder.outputs;
+    layout.shardSize = cfg.shardSize;
+    layout.shardCount = (cfg.samples + cfg.shardSize - 1) / cfg.shardSize;
+    layout.trainRows = trainRows;
+    layout.testRows = testRows;
+    layout.featureLogPrefix = builder.transform.logPrefix;
+    layout.configHash = configHash;
+    ShardStoreWriter writer(cfg.streamDir, layout);
+
+    // Label one shard's worth of samples at a time: peak memory is
+    // O(shardSize), and each committed shard is a restart point. The
+    // seed-fork order is global sample order, so shard contents match
+    // the rows the in-RAM path produces, at any lane count.
+    Matrix bx, by;
+    std::vector<uint64_t> seeds;
+    for (size_t s = 0; s < size_t(layout.shardCount); ++s) {
+        const size_t count = size_t(layout.shardRows(s));
+        if (writer.shardValid(s)) {
+            // Resume: the shard is already on disk; keep the RNG
+            // stream aligned with the samples it covers.
+            for (size_t i = 0; i < count; ++i)
+                rng.forkSeed();
+            continue;
+        }
+        seeds.clear();
+        for (size_t i = 0; i < count; ++i)
+            seeds.push_back(rng.forkSeed());
+        bx.ensureShape(count, builder.features);
+        by.ensureShape(count, builder.outputs);
+        auto labelSample = [&](size_t i) {
+            builder.label(seeds[i], bx.row(i), by.row(i));
+        };
+        if (par != nullptr)
+            par->parallelFor(count, labelSample);
+        else
+            for (size_t i = 0; i < count; ++i)
+                labelSample(i);
+        writer.writeShard(s, bx, by);
+    }
+
+    // Single streaming-moments pass over the training rows — bitwise
+    // the same normalizers Normalizer::fit computes on the in-RAM
+    // split (each column's accumulator sees the same value sequence).
+    // Reading back through the verified path also re-checks every
+    // training shard's checksum before the store is committed.
+    StreamingNormalizerFit xFit(builder.features);
+    StreamingNormalizerFit yFit(builder.outputs);
+    {
+        Matrix sx, sy;
+        std::string err;
+        for (size_t row = 0; row < trainRows;) {
+            const size_t s = row / cfg.shardSize;
+            bool ok = readShardFile(cfg.streamDir, s, layout, sx, sy, &err);
+            MM_ASSERT(ok, strCat("cannot read back ",
+                                 shardPath(cfg.streamDir, s), ": ", err));
+            const size_t shardBegin = s * cfg.shardSize;
+            const size_t last = std::min(trainRows, shardBegin + sx.rows());
+            for (; row < last; ++row) {
+                xFit.pushRow(sx.row(row - shardBegin));
+                yFit.pushRow(sy.row(row - shardBegin));
+            }
+        }
+    }
+
+    ShardManifest manifest;
+    manifest.layout = layout;
+    manifest.inputNorm = xFit.finish();
+    manifest.outputNorm = yFit.finish();
+    writer.commit(manifest.inputNorm, manifest.outputNorm);
+    return asResult(manifest, false);
 }
 
 } // namespace mm

@@ -53,6 +53,19 @@ struct DatasetConfig
     /** Candidates per elite draw. */
     int eliteCandidates = 8;
     uint64_t seed = 1;
+    /**
+     * When non-empty, Phase 1 runs out-of-core: labeled samples are
+     * written to checksummed fixed-size shards in this directory
+     * (core/shard_store.hpp) instead of two dense in-RAM matrices, and
+     * the trainer streams mini-batches back from disk. The result is
+     * bitwise identical to the in-RAM path at any lane count; peak
+     * memory is O(shardSize), not O(samples). A directory holding a
+     * committed store for the same config is reused; a partial
+     * (crashed) run resumes at shard granularity.
+     */
+    std::string streamDir;
+    /** Rows per shard for the streamed path. */
+    size_t shardSize = 65536;
 };
 
 /** A generated, normalized regression dataset plus its normalizers. */
@@ -85,6 +98,39 @@ SurrogateDataset generateDataset(const AcceleratorSpec &arch,
                                  const AlgorithmSpec &algo,
                                  const DatasetConfig &cfg,
                                  ParallelContext *par = nullptr);
+
+/** Handle to a committed on-disk dataset (see core/shard_store.hpp). */
+struct StreamedDataset
+{
+    /** The stream directory holding shards + manifest. */
+    std::string dir;
+    Normalizer inputNorm;
+    Normalizer outputNorm;
+    size_t featureCount = 0;
+    size_t outputCount = 0;
+    size_t featureLogPrefix = 0;
+    size_t trainRows = 0;
+    size_t testRows = 0;
+    size_t shardSize = 0;
+    size_t shardCount = 0;
+    /** True when a committed store for this config was reused as-is. */
+    bool reused = false;
+};
+
+/**
+ * Out-of-core variant of generateDataset: labels cfg.shardSize samples
+ * at a time (same per-sample forked RNG streams, so shards are bitwise
+ * identical to the rows the in-RAM path would produce at any lane
+ * count), commits each shard atomically to cfg.streamDir, fits the
+ * normalizers in one streaming-moments pass over the training rows,
+ * and publishes the manifest. Restart behavior: a committed store for
+ * the same config is reused without relabeling; after a crash, shards
+ * that validate are skipped and only the missing ones are labeled.
+ */
+StreamedDataset generateDatasetStreamed(const AcceleratorSpec &arch,
+                                        const AlgorithmSpec &algo,
+                                        const DatasetConfig &cfg,
+                                        ParallelContext *par = nullptr);
 
 /** Lower-bound-normalize a raw meta-statistics vector in place. */
 void normalizeMetaStatsByBound(std::vector<double> &stats,

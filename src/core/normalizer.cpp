@@ -27,6 +27,30 @@ Normalizer::fit(const Matrix &data)
     return n;
 }
 
+Normalizer
+Normalizer::fromMoments(std::vector<double> means, std::vector<double> stds)
+{
+    MM_ASSERT(means.size() == stds.size(), "moments arity mismatch");
+    Normalizer n;
+    n.means = std::move(means);
+    n.stds = std::move(stds);
+    for (double &s : n.stds)
+        s = std::max(s, 1e-8);
+    return n;
+}
+
+Normalizer
+StreamingNormalizerFit::finish() const
+{
+    MM_ASSERT(rows() > 0, "cannot fit normalizer on empty stream");
+    std::vector<double> means(stats.size()), stds(stats.size());
+    for (size_t c = 0; c < stats.size(); ++c) {
+        means[c] = stats[c].mean();
+        stds[c] = stats[c].stddev();
+    }
+    return Normalizer::fromMoments(std::move(means), std::move(stds));
+}
+
 std::vector<double>
 Normalizer::apply(std::span<const double> raw) const
 {
@@ -52,9 +76,17 @@ Normalizer::applyInPlace(Matrix &data) const
 {
     MM_ASSERT(data.cols() == dim(), "normalizer arity mismatch");
     for (size_t r = 0; r < data.rows(); ++r)
-        for (size_t c = 0; c < data.cols(); ++c)
-            data(r, c) =
-                float((double(data(r, c)) - means[c]) / stds[c]);
+        normalizeRow(data.row(r), data.row(r));
+}
+
+void
+Normalizer::normalizeRow(std::span<const float> raw,
+                         std::span<float> out) const
+{
+    MM_ASSERT(raw.size() == dim() && out.size() == dim(),
+              "normalizer arity mismatch");
+    for (size_t c = 0; c < dim(); ++c)
+        out[c] = float((double(raw[c]) - means[c]) / stds[c]);
 }
 
 void

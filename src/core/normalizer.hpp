@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "tensor/matrix.hpp"
 
 namespace mm {
@@ -23,6 +24,13 @@ class Normalizer
     /** Fit means and stds over the rows of @p data. */
     static Normalizer fit(const Matrix &data);
 
+    /**
+     * Build from precomputed per-column moments (streaming fits,
+     * deserialization). Stds are clamped away from zero like fit().
+     */
+    static Normalizer fromMoments(std::vector<double> means,
+                                  std::vector<double> stds);
+
     size_t dim() const { return means.size(); }
 
     /** (x - mean) / std, elementwise per column. */
@@ -34,6 +42,14 @@ class Normalizer
     /** Normalize every row of @p data in place. */
     void applyInPlace(Matrix &data) const;
 
+    /**
+     * Normalize one float row into @p out. The exact arithmetic of
+     * applyInPlace, factored out so out-of-core batch sources produce
+     * bitwise-identical values to a pre-normalized in-RAM matrix.
+     */
+    void normalizeRow(std::span<const float> raw,
+                      std::span<float> out) const;
+
     double mean(size_t i) const { return means.at(i); }
     double std(size_t i) const { return stds.at(i); }
 
@@ -43,6 +59,35 @@ class Normalizer
   private:
     std::vector<double> means;
     std::vector<double> stds; ///< clamped away from zero
+};
+
+/**
+ * Single-pass normalizer fit over a row stream. Pushing rows 0..n-1 in
+ * order yields a Normalizer bitwise identical to Normalizer::fit over
+ * the materialized matrix (each column's Welford accumulator sees the
+ * same observation sequence either way) — the streamed Phase-1 pipeline
+ * relies on this to match the in-RAM path exactly.
+ */
+class StreamingNormalizerFit
+{
+  public:
+    explicit StreamingNormalizerFit(size_t cols) : stats(cols) {}
+
+    void
+    pushRow(std::span<const float> row)
+    {
+        MM_ASSERT(row.size() == stats.size(),
+                  "streaming fit arity mismatch");
+        for (size_t c = 0; c < stats.size(); ++c)
+            stats[c].push(double(row[c]));
+    }
+
+    int64_t rows() const { return stats.empty() ? 0 : stats[0].count(); }
+
+    Normalizer finish() const;
+
+  private:
+    std::vector<RunningStat> stats;
 };
 
 } // namespace mm

@@ -1,0 +1,510 @@
+#include "core/shard_store.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "common/env.hpp"
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace mm {
+
+namespace {
+
+constexpr uint32_t kShardMagic = 0x4d4d5331;    // "MMS1"
+constexpr uint32_t kManifestMagic = 0x4d4d4d46; // "MMMF"
+constexpr uint32_t kStoreVersion = 1;
+
+template <typename T>
+void
+put(std::ostream &os, T v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+template <typename T>
+bool
+get(std::istream &is, T &v)
+{
+    is.read(reinterpret_cast<char *>(&v), sizeof(v));
+    return bool(is);
+}
+
+/**
+ * commitFileAtomic for a checksummed blob; failures raise FatalError —
+ * losing dataset shards silently would corrupt the run.
+ */
+void
+commitBlobFile(const std::string &path, uint32_t magic, uint32_t version,
+               const std::string &body)
+{
+    bool ok = commitFileAtomic(path, [&](std::ostream &os) {
+        writeChecksummedBlob(os, magic, version, body);
+    });
+    if (!ok)
+        fatal("cannot commit " + path);
+}
+
+/** Serialized fixed-width shard body header. */
+struct ShardHeader
+{
+    uint64_t shardIndex;
+    uint64_t rowCount;
+    uint64_t features;
+    uint64_t outputs;
+    uint64_t configHash;
+};
+
+std::optional<std::string>
+readBlobFile(const std::string &path, uint32_t magic, uint32_t version,
+             std::string *err)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        if (err)
+            *err = "missing file";
+        return std::nullopt;
+    }
+    return readChecksummedBlob(is, magic, version, err);
+}
+
+} // namespace
+
+uint64_t
+fnv1a64(const void *data, size_t n, uint64_t h)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+uint64_t
+fnv1a64(const std::string &s)
+{
+    return fnv1a64(s.data(), s.size());
+}
+
+void
+writeChecksummedBlob(std::ostream &os, uint32_t magic, uint32_t version,
+                     const std::string &body)
+{
+    put(os, magic);
+    put(os, version);
+    put(os, uint64_t(body.size()));
+    os.write(body.data(), std::streamsize(body.size()));
+    put(os, fnv1a64(body));
+    put(os, uint32_t(~magic));
+}
+
+std::optional<std::string>
+readChecksummedBlob(std::istream &is, uint32_t magic, uint32_t version,
+                    std::string *err, bool expectEof)
+{
+    auto fail = [&](const std::string &why) -> std::optional<std::string> {
+        if (err)
+            *err = why;
+        return std::nullopt;
+    };
+    uint32_t m = 0, v = 0;
+    uint64_t size = 0;
+    if (!get(is, m) || m != magic)
+        return fail("bad magic (not a recognized file)");
+    if (!get(is, v) || v != version)
+        return fail(strCat("unsupported format version ", v, " (expected ",
+                           version, ")"));
+    if (!get(is, size))
+        return fail("truncated file (no body size)");
+    // Bound the allocation by what the stream can actually hold: a
+    // corrupt size field must produce a diagnostic, not a giant
+    // std::string allocation (bad_alloc would escape the corrupt-file
+    // contract). Footer = u64 checksum + u32 magic.
+    const std::istream::pos_type bodyPos = is.tellg();
+    is.seekg(0, std::ios::end);
+    const std::istream::pos_type endPos = is.tellg();
+    if (bodyPos == std::istream::pos_type(-1)
+        || endPos == std::istream::pos_type(-1))
+        return fail("unseekable stream");
+    is.seekg(bodyPos);
+    const uint64_t remaining = uint64_t(endPos - bodyPos);
+    const uint64_t footerBytes = sizeof(uint64_t) + sizeof(uint32_t);
+    if (remaining < footerBytes || size > remaining - footerBytes)
+        return fail("corrupt or truncated body size");
+    std::string body(size_t(size), '\0');
+    is.read(body.data(), std::streamsize(size));
+    if (size_t(is.gcount()) != size)
+        return fail("truncated file (short body)");
+    uint64_t sum = 0;
+    uint32_t foot = 0;
+    if (!get(is, sum) || !get(is, foot))
+        return fail("truncated file (no footer)");
+    if (foot != uint32_t(~magic))
+        return fail("bad footer magic");
+    if (sum != fnv1a64(body))
+        return fail("checksum mismatch (corrupt or torn write)");
+    if (expectEof && is.peek() != std::char_traits<char>::eof())
+        return fail("trailing bytes after footer");
+    return body;
+}
+
+bool
+commitFileAtomic(const std::string &path,
+                 const std::function<void(std::ostream &)> &writeBody)
+{
+    // Unique tmp name: concurrent writers must never share one.
+    static std::atomic<uint64_t> counter{0};
+    std::string tmp = strCat(path, ".tmp.", uint64_t(::getpid()), ".",
+                             counter.fetch_add(1));
+    std::error_code ec;
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os)
+            return false;
+        writeBody(os);
+        os.flush();
+        if (!os) {
+            std::filesystem::remove(tmp, ec);
+            return false;
+        }
+    }
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::filesystem::remove(tmp, ec);
+        return false;
+    }
+    return true;
+}
+
+std::string
+shardPath(const std::string &dir, size_t idx)
+{
+    char name[32];
+    std::snprintf(name, sizeof(name), "shard-%06zu.mms", idx);
+    return dir + "/" + name;
+}
+
+std::string
+manifestPath(const std::string &dir)
+{
+    return dir + "/manifest.mms";
+}
+
+bool
+readShardFile(const std::string &dir, size_t idx, const ShardLayout &expect,
+              Matrix &x, Matrix &y, std::string *err)
+{
+    auto body =
+        readBlobFile(shardPath(dir, idx), kShardMagic, kStoreVersion, err);
+    if (!body)
+        return false;
+    auto fail = [&](const std::string &why) {
+        if (err)
+            *err = why;
+        return false;
+    };
+
+    std::istringstream is(*body);
+    ShardHeader h{};
+    if (!get(is, h.shardIndex) || !get(is, h.rowCount)
+        || !get(is, h.features) || !get(is, h.outputs)
+        || !get(is, h.configHash))
+        return fail("truncated shard header");
+    if (h.shardIndex != idx)
+        return fail(strCat("shard index mismatch (header says ",
+                           h.shardIndex, ")"));
+    if (h.features != expect.features || h.outputs != expect.outputs)
+        return fail("shard arity mismatch");
+    if (h.configHash != expect.configHash)
+        return fail("shard belongs to a different dataset config");
+    if (h.rowCount != expect.shardRows(idx))
+        return fail("shard row count mismatch");
+
+    const size_t rows = size_t(h.rowCount);
+    const size_t xFloats = rows * size_t(h.features);
+    const size_t yFloats = rows * size_t(h.outputs);
+    const size_t expectBytes =
+        sizeof(ShardHeader) + (xFloats + yFloats) * sizeof(float);
+    if (body->size() != expectBytes)
+        return fail("shard payload size mismatch");
+
+    x.ensureShape(rows, size_t(h.features));
+    y.ensureShape(rows, size_t(h.outputs));
+    is.read(reinterpret_cast<char *>(x.data()),
+            std::streamsize(xFloats * sizeof(float)));
+    is.read(reinterpret_cast<char *>(y.data()),
+            std::streamsize(yFloats * sizeof(float)));
+    MM_ASSERT(bool(is), "shard body shorter than its validated size");
+    return true;
+}
+
+std::optional<uint64_t>
+peekShardConfigHash(const std::string &dir, size_t idx)
+{
+    std::ifstream is(shardPath(dir, idx), std::ios::binary);
+    if (!is)
+        return std::nullopt;
+    uint32_t magic = 0, version = 0;
+    uint64_t size = 0;
+    if (!get(is, magic) || magic != kShardMagic || !get(is, version)
+        || version != kStoreVersion || !get(is, size))
+        return std::nullopt;
+    ShardHeader h{};
+    if (!get(is, h.shardIndex) || !get(is, h.rowCount)
+        || !get(is, h.features) || !get(is, h.outputs)
+        || !get(is, h.configHash) || h.shardIndex != idx)
+        return std::nullopt;
+    return h.configHash;
+}
+
+// ---------------------------------------------------------------------------
+// ShardStoreWriter
+// ---------------------------------------------------------------------------
+
+ShardStoreWriter::ShardStoreWriter(std::string dir, ShardLayout layout)
+    : root(std::move(dir)), shape(layout)
+{
+    MM_ASSERT(!root.empty(), "shard store needs a directory");
+    MM_ASSERT(shape.shardSize > 0, "shard size must be positive");
+    MM_ASSERT(shape.rows > 0, "shard store needs rows");
+    MM_ASSERT(shape.features > 0 && shape.outputs > 0,
+              "shard store needs arity");
+    MM_ASSERT(shape.shardCount
+                  == (shape.rows + shape.shardSize - 1) / shape.shardSize,
+              "shard count inconsistent with rows/shardSize");
+    MM_ASSERT(shape.trainRows + shape.testRows == shape.rows,
+              "split inconsistent with rows");
+    std::error_code ec;
+    std::filesystem::create_directories(root, ec);
+    if (ec)
+        fatal("cannot create stream directory " + root);
+}
+
+bool
+ShardStoreWriter::shardValid(size_t idx) const
+{
+    Matrix x, y;
+    return readShardFile(root, idx, shape, x, y, nullptr);
+}
+
+void
+ShardStoreWriter::writeShard(size_t idx, const Matrix &x, const Matrix &y)
+{
+    MM_ASSERT(idx < shape.shardCount, "shard index out of range");
+    const size_t rows = size_t(shape.shardRows(idx));
+    MM_ASSERT(x.rows() == rows && y.rows() == rows,
+              "shard row count mismatch");
+    MM_ASSERT(x.cols() == shape.features && y.cols() == shape.outputs,
+              "shard arity mismatch");
+
+    std::ostringstream body(std::ios::binary);
+    put(body, uint64_t(idx));
+    put(body, uint64_t(rows));
+    put(body, shape.features);
+    put(body, shape.outputs);
+    put(body, shape.configHash);
+    body.write(reinterpret_cast<const char *>(x.data()),
+               std::streamsize(rows * x.cols() * sizeof(float)));
+    body.write(reinterpret_cast<const char *>(y.data()),
+               std::streamsize(rows * y.cols() * sizeof(float)));
+    commitBlobFile(shardPath(root, idx), kShardMagic, kStoreVersion,
+                   body.str());
+}
+
+void
+ShardStoreWriter::commit(const Normalizer &inputNorm,
+                         const Normalizer &outputNorm)
+{
+    MM_ASSERT(inputNorm.dim() == shape.features
+                  && outputNorm.dim() == shape.outputs,
+              "manifest normalizer arity mismatch");
+    std::ostringstream body(std::ios::binary);
+    put(body, shape.rows);
+    put(body, shape.features);
+    put(body, shape.outputs);
+    put(body, shape.shardSize);
+    put(body, shape.shardCount);
+    put(body, shape.trainRows);
+    put(body, shape.testRows);
+    put(body, shape.featureLogPrefix);
+    put(body, shape.configHash);
+    inputNorm.save(body);
+    outputNorm.save(body);
+    commitBlobFile(manifestPath(root), kManifestMagic, kStoreVersion,
+                   body.str());
+}
+
+// ---------------------------------------------------------------------------
+// ShardedDatasetReader
+// ---------------------------------------------------------------------------
+
+std::optional<ShardManifest>
+ShardedDatasetReader::tryReadManifest(const std::string &dir)
+{
+    auto body = readBlobFile(manifestPath(dir), kManifestMagic,
+                             kStoreVersion, nullptr);
+    if (!body)
+        return std::nullopt;
+    std::istringstream is(*body);
+    ShardManifest m;
+    ShardLayout &l = m.layout;
+    if (!get(is, l.rows) || !get(is, l.features) || !get(is, l.outputs)
+        || !get(is, l.shardSize) || !get(is, l.shardCount)
+        || !get(is, l.trainRows) || !get(is, l.testRows)
+        || !get(is, l.featureLogPrefix) || !get(is, l.configHash))
+        return std::nullopt;
+    if (l.shardSize == 0 || l.rows == 0
+        || l.shardCount != (l.rows + l.shardSize - 1) / l.shardSize
+        || l.trainRows + l.testRows != l.rows)
+        return std::nullopt;
+    m.inputNorm = Normalizer::load(is);
+    m.outputNorm = Normalizer::load(is);
+    if (m.inputNorm.dim() != l.features || m.outputNorm.dim() != l.outputs)
+        return std::nullopt;
+    return m;
+}
+
+ShardedDatasetReader::ShardedDatasetReader(std::string dir,
+                                           size_t cacheShards)
+    : root(std::move(dir))
+{
+    auto m = tryReadManifest(root);
+    MM_ASSERT(m.has_value(),
+              strCat("no valid shard-store manifest in '", root,
+                     "' (partial or corrupt dataset run)"));
+    manifest = std::move(*m);
+    for (size_t s = 0; s < manifest.layout.shardCount; ++s) {
+        MM_ASSERT(std::filesystem::exists(shardPath(root, s)),
+                  strCat("missing shard file ", shardPath(root, s)));
+    }
+    if (cacheShards == 0)
+        cacheShards = size_t(std::max<int64_t>(1, envInt("MM_SHARD_CACHE", 8)));
+    cache.resize(cacheShards);
+}
+
+void
+ShardedDatasetReader::readShard(size_t idx, Matrix &x, Matrix &y) const
+{
+    MM_ASSERT(idx < manifest.layout.shardCount, "shard index out of range");
+    std::string err;
+    bool ok = readShardFile(root, idx, manifest.layout, x, y, &err);
+    MM_ASSERT(ok, strCat("cannot read ", shardPath(root, idx), ": ", err));
+}
+
+void
+ShardedDatasetReader::forEachRow(
+    size_t rowBegin, size_t rowEnd,
+    const std::function<void(size_t, std::span<const float>,
+                             std::span<const float>)> &fn) const
+{
+    const ShardLayout &l = manifest.layout;
+    MM_ASSERT(rowBegin <= rowEnd && rowEnd <= l.rows,
+              "row range out of bounds");
+    Matrix x, y;
+    for (size_t row = rowBegin; row < rowEnd;) {
+        const size_t shard = row / l.shardSize;
+        readShard(shard, x, y);
+        const size_t shardBegin = shard * size_t(l.shardSize);
+        const size_t last = std::min(rowEnd, shardBegin + x.rows());
+        for (; row < last; ++row)
+            fn(row, x.row(row - shardBegin), y.row(row - shardBegin));
+    }
+}
+
+void
+ShardedDatasetReader::materialize(size_t rowBegin, size_t rowCount,
+                                  Matrix &x, Matrix &y) const
+{
+    x.ensureShape(rowCount, size_t(manifest.layout.features));
+    y.ensureShape(rowCount, size_t(manifest.layout.outputs));
+    forEachRow(rowBegin, rowBegin + rowCount,
+               [&](size_t row, std::span<const float> xr,
+                   std::span<const float> yr) {
+                   std::copy(xr.begin(), xr.end(),
+                             x.row(row - rowBegin).begin());
+                   std::copy(yr.begin(), yr.end(),
+                             y.row(row - rowBegin).begin());
+               });
+}
+
+ShardedDatasetReader::CachedShard &
+ShardedDatasetReader::cachedShard(size_t idx)
+{
+    CachedShard *victim = &cache[0];
+    for (CachedShard &slot : cache) {
+        if (slot.idx == idx) {
+            slot.stamp = ++tick;
+            return slot;
+        }
+        if (slot.stamp < victim->stamp)
+            victim = &slot;
+    }
+    readShard(idx, victim->x, victim->y);
+    victim->idx = idx;
+    victim->stamp = ++tick;
+    return *victim;
+}
+
+std::span<const float>
+ShardedDatasetReader::xRow(size_t row)
+{
+    MM_ASSERT(row < manifest.layout.rows, "row out of range");
+    const size_t shardSize = size_t(manifest.layout.shardSize);
+    return cachedShard(row / shardSize).x.row(row % shardSize);
+}
+
+std::span<const float>
+ShardedDatasetReader::yRow(size_t row)
+{
+    MM_ASSERT(row < manifest.layout.rows, "row out of range");
+    const size_t shardSize = size_t(manifest.layout.shardSize);
+    return cachedShard(row / shardSize).y.row(row % shardSize);
+}
+
+// ---------------------------------------------------------------------------
+// ShardBatchSource
+// ---------------------------------------------------------------------------
+
+ShardBatchSource::ShardBatchSource(ShardedDatasetReader &reader,
+                                   size_t rowBegin, size_t rowCount)
+    : src(reader), base(rowBegin), count(rowCount)
+{
+    MM_ASSERT(rowBegin + rowCount <= reader.layout().rows,
+              "batch source range out of bounds");
+}
+
+size_t
+ShardBatchSource::xCols() const
+{
+    return size_t(src.layout().features);
+}
+
+size_t
+ShardBatchSource::yCols() const
+{
+    return size_t(src.layout().outputs);
+}
+
+void
+ShardBatchSource::gather(const std::vector<size_t> &idx, size_t begin,
+                         size_t n, Matrix &bx, Matrix &by)
+{
+    bx.ensureShape(n, xCols());
+    by.ensureShape(n, yCols());
+    const Normalizer &xn = src.inputNorm();
+    const Normalizer &yn = src.outputNorm();
+    for (size_t r = 0; r < n; ++r) {
+        const size_t row = base + idx[begin + r];
+        MM_ASSERT(row < base + count, "batch index out of range");
+        xn.normalizeRow(src.xRow(row), bx.row(r));
+        yn.normalizeRow(src.yRow(row), by.row(r));
+    }
+}
+
+} // namespace mm

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Out-of-core storage for the Phase-1 training set.
+ *
+ * The paper trains its surrogate on ~10M labeled mappings (Section 4.1);
+ * materializing that as two dense matrices needs multiple GB of RAM.
+ * This subsystem writes labeled samples to fixed-size on-disk shards as
+ * they are produced and reads them back in verified, bounded-memory
+ * units, so Phase 1 is peak-RSS-bounded by O(shardSize), not O(samples).
+ *
+ * On-disk layout (all files little-endian, inside one stream directory):
+ *
+ *   shard-NNNNNN.mms   rows [N*shardSize, ...) of the dataset:
+ *                      checksummed blob whose body is a fixed header
+ *                      (shard index, row count, feature/output arity,
+ *                      config hash) followed by the X block then the Y
+ *                      block as raw floats.
+ *   manifest.mms       written last, atomically: dataset shape, split
+ *                      point, config hash and the fitted normalizers.
+ *                      Its presence is the commit point — a directory
+ *                      without a valid manifest is a partial run.
+ *
+ * Durability rules:
+ *   - every file is written to a ".tmp" sibling and renamed into place
+ *     (std::filesystem::rename is atomic on POSIX), so readers never
+ *     observe a torn file;
+ *   - every file carries a magic/version header and an FNV-1a checksum
+ *     over its body; readers reject truncation, bit flips and
+ *     wrong-version files with a clear diagnostic instead of
+ *     deserializing garbage;
+ *   - generation is restartable at shard granularity: shards that
+ *     already validate for the same config hash are skipped on rerun.
+ */
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/normalizer.hpp"
+#include "nn/trainer.hpp"
+#include "tensor/matrix.hpp"
+
+namespace mm {
+
+// ---------------------------------------------------------------------------
+// Checksummed-blob envelope (shared by shards, the manifest and the
+// surrogate cache).
+// ---------------------------------------------------------------------------
+
+/** FNV-1a offset basis. */
+inline constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+
+/** Incremental FNV-1a over @p n bytes, seedable for chaining. */
+uint64_t fnv1a64(const void *data, size_t n, uint64_t h = kFnvOffset);
+
+/** FNV-1a of a string. */
+uint64_t fnv1a64(const std::string &s);
+
+/**
+ * Write `[magic][version][u64 bodySize][body][u64 fnv(body)][~magic]`
+ * to @p os.
+ */
+void writeChecksummedBlob(std::ostream &os, uint32_t magic,
+                          uint32_t version, const std::string &body);
+
+/**
+ * Read and verify a blob written by writeChecksummedBlob. Returns the
+ * body, or std::nullopt with a human-readable reason in @p err (bad
+ * magic, unsupported version, truncated stream, size or checksum
+ * mismatch, trailing bytes when @p expectEof).
+ */
+std::optional<std::string> readChecksummedBlob(std::istream &is,
+                                               uint32_t magic,
+                                               uint32_t version,
+                                               std::string *err,
+                                               bool expectEof = true);
+
+/**
+ * The shared commit protocol for every durable file in this codebase:
+ * stream @p writeBody into a unique ".tmp" sibling of @p path, then
+ * atomically rename into place, so concurrent writers never share a
+ * tmp file and readers never observe a torn write. Returns false
+ * (after removing the tmp) on any failure — callers choose whether
+ * that is fatal (dataset shards) or best-effort (the surrogate cache).
+ */
+bool commitFileAtomic(const std::string &path,
+                      const std::function<void(std::ostream &)> &writeBody);
+
+// ---------------------------------------------------------------------------
+// Shard store
+// ---------------------------------------------------------------------------
+
+/** Shape and identity of a sharded dataset. */
+struct ShardLayout
+{
+    uint64_t rows = 0;       ///< total samples (train + test)
+    uint64_t features = 0;   ///< X columns
+    uint64_t outputs = 0;    ///< Y columns
+    uint64_t shardSize = 0;  ///< rows per shard (last shard may be short)
+    uint64_t shardCount = 0; ///< ceil(rows / shardSize)
+    uint64_t trainRows = 0;  ///< split point: rows [0, trainRows) train
+    uint64_t testRows = 0;   ///< rows [trainRows, rows) test
+    uint64_t featureLogPrefix = 0; ///< FeatureTransform.logPrefix
+    uint64_t configHash = 0; ///< hash of the generating configuration
+
+    /** Row count of shard @p idx. */
+    uint64_t
+    shardRows(uint64_t idx) const
+    {
+        uint64_t begin = idx * shardSize;
+        return begin >= rows ? 0
+                             : std::min<uint64_t>(shardSize, rows - begin);
+    }
+};
+
+/** Path of shard @p idx inside @p dir. */
+std::string shardPath(const std::string &dir, size_t idx);
+
+/** Path of the manifest inside @p dir. */
+std::string manifestPath(const std::string &dir);
+
+/**
+ * Verified read of one shard file into @p x / @p y. Returns false with
+ * a reason in @p err when the file is missing, truncated, corrupt, a
+ * different format version, or disagrees with @p expect (arity, index,
+ * config hash).
+ */
+bool readShardFile(const std::string &dir, size_t idx,
+                   const ShardLayout &expect, Matrix &x, Matrix &y,
+                   std::string *err);
+
+/**
+ * Cheap header peek: the config hash shard @p idx was generated under,
+ * or std::nullopt when the file is missing or its envelope/header is
+ * not even well-formed. Reads a few dozen bytes — no checksum pass —
+ * so reuse checks can reject foreign or mixed-config stores without
+ * re-reading every payload.
+ */
+std::optional<uint64_t> peekShardConfigHash(const std::string &dir,
+                                            size_t idx);
+
+/**
+ * Writes a sharded dataset: one writeShard() per shard (any order),
+ * then commit() to publish the manifest. Every file is committed via
+ * tmp-file + atomic rename, so a crash at any point leaves either a
+ * resumable partial store (valid shards, no manifest) or a fully
+ * committed one — never a torn file.
+ */
+class ShardStoreWriter
+{
+  public:
+    /** Creates @p dir if needed. @p layout fixes shape and identity. */
+    ShardStoreWriter(std::string dir, ShardLayout layout);
+
+    const ShardLayout &layout() const { return shape; }
+
+    /**
+     * True when shard @p idx already exists on disk and validates
+     * against this layout — the resume fast path.
+     */
+    bool shardValid(size_t idx) const;
+
+    /** Atomically write shard @p idx from the first rows of @p x/@p y. */
+    void writeShard(size_t idx, const Matrix &x, const Matrix &y);
+
+    /**
+     * Publish the manifest (atomic). Call once, after all shards are
+     * written and the normalizers are fitted.
+     */
+    void commit(const Normalizer &inputNorm, const Normalizer &outputNorm);
+
+  private:
+    std::string root;
+    ShardLayout shape;
+};
+
+/** Everything the manifest stores. */
+struct ShardManifest
+{
+    ShardLayout layout;
+    Normalizer inputNorm;
+    Normalizer outputNorm;
+};
+
+/**
+ * Verified reader over a committed shard store.
+ *
+ * Sequential access (forEachRow / materialize) streams shard by shard;
+ * random access (xRow / yRow) goes through a small LRU of decoded
+ * shards, so memory stays O(cacheShards * shardSize) regardless of
+ * dataset size. Not thread-safe; give each thread its own reader.
+ */
+class ShardedDatasetReader
+{
+  public:
+    /**
+     * Opens @p dir, validates the manifest and checks every shard file
+     * exists (missing shards fail fast here, with the shard named).
+     *
+     * @param cacheShards Decoded shards kept for random access;
+     *                    0 selects the MM_SHARD_CACHE env var (def. 8).
+     */
+    explicit ShardedDatasetReader(std::string dir, size_t cacheShards = 0);
+
+    /**
+     * Read the manifest of @p dir without touching shards. Returns
+     * std::nullopt when absent or invalid — used both for the
+     * reuse-on-restart fast path and to detect partial runs.
+     */
+    static std::optional<ShardManifest>
+    tryReadManifest(const std::string &dir);
+
+    const std::string &dir() const { return root; }
+    const ShardLayout &layout() const { return manifest.layout; }
+    const Normalizer &inputNorm() const { return manifest.inputNorm; }
+    const Normalizer &outputNorm() const { return manifest.outputNorm; }
+
+    /** Verified load of shard @p idx (checksum checked every read). */
+    void readShard(size_t idx, Matrix &x, Matrix &y) const;
+
+    /**
+     * Stream rows [rowBegin, rowEnd) in order through @p fn, loading
+     * one shard at a time.
+     */
+    void forEachRow(size_t rowBegin, size_t rowEnd,
+                    const std::function<void(size_t row,
+                                             std::span<const float> x,
+                                             std::span<const float> y)>
+                        &fn) const;
+
+    /** Copy raw (unnormalized) rows [rowBegin, rowBegin+rowCount). */
+    void materialize(size_t rowBegin, size_t rowCount, Matrix &x,
+                     Matrix &y) const;
+
+    /** Raw feature row @p row via the LRU cache. */
+    std::span<const float> xRow(size_t row);
+
+    /** Raw target row @p row via the LRU cache. */
+    std::span<const float> yRow(size_t row);
+
+  private:
+    struct CachedShard
+    {
+        size_t idx = size_t(-1);
+        uint64_t stamp = 0;
+        Matrix x, y;
+    };
+
+    CachedShard &cachedShard(size_t idx);
+
+    std::string root;
+    ShardManifest manifest;
+    std::vector<CachedShard> cache;
+    uint64_t tick = 0;
+};
+
+/**
+ * BatchSource over a row range of a shard store, normalizing rows on
+ * the fly with the manifest's fitted normalizers. Produces batches
+ * bitwise identical to gathering from a pre-normalized in-RAM matrix
+ * (Normalizer::normalizeRow is the shared arithmetic), so streamed
+ * training reproduces the in-RAM path exactly.
+ */
+class ShardBatchSource final : public BatchSource
+{
+  public:
+    /** Rows [rowBegin, rowBegin + rowCount) of @p reader. */
+    ShardBatchSource(ShardedDatasetReader &reader, size_t rowBegin,
+                     size_t rowCount);
+
+    size_t rows() const override { return count; }
+    size_t xCols() const override;
+    size_t yCols() const override;
+    void gather(const std::vector<size_t> &idx, size_t begin, size_t n,
+                Matrix &bx, Matrix &by) override;
+
+  private:
+    ShardedDatasetReader &src;
+    size_t base;
+    size_t count;
+};
+
+} // namespace mm

@@ -4,12 +4,16 @@
 #include <cmath>
 #include <istream>
 #include <ostream>
+#include <sstream>
+
+#include "core/shard_store.hpp"
 
 namespace mm {
 
 namespace {
 
 constexpr uint32_t kMagic = 0x4d4d5348; // "MMSH" (log-space format)
+constexpr uint32_t kFormatVersion = 2;  // 2: checksummed envelope
 
 /** Keep exp() of predicted logs finite even far out of distribution. */
 double
@@ -165,31 +169,46 @@ Surrogate::predictMetaStats(std::span<const double> zFeatures)
 void
 Surrogate::save(std::ostream &os) const
 {
-    os.write(reinterpret_cast<const char *>(&kMagic), sizeof(kMagic));
+    std::ostringstream body(std::ios::binary);
     uint64_t t = tensors;
     uint64_t prefix = transform.logPrefix;
-    os.write(reinterpret_cast<const char *>(&t), sizeof(t));
-    os.write(reinterpret_cast<const char *>(&prefix), sizeof(prefix));
-    inputNorm.save(os);
-    outputNorm.save(os);
-    mlp.save(os);
+    body.write(reinterpret_cast<const char *>(&t), sizeof(t));
+    body.write(reinterpret_cast<const char *>(&prefix), sizeof(prefix));
+    inputNorm.save(body);
+    outputNorm.save(body);
+    mlp.save(body);
+    writeChecksummedBlob(os, kMagic, kFormatVersion, body.str());
+}
+
+std::optional<Surrogate>
+Surrogate::tryLoad(std::istream &is)
+{
+    auto body = readChecksummedBlob(is, kMagic, kFormatVersion, nullptr);
+    if (!body)
+        return std::nullopt;
+    // The checksum vouches for the body, so plain deserialization from
+    // here on cannot see torn or flipped bytes.
+    std::istringstream bs(*body);
+    uint64_t t = 0;
+    uint64_t prefix = 0;
+    bs.read(reinterpret_cast<char *>(&t), sizeof(t));
+    bs.read(reinterpret_cast<char *>(&prefix), sizeof(prefix));
+    if (!bs)
+        return std::nullopt;
+    Normalizer in = Normalizer::load(bs);
+    Normalizer out = Normalizer::load(bs);
+    Mlp net = Mlp::load(bs);
+    return Surrogate(std::move(net), FeatureTransform{size_t(prefix)},
+                     std::move(in), std::move(out), size_t(t));
 }
 
 Surrogate
 Surrogate::load(std::istream &is)
 {
-    uint32_t magic = 0;
-    is.read(reinterpret_cast<char *>(&magic), sizeof(magic));
-    MM_ASSERT(bool(is) && magic == kMagic, "bad surrogate stream");
-    uint64_t t = 0;
-    uint64_t prefix = 0;
-    is.read(reinterpret_cast<char *>(&t), sizeof(t));
-    is.read(reinterpret_cast<char *>(&prefix), sizeof(prefix));
-    Normalizer in = Normalizer::load(is);
-    Normalizer out = Normalizer::load(is);
-    Mlp net = Mlp::load(is);
-    return Surrogate(std::move(net), FeatureTransform{size_t(prefix)},
-                     std::move(in), std::move(out), size_t(t));
+    auto s = tryLoad(is);
+    MM_ASSERT(s.has_value(),
+              "bad surrogate stream (truncated, corrupt or wrong version)");
+    return std::move(*s);
 }
 
 } // namespace mm

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <optional>
 
 #include "arch/accelerator.hpp"
 #include "core/feature_transform.hpp"
@@ -101,7 +102,21 @@ class Surrogate
     const Normalizer &outputNormalizer() const { return outputNorm; }
     const FeatureTransform &featureTransform() const { return transform; }
 
+    /**
+     * Serialize as a magic/version/size-framed, checksummed blob, so
+     * torn or corrupted files are detectable on load.
+     */
     void save(std::ostream &os) const;
+
+    /**
+     * Deserialize a stream written by save(). The envelope (magic,
+     * version, size footer, checksum) is verified first; a truncated,
+     * corrupt or wrong-version stream returns std::nullopt instead of
+     * deserializing garbage.
+     */
+    static std::optional<Surrogate> tryLoad(std::istream &is);
+
+    /** tryLoad that treats any invalid stream as a fatal invariant. */
     static Surrogate load(std::istream &is);
 
   private:

@@ -45,9 +45,25 @@ applyActivationGrad(Activation act, const Matrix &out, Matrix &grad)
     MM_ASSERT(false, "unknown activation");
 }
 
+namespace {
+
+/** Entry guard for the fused helpers: their per-row switches have no
+ * room for a trailing assert, so reject unknown enum values up front
+ * instead of silently skipping the bias/activation work. */
+void
+assertKnownActivation(Activation act)
+{
+    MM_ASSERT(act == Activation::Identity || act == Activation::ReLU
+                  || act == Activation::Tanh,
+              "unknown activation");
+}
+
+} // namespace
+
 void
 applyBiasActivation(Activation act, const Matrix &bias, Matrix &m)
 {
+    assertKnownActivation(act);
     MM_ASSERT(bias.rows() == 1 && bias.cols() == m.cols(),
               "bias shape mismatch");
     const float *bp = bias.data();
@@ -77,6 +93,7 @@ void
 applyActivationGradBias(Activation act, const Matrix &out,
                         const Matrix &dOut, Matrix &grad, Matrix &dBias)
 {
+    assertKnownActivation(act);
     MM_ASSERT(out.rows() == dOut.rows() && out.cols() == dOut.cols(),
               "activation grad shape mismatch");
     MM_ASSERT(dBias.rows() == 1 && dBias.cols() == out.cols(),

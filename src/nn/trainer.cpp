@@ -23,7 +23,73 @@ gatherRows(const Matrix &src, const std::vector<size_t> &idx, size_t begin,
     }
 }
 
+/**
+ * Per-epoch shuffle state. With one window this is exactly the
+ * historical `rng.shuffle(idx)` (the window-order shuffle of a
+ * single-element vector consumes zero draws, and the in-place row
+ * shuffle is cumulative across epochs); with several windows, rows
+ * stay within their window and only the visit order mixes globally,
+ * so an out-of-core source touches one window's worth of shards at a
+ * time.
+ */
+class WindowedShuffle
+{
+  public:
+    WindowedShuffle(size_t rows, size_t windowRows) : n(rows)
+    {
+        window = (windowRows == 0 || windowRows >= n) ? n : windowRows;
+        idx.resize(n);
+        std::iota(idx.begin(), idx.end(), size_t(0));
+        visit.resize((n + window - 1) / window);
+        std::iota(visit.begin(), visit.end(), size_t(0));
+    }
+
+    /** Reshuffle for the next epoch; returns the epoch's index order. */
+    const std::vector<size_t> &
+    next(Rng &rng)
+    {
+        rng.shuffle(visit);
+        for (size_t w : visit) {
+            size_t lo = w * window;
+            size_t hi = std::min(n, lo + window);
+            rng.shuffle(std::span<size_t>(idx.data() + lo, hi - lo));
+        }
+        if (visit.size() == 1)
+            return idx;
+        epochIdx.clear();
+        epochIdx.reserve(n);
+        for (size_t w : visit) {
+            size_t lo = w * window;
+            size_t hi = std::min(n, lo + window);
+            epochIdx.insert(epochIdx.end(), idx.begin() + long(lo),
+                            idx.begin() + long(hi));
+        }
+        return epochIdx;
+    }
+
+  private:
+    size_t n;
+    size_t window;
+    std::vector<size_t> idx;      ///< persistent, shuffled in place
+    std::vector<size_t> visit;    ///< persistent window visit order
+    std::vector<size_t> epochIdx; ///< materialized order (multi-window)
+};
+
 } // namespace
+
+MatrixBatchSource::MatrixBatchSource(const Matrix &x, const Matrix &y)
+    : xRef(x), yRef(y)
+{
+    MM_ASSERT(x.rows() == y.rows(), "X/Y row mismatch");
+}
+
+void
+MatrixBatchSource::gather(const std::vector<size_t> &idx, size_t begin,
+                          size_t n, Matrix &bx, Matrix &by)
+{
+    gatherRows(xRef, idx, begin, n, bx);
+    gatherRows(yRef, idx, begin, n, by);
+}
 
 RegressionTrainer::RegressionTrainer(Mlp &net_, TrainConfig cfg_,
                                      ParallelContext *par_)
@@ -37,15 +103,25 @@ RegressionTrainer::fit(const Matrix &x, const Matrix &y, const Matrix &xTest,
                        const Matrix &yTest, Rng &rng,
                        const std::function<void(const EpochReport &)> &onEpoch)
 {
-    MM_ASSERT(x.rows() == y.rows(), "X/Y row mismatch");
-    MM_ASSERT(x.cols() == net.inputDim(), "X width != net input");
-    MM_ASSERT(y.cols() == net.outputDim(), "Y width != net output");
+    MatrixBatchSource train(x, y);
+    if (xTest.rows() == 0)
+        return fit(train, nullptr, rng, onEpoch);
+    MatrixBatchSource test(xTest, yTest);
+    return fit(train, &test, rng, onEpoch);
+}
+
+std::vector<EpochReport>
+RegressionTrainer::fit(BatchSource &train, BatchSource *test, Rng &rng,
+                       const std::function<void(const EpochReport &)> &onEpoch)
+{
+    MM_ASSERT(train.rows() > 0, "empty training source");
+    MM_ASSERT(train.xCols() == net.inputDim(), "X width != net input");
+    MM_ASSERT(train.yCols() == net.outputDim(), "Y width != net output");
 
     SgdOptimizer opt(cfg.schedule.initial, cfg.momentum);
     opt.attach(net.params(), net.grads());
 
-    std::vector<size_t> idx(x.rows());
-    std::iota(idx.begin(), idx.end(), size_t(0));
+    WindowedShuffle shuffle(train.rows(), cfg.shuffleWindow);
 
     // Detach the pool even when an onEpoch callback or a pool worker
     // throws: the context may not outlive the caller's net otherwise.
@@ -59,21 +135,20 @@ RegressionTrainer::fit(const Matrix &x, const Matrix &y, const Matrix &xTest,
     // Pre-size the batch workspaces once; the batch loop only ever
     // adjusts the row count (final partial batch), never reallocates.
     Matrix bx, by, grad;
-    bx.ensureShape(std::min(cfg.batchSize, idx.size()), x.cols());
-    by.ensureShape(std::min(cfg.batchSize, idx.size()), y.cols());
+    bx.ensureShape(std::min(cfg.batchSize, train.rows()), train.xCols());
+    by.ensureShape(std::min(cfg.batchSize, train.rows()), train.yCols());
 
     std::vector<EpochReport> reports;
     for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
         opt.setLr(cfg.schedule.at(epoch));
-        rng.shuffle(idx);
+        const std::vector<size_t> &idx = shuffle.next(rng);
 
         double lossAcc = 0.0;
         size_t batches = 0;
         for (size_t begin = 0; begin < idx.size();
              begin += cfg.batchSize) {
             size_t count = std::min(cfg.batchSize, idx.size() - begin);
-            gatherRows(x, idx, begin, count, bx);
-            gatherRows(y, idx, begin, count, by);
+            train.gather(idx, begin, count, bx, by);
 
             const Matrix &pred = net.forward(bx);
             lossAcc += lossForward(cfg.loss, pred, by, cfg.huberDelta, grad);
@@ -88,8 +163,8 @@ RegressionTrainer::fit(const Matrix &x, const Matrix &y, const Matrix &xTest,
         report.epoch = epoch;
         report.trainLoss = batches > 0 ? lossAcc / double(batches) : 0.0;
         report.testLoss =
-            xTest.rows() > 0
-                ? evaluate(net, xTest, yTest, cfg.loss, cfg.huberDelta)
+            test != nullptr && test->rows() > 0
+                ? evaluate(net, *test, cfg.loss, cfg.huberDelta)
                 : 0.0;
         report.lr = opt.lr();
         reports.push_back(report);
@@ -104,18 +179,24 @@ RegressionTrainer::evaluate(Mlp &net, const Matrix &x, const Matrix &y,
                             LossKind loss, double huberDelta,
                             size_t batchSize)
 {
-    MM_ASSERT(x.rows() == y.rows(), "X/Y row mismatch");
-    if (x.rows() == 0)
+    MatrixBatchSource src(x, y);
+    return evaluate(net, src, loss, huberDelta, batchSize);
+}
+
+double
+RegressionTrainer::evaluate(Mlp &net, BatchSource &src, LossKind loss,
+                            double huberDelta, size_t batchSize)
+{
+    if (src.rows() == 0)
         return 0.0;
     Matrix bx, by;
     double acc = 0.0;
     size_t total = 0;
-    std::vector<size_t> idx(x.rows());
+    std::vector<size_t> idx(src.rows());
     std::iota(idx.begin(), idx.end(), size_t(0));
-    for (size_t begin = 0; begin < x.rows(); begin += batchSize) {
-        size_t count = std::min(batchSize, x.rows() - begin);
-        gatherRows(x, idx, begin, count, bx);
-        gatherRows(y, idx, begin, count, by);
+    for (size_t begin = 0; begin < idx.size(); begin += batchSize) {
+        size_t count = std::min(batchSize, idx.size() - begin);
+        src.gather(idx, begin, count, bx, by);
         const Matrix &pred = net.forward(bx);
         acc += lossValue(loss, pred, by, huberDelta) * double(count);
         total += count;

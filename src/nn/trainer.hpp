@@ -29,6 +29,59 @@ struct TrainConfig
     double huberDelta = 1.0;
     StepDecaySchedule schedule{1e-2, 0.1, 25};
     double momentum = 0.9;
+    /**
+     * Shuffle window in rows; 0 shuffles the whole training set per
+     * epoch (the historical behavior, bitwise unchanged). A positive
+     * value shuffles rows only within consecutive windows of this many
+     * rows and randomizes the window visit order — the standard
+     * shuffle-buffer compromise that keeps out-of-core training
+     * I/O-sequential (a window spans a bounded number of dataset
+     * shards). Affects batch composition, so it is part of the Phase-1
+     * cache fingerprint.
+     */
+    size_t shuffleWindow = 0;
+};
+
+/**
+ * Row provider for the trainer: hands out (X, Y) mini-batches selected
+ * by index. Implementations range from in-RAM matrices to out-of-core
+ * shard stores (core/shard_store.hpp); the trainer is agnostic, which
+ * is what lets the streamed Phase-1 path reuse the exact training loop
+ * (and thus stay bitwise identical to the in-RAM path).
+ */
+class BatchSource
+{
+  public:
+    virtual ~BatchSource() = default;
+
+    virtual size_t rows() const = 0;
+    virtual size_t xCols() const = 0;
+    virtual size_t yCols() const = 0;
+
+    /**
+     * Copy source rows idx[begin + r], r in [0, n), into row r of
+     * @p bx / @p by (shaping them to n rows).
+     */
+    virtual void gather(const std::vector<size_t> &idx, size_t begin,
+                        size_t n, Matrix &bx, Matrix &by) = 0;
+};
+
+/** BatchSource over a pair of in-memory matrices. */
+class MatrixBatchSource final : public BatchSource
+{
+  public:
+    /** @p x / @p y must outlive the source. */
+    MatrixBatchSource(const Matrix &x, const Matrix &y);
+
+    size_t rows() const override { return xRef.rows(); }
+    size_t xCols() const override { return xRef.cols(); }
+    size_t yCols() const override { return yRef.cols(); }
+    void gather(const std::vector<size_t> &idx, size_t begin, size_t n,
+                Matrix &bx, Matrix &by) override;
+
+  private:
+    const Matrix &xRef;
+    const Matrix &yRef;
 };
 
 /** Per-epoch training record (Figure 7a series). */
@@ -65,10 +118,25 @@ class RegressionTrainer
         const Matrix &yTest, Rng &rng,
         const std::function<void(const EpochReport &)> &onEpoch = {});
 
+    /**
+     * Source-based training loop — the implementation the Matrix
+     * overload delegates to. @p test may be null to skip evaluation.
+     * With cfg.shuffleWindow == 0 (or >= rows) the RNG draw sequence
+     * and batch composition are bitwise identical to the historical
+     * in-RAM loop.
+     */
+    std::vector<EpochReport>
+    fit(BatchSource &train, BatchSource *test, Rng &rng,
+        const std::function<void(const EpochReport &)> &onEpoch = {});
+
     /** Mean loss of @p net over a dataset, evaluated in batches. */
     static double evaluate(Mlp &net, const Matrix &x, const Matrix &y,
                            LossKind loss, double huberDelta,
                            size_t batchSize = 256);
+
+    /** Mean loss of @p net over a source, evaluated in batches. */
+    static double evaluate(Mlp &net, BatchSource &src, LossKind loss,
+                           double huberDelta, size_t batchSize = 256);
 
   private:
     Mlp &net;
