@@ -35,41 +35,28 @@ main()
     auto budget = SearchBudget::bySteps(env.iters);
 
     Table table({"variant", "normEDP@25%", "normEDP@final"});
-    auto sweep = [&](const std::string &label,
-                     const GradientSearchConfig &cfg) {
-        std::vector<SearchResult> runs;
-        for (int run = 0; run < env.runs; ++run) {
-            MindMappingsSearcher searcher(model, sur, cfg);
-            Rng rng(900 + uint64_t(run));
-            runs.push_back(searcher.run(budget, rng));
-        }
+    // Every variant is an option string on the registry's "MM" entry;
+    // the historical per-run seeds (900 + run) are preserved through
+    // the orchestrator's seed override.
+    SearcherBuildContext sctx{model, &sur};
+    auto sweep = [&](const std::string &label, const std::string &spec) {
+        MultiRunOptions opts;
+        opts.runs = env.runs;
+        opts.seedFor = [](int run) { return 900 + uint64_t(run); };
+        auto result = runMany(spec, sctx, budget, opts);
         table.addRow({label,
-                      fmtDouble(geomeanAtStep(runs, env.iters / 4), 5),
-                      fmtDouble(geomeanFinal(runs), 5)});
+                      fmtDouble(geomeanAtStep(result.runs, env.iters / 4),
+                                5),
+                      fmtDouble(geomeanFinal(result.runs), 5)});
         std::cerr << "[ablation] " << label << " -> "
-                  << fmtDouble(geomeanFinal(runs), 5) << std::endl;
+                  << fmtDouble(geomeanFinal(result.runs), 5) << std::endl;
     };
 
-    for (double lr : {0.1, 0.3, 1.0, 3.0}) {
-        GradientSearchConfig cfg;
-        cfg.learningRate = lr;
-        sweep(strCat("lr=", lr, " (paper: 1)"), cfg);
-    }
-    {
-        GradientSearchConfig cfg;
-        cfg.enableInjection = false;
-        sweep("no random injection", cfg);
-    }
-    {
-        GradientSearchConfig cfg;
-        cfg.injectEvery = 50;
-        sweep("inject every 50 (paper: 10)", cfg);
-    }
-    {
-        GradientSearchConfig cfg;
-        cfg.initTemperature = 0.0;
-        sweep("greedy acceptance (T=0)", cfg);
-    }
+    for (double lr : {0.1, 0.3, 1.0, 3.0})
+        sweep(strCat("lr=", lr, " (paper: 1)"), strCat("MM:lr=", lr));
+    sweep("no random injection", "MM:inject=0");
+    sweep("inject every 50 (paper: 10)", "MM:injectEvery=50");
+    sweep("greedy acceptance (T=0)", "MM:temp=0");
     table.print(std::cout);
     return 0;
 }

@@ -83,37 +83,54 @@ benchDdpgConfig(const BenchEnv &env)
     return cfg;
 }
 
-std::unique_ptr<Searcher>
-makeSearcher(const std::string &name, const CostModel &model,
-             Surrogate *surrogate, const BenchEnv &env)
+std::vector<std::string>
+activeMethods(const BenchEnv &env, bool includeParallel)
 {
-    TimingModel timing = TimingModel::paperCalibrated();
-    if (name == "MM") {
-        MM_ASSERT(surrogate != nullptr, "MM requires a surrogate");
-        return std::make_unique<MindMappingsSearcher>(
-            model, *surrogate, GradientSearchConfig{}, timing);
+    std::vector<std::string> out;
+    if (env.methods.empty()) {
+        out = methodNames();
+        if (includeParallel)
+            out.push_back("MM-P");
+        return out;
     }
-    if (name == "MM-P") {
-        MM_ASSERT(surrogate != nullptr, "MM-P requires a surrogate");
-        ParallelSearchConfig pcfg;
-        pcfg.chains = env.chains;
-        pcfg.threads = env.threads;
-        return std::make_unique<ParallelGradientSearcher>(model, *surrogate,
-                                                          pcfg, timing);
+    const SearcherRegistry &reg = SearcherRegistry::instance();
+    for (const std::string &key : split(env.methods, ',')) {
+        if (key.empty())
+            continue;
+        (void)reg.at(key); // fatal with the known keys when unknown
+        out.push_back(key);
     }
-    if (name == "SA")
-        return std::make_unique<AnnealingSearcher>(model,
-                                                   AnnealingConfig{},
-                                                   timing);
-    if (name == "GA")
-        return std::make_unique<GeneticSearcher>(model, GeneticConfig{},
-                                                 timing);
-    if (name == "RL")
-        return std::make_unique<DdpgSearcher>(model, benchDdpgConfig(env),
-                                              timing);
-    if (name == "Random")
-        return std::make_unique<RandomSearcher>(model, timing);
-    fatal("unknown search method: " + name);
+    if (out.empty())
+        fatal("MM_METHODS is set but names no methods");
+    return out;
+}
+
+std::string
+methodSpec(const std::string &method, const BenchEnv &env)
+{
+    if (method == "MM-P")
+        return strCat("MM-P:chains=", env.chains, ",threads=",
+                      env.threads);
+    if (method == "RL") {
+        DdpgConfig cfg = benchDdpgConfig(env);
+        return strCat("RL:width=", cfg.hiddenWidth, ",batch=",
+                      cfg.batchSize, ",updateEvery=", cfg.updateEvery);
+    }
+    return method;
+}
+
+bool
+handleBenchArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--list") {
+            std::cout << "registered searchers (spec: KEY or "
+                         "KEY:opt=v,opt=v; MM_METHODS takes keys):\n\n"
+                      << SearcherRegistry::instance().describe();
+            return true;
+        }
+    }
+    return false;
 }
 
 namespace {
@@ -161,13 +178,17 @@ runMethod(const std::string &method, const CostModel &model,
           Surrogate *surrogate, const SearchBudget &budget,
           const BenchEnv &env, uint64_t baseSeed)
 {
-    std::vector<SearchResult> results;
-    for (int run = 0; run < env.runs; ++run) {
-        auto searcher = makeSearcher(method, model, surrogate, env);
-        Rng rng(baseSeed * 1000003ULL + uint64_t(run) * 7919ULL + 1);
-        results.push_back(searcher->run(budget, rng));
-    }
-    return results;
+    SearcherBuildContext ctx{model, surrogate,
+                             TimingModel::paperCalibrated()};
+    MultiRunOptions opts;
+    opts.runs = env.runs;
+    // MM_SEED=0 preserves the historical per-problem seeds bitwise; a
+    // non-zero seed shifts every repetition into a fresh stream.
+    opts.baseSeed = env.seed == 0
+                        ? baseSeed
+                        : baseSeed + env.seed * 0x9E3779B97F4A7C15ULL;
+    opts.threads = env.runThreads;
+    return runMany(methodSpec(method, env), ctx, budget, opts).runs;
 }
 
 void
@@ -308,9 +329,12 @@ benchJsonHeader(const std::string &bench, const BenchEnv &env)
         .set("runs", env.runs)
         .set("iters", env.iters)
         .set("vtime", env.vtime)
+        .set("wall", env.wallSecs)
+        .set("seed", int64_t(env.seed))
         .set("chains", env.chains)
         .set("threads", env.threads)
-        .set("train_threads", env.trainThreads);
+        .set("train_threads", env.trainThreads)
+        .set("run_threads", env.runThreads);
     return obj;
 }
 

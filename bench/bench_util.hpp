@@ -3,14 +3,24 @@
  * Shared infrastructure for the figure/table bench harnesses.
  *
  * Every bench binary reproduces one table or figure of the paper's
- * evaluation (see DESIGN.md, "Per-experiment index"). Binaries take no
- * arguments, print aligned tables with machine-readable csv blocks, and
- * scale through environment knobs:
+ * evaluation (see DESIGN.md, "Per-experiment index"). Binaries print
+ * aligned tables with machine-readable csv blocks, answer `--list`
+ * (fig5/fig6) with the registered searchers and their option schemas,
+ * and scale through environment knobs:
  *
  *   MM_RUNS           independent search repetitions per point (def. 3;
  *                     the paper uses 100)
  *   MM_ITERS          iso-iteration step budget (def. 1000)
  *   MM_VTIME          iso-time virtual horizon in seconds (def. 3000)
+ *   MM_WALL           iso-wall-clock budget in *real* seconds per run
+ *                     (fig6; def. 0.25, 0 disables the wall-clock table)
+ *   MM_SEED           base seed for all repetitions (def. 0 = the
+ *                     historical per-problem seeds); recorded in every
+ *                     BENCH_*.json blob
+ *   MM_METHODS        comma-separated registry keys (e.g. "MM,SA")
+ *                     restricting which methods fig5/fig6 run
+ *   MM_RUN_THREADS    concurrent repetitions per method (def. 1 =
+ *                     serial; results are bitwise thread-invariant)
  *   MM_TRAIN_SAMPLES  Phase-1 dataset size override
  *   MM_EPOCHS         Phase-1 epoch override
  *   MM_PRESET         fast (default) | paper
@@ -20,6 +30,11 @@
  *                     labeled shards through this directory
  *   MM_SHARD_ROWS     rows per shard for the streamed path
  *   MM_SHUFFLE_WINDOW shuffle-window rows (0 = global shuffle)
+ *
+ * Searchers are constructed through the library's SearcherRegistry
+ * (search/registry.hpp) and repeated through runMany
+ * (search/orchestrator.hpp); the env knobs above only decide which
+ * specs and budgets the benches hand to those APIs.
  *
  * Phase-1 surrogates are provisioned once per algorithm through the
  * MindMappings facade and shared across benches via the disk cache.
@@ -36,11 +51,9 @@
 #include "common/string_util.hpp"
 #include "common/table.hpp"
 #include "core/mind_mappings.hpp"
-#include "search/annealing.hpp"
 #include "search/ddpg.hpp"
-#include "search/genetic.hpp"
-#include "search/parallel_driver.hpp"
-#include "search/random_search.hpp"
+#include "search/orchestrator.hpp"
+#include "search/registry.hpp"
 
 namespace mm::bench {
 
@@ -50,6 +63,14 @@ struct BenchEnv
     int runs = int(envInt("MM_RUNS", 3));
     int64_t iters = envInt("MM_ITERS", 2000);
     double vtime = envDouble("MM_VTIME", 3000.0);
+    /** Iso-wall-clock budget in real seconds (0 disables fig6's table). */
+    double wallSecs = envDouble("MM_WALL", 0.25);
+    /** Base seed; 0 keeps the historical per-problem seeding. */
+    uint64_t seed = uint64_t(envInt("MM_SEED", 0));
+    /** Comma-separated registry keys filtering fig5/fig6 methods. */
+    std::string methods = envStr("MM_METHODS", "");
+    /** Concurrent repetitions per method (1 = serial). */
+    int runThreads = int(envInt("MM_RUN_THREADS", 1));
     /** Restart chains of the parallel Phase-2 driver ("MM-P" method). */
     int chains = int(envInt("MM_CHAINS", 4));
     /** Fork-join lanes for MM-P; 0 = hardware concurrency. */
@@ -67,6 +88,27 @@ double peakRssMb();
 /** The method names of Section 5.2, in the paper's order. */
 const std::vector<std::string> &methodNames();
 
+/**
+ * The methods a bench should run: the paper's list (plus "MM-P" when
+ * @p includeParallel), or the MM_METHODS subset when set. Unknown keys
+ * raise FatalError naming the registered ones.
+ */
+std::vector<std::string> activeMethods(const BenchEnv &env,
+                                       bool includeParallel);
+
+/**
+ * Registry spec for @p method with the bench env's options applied
+ * ("MM-P" gets chains/threads, "RL" the preset-sized net).
+ */
+std::string methodSpec(const std::string &method, const BenchEnv &env);
+
+/**
+ * Handle shared bench CLI flags; returns true when the invocation was
+ * fully served (e.g. `--list` printed the registered searchers and
+ * their option schemas) and the bench should exit successfully.
+ */
+bool handleBenchArgs(int argc, char **argv);
+
 /** Phase-1 options used by all benches (preset + env overrides). */
 MindMappingsOptions benchOptions(const BenchEnv &env);
 
@@ -80,16 +122,6 @@ std::unique_ptr<MindMappings> provisionSurrogate(const AlgorithmSpec &algo,
 /** DDPG configuration sized for the bench environment. */
 DdpgConfig benchDdpgConfig(const BenchEnv &env);
 
-/**
- * Instantiate a searcher by method name ("MM", "SA", "GA", "RL",
- * "Random", or "MM-P" for the batched parallel driver with env.chains
- * chains); @p surrogate is required for "MM" and "MM-P" only.
- */
-std::unique_ptr<Searcher> makeSearcher(const std::string &name,
-                                       const CostModel &model,
-                                       Surrogate *surrogate,
-                                       const BenchEnv &env);
-
 /** Geomean of best-so-far values at a step checkpoint across runs. */
 double geomeanAtStep(const std::vector<SearchResult> &runs, int64_t step);
 
@@ -100,8 +132,9 @@ double geomeanAtTime(const std::vector<SearchResult> &runs, double sec);
 double geomeanFinal(const std::vector<SearchResult> &runs);
 
 /**
- * Run @p method on @p model for env.runs independent repetitions with
- * per-run seeds derived from @p baseSeed.
+ * Run @p method on @p model for env.runs independent repetitions, with
+ * per-run seeds derived from @p baseSeed (shifted by MM_SEED when set)
+ * and MM_RUN_THREADS repetitions in flight at a time.
  */
 std::vector<SearchResult>
 runMethod(const std::string &method, const CostModel &model,
@@ -153,7 +186,7 @@ class JsonArray
 
 /**
  * An object pre-filled with the bench name and the shared scale knobs
- * (preset, runs, iters, threads, chains).
+ * (preset, runs, iters, seed, threads, chains).
  */
 JsonObject benchJsonHeader(const std::string &bench, const BenchEnv &env);
 

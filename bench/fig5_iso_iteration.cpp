@@ -17,16 +17,22 @@
 #include "bench/bench_util.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace mm;
     using namespace mm::bench;
+
+    if (handleBenchArgs(argc, argv))
+        return 0;
 
     BenchEnv env;
     banner("Figure 5: iso-iteration comparison (normalized EDP, lower "
                "is better)",
            strCat("Fig. 5 + Sec. 5.4.1; runs=", env.runs,
                   " iters=", env.iters));
+
+    const std::vector<std::string> methods =
+        activeMethods(env, /*includeParallel=*/false);
 
     auto cnnMapper = provisionSurrogate(cnnLayerAlgo(), env);
     auto mttMapper = provisionSurrogate(mttkrpAlgo(), env);
@@ -53,7 +59,7 @@ main()
         MapSpace space(arch, p);
         CostModel model(space);
 
-        for (const auto &method : methodNames()) {
+        for (const auto &method : methods) {
             auto runs =
                 runMethod(method, model, &sur, budget, env, problemSeed);
             std::vector<std::string> row = {p.name, method};
@@ -68,20 +74,34 @@ main()
     }
     table.print(std::cout);
 
-    // Headline ratios (paper: 1.40x / 1.76x / 1.29x over SA / GA / RL).
-    Table summary({"metric", "value", "paper"});
-    double mm = geomean(finals["MM"]);
-    summary.addRow({"MM vs SA (iso-iteration)",
-                    fmtDouble(geomean(finals["SA"]) / mm, 4), "1.40x"});
-    summary.addRow({"MM vs GA (iso-iteration)",
-                    fmtDouble(geomean(finals["GA"]) / mm, 4), "1.76x"});
-    summary.addRow({"MM vs RL (iso-iteration)",
-                    fmtDouble(geomean(finals["RL"]) / mm, 4), "1.29x"});
-    summary.addRow({"MM vs Random (iso-iteration)",
-                    fmtDouble(geomean(finals["Random"]) / mm, 4), "-"});
-    summary.addRow({"MM gap to algorithmic minimum", fmtDouble(mm, 4),
-                    "5.3x"});
-    std::cout << "\n";
-    summary.print(std::cout);
+    // Headline ratios (paper: 1.40x / 1.76x / 1.29x over SA / GA / RL),
+    // printable only for the methods MM_METHODS left in the run.
+    auto have = [&](const char *m) { return finals.count(m) > 0; };
+    if (have("MM")) {
+        Table summary({"metric", "value", "paper"});
+        double mm = geomean(finals["MM"]);
+        const std::vector<std::pair<std::string, std::string>> paper = {
+            {"SA", "1.40x"}, {"GA", "1.76x"}, {"RL", "1.29x"},
+            {"Random", "-"}};
+        for (const auto &[other, claim] : paper)
+            if (have(other.c_str()))
+                summary.addRow(
+                    {strCat("MM vs ", other, " (iso-iteration)"),
+                     fmtDouble(geomean(finals[other]) / mm, 4), claim});
+        summary.addRow({"MM gap to algorithmic minimum", fmtDouble(mm, 4),
+                        "5.3x"});
+        std::cout << "\n";
+        summary.print(std::cout);
+    }
+
+    JsonArray perMethod;
+    for (const auto &[method, vals] : finals) {
+        JsonObject mo;
+        mo.set("method", method).set("geomean_edp", geomean(vals));
+        perMethod.add(mo);
+    }
+    JsonObject json = benchJsonHeader("fig5_iso_iteration", env);
+    json.setRaw("methods", perMethod.str());
+    writeBenchJson("fig5_iso_iteration", json);
     return 0;
 }

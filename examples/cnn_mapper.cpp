@@ -18,7 +18,7 @@
 #include "common/table.hpp"
 #include "core/mind_mappings.hpp"
 #include "mapping/printer.hpp"
-#include "search/annealing.hpp"
+#include "search/registry.hpp"
 
 int
 main()
@@ -26,7 +26,12 @@ main()
     using namespace mm;
 
     AcceleratorSpec arch = AcceleratorSpec::paperDefault();
-    MindMappings mapper(arch, cnnLayerAlgo());
+    MindMappingsOptions opts;
+    opts.phase1.data.samples = size_t(
+        envInt("MM_TRAIN_SAMPLES", int64_t(DatasetConfig{}.samples)));
+    opts.phase1.train.epochs =
+        int(envInt("MM_EPOCHS", int64_t(TrainConfig{}.epochs)));
+    MindMappings mapper(arch, cnnLayerAlgo(), opts);
     std::cout << "Phase 1: preparing the CNN-Layer surrogate ..."
               << std::endl;
     bool cached = mapper.prepare();
@@ -45,9 +50,12 @@ main()
 
         MapSpace space(arch, p);
         CostModel model(space);
-        AnnealingSearcher sa(model);
+        // The registry is the same construction path the benches use;
+        // any "SA:opt=value,..." spec works here.
+        SearcherBuildContext sctx{model};
+        auto sa = SearcherRegistry::instance().make("SA", sctx);
         Rng saRng(7);
-        SearchResult annealed = sa.run(budget, saRng);
+        SearchResult annealed = sa->run(budget, saRng);
 
         double ratio = annealed.bestNormEdp / found.bestNormEdp;
         table.addRow({p.name, fmtDouble(found.bestNormEdp, 5),

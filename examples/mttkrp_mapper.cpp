@@ -16,7 +16,7 @@
 #include "common/table.hpp"
 #include "core/mind_mappings.hpp"
 #include "mapping/printer.hpp"
-#include "search/genetic.hpp"
+#include "search/registry.hpp"
 
 int
 main()
@@ -24,7 +24,12 @@ main()
     using namespace mm;
 
     AcceleratorSpec arch = AcceleratorSpec::paperDefault();
-    MindMappings mapper(arch, mttkrpAlgo());
+    MindMappingsOptions opts;
+    opts.phase1.data.samples = size_t(
+        envInt("MM_TRAIN_SAMPLES", int64_t(DatasetConfig{}.samples)));
+    opts.phase1.train.epochs =
+        int(envInt("MM_EPOCHS", int64_t(TrainConfig{}.epochs)));
+    MindMappings mapper(arch, mttkrpAlgo(), opts);
     std::cout << "Phase 1: preparing the MTTKRP surrogate ..." << std::endl;
     bool cached = mapper.prepare();
     std::cout << (cached ? "  loaded from cache\n" : "  trained\n");
@@ -40,9 +45,10 @@ main()
 
         MapSpace space(arch, p);
         CostModel model(space);
-        GeneticSearcher ga(model);
+        SearcherBuildContext sctx{model};
+        auto ga = SearcherRegistry::instance().make("GA", sctx);
         Rng gaRng(11);
-        SearchResult evolved = ga.run(budget, gaRng);
+        SearchResult evolved = ga->run(budget, gaRng);
 
         table.addRow({p.name, fmtDouble(found.bestNormEdp, 5),
                       fmtDouble(evolved.bestNormEdp, 5),

@@ -5,8 +5,10 @@
  *   1. Describe the accelerator and target algorithm.
  *   2. Phase 1: train (or cache-load) the differentiable surrogate —
  *      once per algorithm, amortized over every future problem.
- *   3. Phase 2: gradient-search a target problem's map space.
- *   4. Compare against random search and print the found loop nest.
+ *   3. Phase 2: gradient-search a target problem's map space, watching
+ *      progress live through a SearchObserver.
+ *   4. Compare against a registry-built random-search baseline and
+ *      print the found loop nest.
  *
  * First run trains the default surrogate (≈1 minute on one core) and
  * caches it under ./mm_cache; subsequent runs start instantly. Scale
@@ -17,7 +19,23 @@
 #include "common/env.hpp"
 #include "core/mind_mappings.hpp"
 #include "mapping/printer.hpp"
-#include "search/random_search.hpp"
+#include "search/registry.hpp"
+
+namespace {
+
+/** Prints each best-so-far improvement as the search finds it. */
+class PrintingObserver : public mm::SearchObserver
+{
+  public:
+    void
+    onImprovement(const mm::SearchProgress &p) override
+    {
+        std::cout << "  step " << p.steps << ": best normalized EDP "
+                  << p.bestNormEdp << "\n";
+    }
+};
+
+} // namespace
 
 int
 main()
@@ -59,22 +77,34 @@ main()
     }
 
     // --- 3. Phase 2 (online, per problem). ------------------------------
-    // A problem shape the surrogate never saw during training.
+    // A problem shape the surrogate never saw during training. The
+    // SearchContext bundles the budget and RNG with an observer that
+    // streams improvements; a StopToken could cancel the run from
+    // another thread the same way.
     Problem problem = cnnProblem("ResNet_Conv_4", 16, 256, 256, 14, 14, 3, 3);
     Rng rng(42);
     int64_t iters = envInt("MM_ITERS", 1000);
 
-    SearchResult found =
-        mapper.search(problem, SearchBudget::bySteps(iters), rng);
-    std::cout << "\nPhase 2 on " << problem.name << ": " << found.steps
+    PrintingObserver observer;
+    SearchContext ctx;
+    ctx.budget = SearchBudget::bySteps(iters);
+    ctx.rng = &rng;
+    ctx.observer = &observer;
+
+    std::cout << "\nPhase 2 on " << problem.name << ":" << std::endl;
+    SearchResult found = mapper.search(problem, ctx);
+    std::cout << "  " << found.steps
               << " gradient steps -> normalized EDP " << found.bestNormEdp
               << "\n  (1.0 = possibly-unachievable algorithmic minimum)\n";
 
     // --- 4. Baseline comparison + result. -------------------------------
+    // Baselines come from the same registry the benches use; any method
+    // key with options works here ("SA:tMax=4", "GA:pop=50", ...).
     MapSpace space(arch, problem);
     CostModel model(space);
-    RandomSearcher random(model);
-    SearchResult rnd = random.run(SearchBudget::bySteps(iters), rng);
+    SearcherBuildContext sctx{model};
+    auto random = SearcherRegistry::instance().make("Random", sctx);
+    SearchResult rnd = random->run(SearchBudget::bySteps(iters), rng);
 
     std::cout << "\nbest-so-far normalized EDP";
     for (int64_t at : {100L, 300L, iters})

@@ -34,6 +34,13 @@ join(const std::vector<T> &items, const std::string &sep)
     return oss.str();
 }
 
+/**
+ * Split @p text on @p sep. Empty pieces (leading/trailing/doubled
+ * separators) are preserved so callers can reject them explicitly; an
+ * empty input yields no pieces.
+ */
+std::vector<std::string> split(const std::string &text, char sep);
+
 /** Format a double with @p digits significant digits. */
 std::string fmtDouble(double value, int digits = 4);
 

@@ -86,13 +86,13 @@ MindMappingsSearcher::MindMappingsSearcher(const CostModel &model_,
 }
 
 SearchResult
-MindMappingsSearcher::run(const SearchBudget &budget, Rng &rng)
+MindMappingsSearcher::run(SearchContext &ctx)
 {
     // The batched driver with one chain on one thread is exactly the
     // sequential algorithm of Section 4.2.
     return runBatchedGradientSearch(*model, *surrogate, cfg,
                                     /*chainCount=*/1, /*threadCount=*/1,
-                                    stepLatency, budget, rng, name());
+                                    stepLatency, ctx, name());
 }
 
 } // namespace mm

@@ -135,7 +135,8 @@ class MindMappingsSearcher : public Searcher
                          const TimingModel &timing = {});
 
     std::string name() const override { return "MM"; }
-    SearchResult run(const SearchBudget &budget, Rng &rng) override;
+    SearchResult run(SearchContext &ctx) override;
+    using Searcher::run;
 
   private:
     const CostModel *model;

@@ -67,6 +67,15 @@ SearchResult
 MindMappings::search(const Problem &problem, const SearchBudget &budget,
                      Rng &rng)
 {
+    SearchContext ctx;
+    ctx.budget = budget;
+    ctx.rng = &rng;
+    return search(problem, ctx);
+}
+
+SearchResult
+MindMappings::search(const Problem &problem, SearchContext &ctx)
+{
     if (problem.algo != algo)
         fatal("problem '" + problem.name
               + "' does not belong to this instance's target algorithm");
@@ -80,11 +89,11 @@ MindMappings::search(const Problem &problem, const SearchBudget &budget,
         pcfg.threads = opts.searchThreads;
         ParallelGradientSearcher searcher(model, *surrogateModel, pcfg,
                                           opts.timing);
-        return searcher.run(budget, rng);
+        return searcher.run(ctx);
     }
     MindMappingsSearcher searcher(model, *surrogateModel, opts.search,
                                   opts.timing);
-    return searcher.run(budget, rng);
+    return searcher.run(ctx);
 }
 
 double

@@ -85,6 +85,13 @@ class MindMappings
     SearchResult search(const Problem &problem, const SearchBudget &budget,
                         Rng &rng);
 
+    /**
+     * Phase 2 under the full run contract: @p ctx carries the budget,
+     * RNG, and optional SearchObserver / StopToken, so facade searches
+     * are observable and cancellable like any registry searcher.
+     */
+    SearchResult search(const Problem &problem, SearchContext &ctx);
+
     /** True normalized EDP of a mapping (evaluation convenience). */
     double normalizedEdp(const Problem &problem, const Mapping &m) const;
 

@@ -493,7 +493,8 @@ ShardBatchSource::yCols() const
 
 void
 ShardBatchSource::gather(const std::vector<size_t> &idx, size_t begin,
-                         size_t n, Matrix &bx, Matrix &by)
+                         size_t n, Matrix &bx, Matrix &by,
+                         ParallelContext *)
 {
     bx.ensureShape(n, xCols());
     by.ensureShape(n, yCols());

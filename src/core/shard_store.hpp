@@ -277,8 +277,11 @@ class ShardBatchSource final : public BatchSource
     size_t rows() const override { return count; }
     size_t xCols() const override;
     size_t yCols() const override;
+    /** The LRU shard cache is stateful, so rows resolve serially; the
+     * ParallelContext is deliberately ignored. */
     void gather(const std::vector<size_t> &idx, size_t begin, size_t n,
-                Matrix &bx, Matrix &by) override;
+                Matrix &bx, Matrix &by,
+                ParallelContext *par = nullptr) override;
 
   private:
     ShardedDatasetReader &src;

@@ -1,6 +1,8 @@
 #include "nn/loss.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/error.hpp"
 
@@ -8,45 +10,83 @@ namespace mm {
 
 namespace {
 
+/** One element's loss value and gradient. */
+inline double
+lossElem(LossKind kind, float e, float delta, float &g)
+{
+    switch (kind) {
+      case LossKind::MSE:
+        g = e;
+        return 0.5 * double(e) * double(e);
+      case LossKind::MAE:
+        g = e > 0.0f ? 1.0f : (e < 0.0f ? -1.0f : 0.0f);
+        return std::fabs(double(e));
+      case LossKind::Huber:
+        if (std::fabs(e) <= delta) {
+            g = e;
+            return 0.5 * double(e) * double(e);
+        }
+        g = e > 0.0f ? delta : -delta;
+        return double(delta) * (std::fabs(double(e)) - 0.5 * double(delta));
+    }
+    g = 0.0f;
+    return 0.0;
+}
+
+/**
+ * Elements per parallel chunk. Fixed (never derived from the lane
+ * count) so chunk boundaries — and thus every write — are identical at
+ * any lane count.
+ */
+constexpr size_t kLossChunk = 1024;
+
 /** Shared elementwise walk; grad may be null for value-only queries. */
 double
 lossImpl(LossKind kind, const Matrix &pred, const Matrix &target,
-         double huberDelta, Matrix *grad)
+         double huberDelta, Matrix *grad, ParallelContext *par)
 {
     MM_ASSERT(pred.rows() == target.rows() && pred.cols() == target.cols(),
               "loss shape mismatch");
     MM_ASSERT(pred.size() > 0, "loss over empty matrix");
-    const double inv = 1.0 / double(pred.size());
+    const size_t n = pred.size();
+    const double inv = 1.0 / double(n);
     const float delta = float(huberDelta);
-    double total = 0.0;
     if (grad != nullptr)
         grad->resize(pred.rows(), pred.cols());
 
-    for (size_t i = 0; i < pred.size(); ++i) {
-        float e = pred.data()[i] - target.data()[i];
-        double value = 0.0;
-        float g = 0.0f;
-        switch (kind) {
-          case LossKind::MSE:
-            value = 0.5 * double(e) * double(e);
-            g = e;
-            break;
-          case LossKind::MAE:
-            value = std::fabs(double(e));
-            g = e > 0.0f ? 1.0f : (e < 0.0f ? -1.0f : 0.0f);
-            break;
-          case LossKind::Huber:
-            if (std::fabs(e) <= delta) {
-                value = 0.5 * double(e) * double(e);
-                g = e;
-            } else {
-                value = double(delta) * (std::fabs(double(e))
-                                         - 0.5 * double(delta));
-                g = e > 0.0f ? delta : -delta;
+    if (par != nullptr && par->lanes() > 1 && n >= 2 * kLossChunk) {
+        // Elementwise pass over the lanes; the scalar reduction stays
+        // serial in element order, so the total is bit-for-bit the
+        // serial walk's total (and the grads are written elementwise —
+        // the parallel schedule cannot reorder any arithmetic).
+        thread_local std::vector<double> values;
+        values.resize(n);
+        // Pin the calling thread's buffer: workers executing the lambda
+        // must not resolve `values` to their own (empty) thread-local.
+        double *const vals = values.data();
+        const size_t chunks = (n + kLossChunk - 1) / kLossChunk;
+        par->parallelFor(chunks, [&, vals](size_t c) {
+            const size_t lo = c * kLossChunk;
+            const size_t hi = std::min(n, lo + kLossChunk);
+            for (size_t i = lo; i < hi; ++i) {
+                float e = pred.data()[i] - target.data()[i];
+                float g = 0.0f;
+                vals[i] = lossElem(kind, e, delta, g);
+                if (grad != nullptr)
+                    grad->data()[i] = float(double(g) * inv);
             }
-            break;
-        }
-        total += value;
+        });
+        double total = 0.0;
+        for (size_t i = 0; i < n; ++i)
+            total += vals[i];
+        return total * inv;
+    }
+
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        float e = pred.data()[i] - target.data()[i];
+        float g = 0.0f;
+        total += lossElem(kind, e, delta, g);
         if (grad != nullptr)
             grad->data()[i] = float(double(g) * inv);
     }
@@ -57,16 +97,16 @@ lossImpl(LossKind kind, const Matrix &pred, const Matrix &target,
 
 double
 lossForward(LossKind kind, const Matrix &pred, const Matrix &target,
-            double huberDelta, Matrix &grad)
+            double huberDelta, Matrix &grad, ParallelContext *par)
 {
-    return lossImpl(kind, pred, target, huberDelta, &grad);
+    return lossImpl(kind, pred, target, huberDelta, &grad, par);
 }
 
 double
 lossValue(LossKind kind, const Matrix &pred, const Matrix &target,
-          double huberDelta)
+          double huberDelta, ParallelContext *par)
 {
-    return lossImpl(kind, pred, target, huberDelta, nullptr);
+    return lossImpl(kind, pred, target, huberDelta, nullptr, par);
 }
 
 LossKind

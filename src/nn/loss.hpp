@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/parallel_context.hpp"
 #include "tensor/matrix.hpp"
 
 namespace mm {
@@ -22,15 +23,21 @@ enum class LossKind : uint8_t { MSE = 0, MAE = 1, Huber = 2 };
  * Mean loss over all elements; fills @p grad with dLoss/dPred (same
  * normalization).
  *
+ * A non-null @p par spreads the elementwise pass over its lanes in
+ * fixed-size chunks; the scalar reduction always happens serially in
+ * element order, so the returned loss and the gradient are bitwise
+ * identical to the serial path at any lane count.
+ *
  * @param huberDelta Transition point between quadratic and linear regime
  *                   (only used for Huber).
  */
 double lossForward(LossKind kind, const Matrix &pred, const Matrix &target,
-                   double huberDelta, Matrix &grad);
+                   double huberDelta, Matrix &grad,
+                   ParallelContext *par = nullptr);
 
 /** Loss value only (no gradient). */
 double lossValue(LossKind kind, const Matrix &pred, const Matrix &target,
-                 double huberDelta);
+                 double huberDelta, ParallelContext *par = nullptr);
 
 /** Parse "mse" / "mae" / "huber". */
 LossKind lossFromName(const std::string &name);

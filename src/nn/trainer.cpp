@@ -8,18 +8,37 @@ namespace mm {
 namespace {
 
 /**
- * Copy the index-selected rows of src into dst. Capacity is reused
- * across batches: after the first call of an epoch only the row count
- * changes (for the final partial batch), so no batch ever reallocates.
+ * Rows per parallel gather chunk. Fixed (never derived from the lane
+ * count) so the work split — all disjoint row copies — is identical at
+ * any lane count.
+ */
+constexpr size_t kGatherChunk = 16;
+
+/**
+ * Copy the index-selected rows of src into dst, optionally fanning the
+ * row copies over @p par. Capacity is reused across batches: after the
+ * first call of an epoch only the row count changes (for the final
+ * partial batch), so no batch ever reallocates.
  */
 void
 gatherRows(const Matrix &src, const std::vector<size_t> &idx, size_t begin,
-           size_t count, Matrix &dst)
+           size_t count, Matrix &dst, ParallelContext *par)
 {
     dst.ensureShape(count, src.cols());
-    for (size_t r = 0; r < count; ++r) {
-        auto from = src.row(idx[begin + r]);
-        std::copy(from.begin(), from.end(), dst.row(r).begin());
+    auto copyRange = [&](size_t lo, size_t hi) {
+        for (size_t r = lo; r < hi; ++r) {
+            auto from = src.row(idx[begin + r]);
+            std::copy(from.begin(), from.end(), dst.row(r).begin());
+        }
+    };
+    if (par != nullptr && par->lanes() > 1 && count >= 2 * kGatherChunk) {
+        const size_t chunks = (count + kGatherChunk - 1) / kGatherChunk;
+        par->parallelFor(chunks, [&](size_t c) {
+            copyRange(c * kGatherChunk,
+                      std::min(count, (c + 1) * kGatherChunk));
+        });
+    } else {
+        copyRange(0, count);
     }
 }
 
@@ -85,10 +104,11 @@ MatrixBatchSource::MatrixBatchSource(const Matrix &x, const Matrix &y)
 
 void
 MatrixBatchSource::gather(const std::vector<size_t> &idx, size_t begin,
-                          size_t n, Matrix &bx, Matrix &by)
+                          size_t n, Matrix &bx, Matrix &by,
+                          ParallelContext *par)
 {
-    gatherRows(xRef, idx, begin, n, bx);
-    gatherRows(yRef, idx, begin, n, by);
+    gatherRows(xRef, idx, begin, n, bx, par);
+    gatherRows(yRef, idx, begin, n, by, par);
 }
 
 RegressionTrainer::RegressionTrainer(Mlp &net_, TrainConfig cfg_,
@@ -148,10 +168,11 @@ RegressionTrainer::fit(BatchSource &train, BatchSource *test, Rng &rng,
         for (size_t begin = 0; begin < idx.size();
              begin += cfg.batchSize) {
             size_t count = std::min(cfg.batchSize, idx.size() - begin);
-            train.gather(idx, begin, count, bx, by);
+            train.gather(idx, begin, count, bx, by, par);
 
             const Matrix &pred = net.forward(bx);
-            lossAcc += lossForward(cfg.loss, pred, by, cfg.huberDelta, grad);
+            lossAcc += lossForward(cfg.loss, pred, by, cfg.huberDelta,
+                                   grad, par);
             ++batches;
 
             net.zeroGrad();
@@ -164,7 +185,7 @@ RegressionTrainer::fit(BatchSource &train, BatchSource *test, Rng &rng,
         report.trainLoss = batches > 0 ? lossAcc / double(batches) : 0.0;
         report.testLoss =
             test != nullptr && test->rows() > 0
-                ? evaluate(net, *test, cfg.loss, cfg.huberDelta)
+                ? evaluate(net, *test, cfg.loss, cfg.huberDelta, 256, par)
                 : 0.0;
         report.lr = opt.lr();
         reports.push_back(report);
@@ -177,15 +198,16 @@ RegressionTrainer::fit(BatchSource &train, BatchSource *test, Rng &rng,
 double
 RegressionTrainer::evaluate(Mlp &net, const Matrix &x, const Matrix &y,
                             LossKind loss, double huberDelta,
-                            size_t batchSize)
+                            size_t batchSize, ParallelContext *par)
 {
     MatrixBatchSource src(x, y);
-    return evaluate(net, src, loss, huberDelta, batchSize);
+    return evaluate(net, src, loss, huberDelta, batchSize, par);
 }
 
 double
 RegressionTrainer::evaluate(Mlp &net, BatchSource &src, LossKind loss,
-                            double huberDelta, size_t batchSize)
+                            double huberDelta, size_t batchSize,
+                            ParallelContext *par)
 {
     if (src.rows() == 0)
         return 0.0;
@@ -196,9 +218,9 @@ RegressionTrainer::evaluate(Mlp &net, BatchSource &src, LossKind loss,
     std::iota(idx.begin(), idx.end(), size_t(0));
     for (size_t begin = 0; begin < idx.size(); begin += batchSize) {
         size_t count = std::min(batchSize, idx.size() - begin);
-        src.gather(idx, begin, count, bx, by);
+        src.gather(idx, begin, count, bx, by, par);
         const Matrix &pred = net.forward(bx);
-        acc += lossValue(loss, pred, by, huberDelta) * double(count);
+        acc += lossValue(loss, pred, by, huberDelta, par) * double(count);
         total += count;
     }
     return acc / double(total);

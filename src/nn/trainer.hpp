@@ -60,10 +60,15 @@ class BatchSource
 
     /**
      * Copy source rows idx[begin + r], r in [0, n), into row r of
-     * @p bx / @p by (shaping them to n rows).
+     * @p bx / @p by (shaping them to n rows). A non-null @p par may
+     * spread the row copies over its lanes in a fixed chunking (rows
+     * are disjoint, so the result is bitwise lane-invariant);
+     * implementations whose row access is stateful (e.g. an LRU shard
+     * cache) are free to ignore it and gather serially.
      */
     virtual void gather(const std::vector<size_t> &idx, size_t begin,
-                        size_t n, Matrix &bx, Matrix &by) = 0;
+                        size_t n, Matrix &bx, Matrix &by,
+                        ParallelContext *par = nullptr) = 0;
 };
 
 /** BatchSource over a pair of in-memory matrices. */
@@ -77,7 +82,8 @@ class MatrixBatchSource final : public BatchSource
     size_t xCols() const override { return xRef.cols(); }
     size_t yCols() const override { return yRef.cols(); }
     void gather(const std::vector<size_t> &idx, size_t begin, size_t n,
-                Matrix &bx, Matrix &by) override;
+                Matrix &bx, Matrix &by,
+                ParallelContext *par = nullptr) override;
 
   private:
     const Matrix &xRef;
@@ -132,11 +138,13 @@ class RegressionTrainer
     /** Mean loss of @p net over a dataset, evaluated in batches. */
     static double evaluate(Mlp &net, const Matrix &x, const Matrix &y,
                            LossKind loss, double huberDelta,
-                           size_t batchSize = 256);
+                           size_t batchSize = 256,
+                           ParallelContext *par = nullptr);
 
     /** Mean loss of @p net over a source, evaluated in batches. */
     static double evaluate(Mlp &net, BatchSource &src, LossKind loss,
-                           double huberDelta, size_t batchSize = 256);
+                           double huberDelta, size_t batchSize = 256,
+                           ParallelContext *par = nullptr);
 
   private:
     Mlp &net;

@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
-#include "common/clock.hpp"
 #include "common/stats.hpp"
 #include "mapping/moves.hpp"
+#include "search/registry.hpp"
 
 namespace mm {
 
@@ -16,11 +16,12 @@ AnnealingSearcher::AnnealingSearcher(const CostModel &model_,
 {}
 
 SearchResult
-AnnealingSearcher::run(const SearchBudget &budget, Rng &rng)
+AnnealingSearcher::run(SearchContext &ctx)
 {
-    WallTimer timer;
     const MapSpace &space = model->space();
-    SearchRecorder rec(*model, budget, stepLatency);
+    SearchRecorder rec(*model, ctx, stepLatency);
+    Rng &rng = *ctx.rng;
+    const SearchBudget &budget = ctx.budget;
 
     // Pilot phase: estimate the energy scale for the temperature
     // schedule (uncharged auto-tuning, as in the paper's simanneal use).
@@ -67,9 +68,38 @@ AnnealingSearcher::run(const SearchBudget &budget, Rng &rng)
         }
     }
 
-    SearchResult result = rec.finish(name());
-    result.wallSec = timer.elapsedSec();
-    return result;
+    return rec.finish(name());
 }
+
+namespace {
+const SearcherRegistrar registrar({
+    "SA",
+    "simulated annealing, exponential schedule with auto-tuned "
+    "temperatures (Appendix A)",
+    /*needsSurrogate=*/false,
+    {
+        {"tMax", "start temperature (<= 0 auto-tunes from a pilot)"},
+        {"tMin", "end temperature (<= 0 auto-tunes from a pilot)"},
+        {"pilot", "pilot draws used by temperature auto-tuning"},
+        {"horizon", "schedule horizon in steps (<= 0 derives from budget)"},
+    },
+    [](const SearcherBuildContext &ctx, SearcherOptions &opt) {
+        AnnealingConfig cfg;
+        cfg.tMax = opt.getDouble("tMax", cfg.tMax);
+        cfg.tMin = opt.getDouble("tMin", cfg.tMin);
+        cfg.pilotSamples = int(opt.getInt("pilot", cfg.pilotSamples));
+        cfg.scheduleSteps = opt.getInt("horizon", cfg.scheduleSteps);
+        if (cfg.pilotSamples < 0)
+            fatal("searcher 'SA': pilot must be >= 0");
+        return std::make_unique<AnnealingSearcher>(ctx.model, cfg,
+                                                   ctx.timing);
+    },
+});
+} // namespace
+
+namespace detail {
+extern const int annealingSearcherRegistered;
+const int annealingSearcherRegistered = 1;
+} // namespace detail
 
 } // namespace mm

@@ -38,7 +38,8 @@ class AnnealingSearcher : public Searcher
                       const TimingModel &timing = {});
 
     std::string name() const override { return "SA"; }
-    SearchResult run(const SearchBudget &budget, Rng &rng) override;
+    SearchResult run(SearchContext &ctx) override;
+    using Searcher::run;
 
   private:
     const CostModel *model;

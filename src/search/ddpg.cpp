@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
-#include "common/clock.hpp"
 #include "nn/mlp.hpp"
 #include "nn/optimizer.hpp"
+#include "search/registry.hpp"
 
 namespace mm {
 
@@ -124,9 +124,11 @@ DdpgSearcher::DdpgSearcher(const CostModel &model_, DdpgConfig cfg_,
 {}
 
 SearchResult
-DdpgSearcher::run(const SearchBudget &budget, Rng &rng)
+DdpgSearcher::run(SearchContext &ctx)
 {
-    WallTimer timer;
+    // Constructed first so wall-clock budgets cover the net setup too.
+    SearchRecorder rec(*model, ctx, stepLatency);
+    Rng &rng = *ctx.rng;
     const MapSpace &space = model->space();
     MappingCodec codec(space);
     FeatureScaler scaler(space, codec);
@@ -155,7 +157,6 @@ DdpgSearcher::run(const SearchBudget &budget, Rng &rng)
     replay.reserve(cfg.replayCapacity);
     size_t replayHead = 0;
 
-    SearchRecorder rec(*model, budget, stepLatency);
     double noise = cfg.noiseStd;
 
     Mapping current = space.randomValid(rng);
@@ -293,9 +294,48 @@ DdpgSearcher::run(const SearchBudget &budget, Rng &rng)
         criticTarget.softUpdateFrom(critic, float(cfg.tau));
     }
 
-    SearchResult result = rec.finish(name());
-    result.wallSec = timer.elapsedSec();
-    return result;
+    return rec.finish(name());
 }
+
+namespace {
+const SearcherRegistrar registrar({
+    "RL",
+    "deep deterministic policy gradient over the map space "
+    "(HAQ-derived setup, Appendix A)",
+    /*needsSurrogate=*/false,
+    {
+        {"width", "hidden width of actor/critic (paper: 300)"},
+        {"episode", "environment steps per episode"},
+        {"replay", "replay buffer capacity"},
+        {"batch", "replay minibatch size"},
+        {"warmup", "random-exploration steps before learning"},
+        {"updateEvery", "environment steps per gradient update"},
+    },
+    [](const SearcherBuildContext &ctx, SearcherOptions &opt) {
+        DdpgConfig cfg;
+        cfg.hiddenWidth = int(opt.getInt("width", cfg.hiddenWidth));
+        cfg.episodeLength = int(opt.getInt("episode", cfg.episodeLength));
+        // Validate in the signed domain before the size_t conversion
+        // can turn a negative option into a huge capacity.
+        int64_t replay = opt.getInt("replay", int64_t(cfg.replayCapacity));
+        int64_t batch = opt.getInt("batch", int64_t(cfg.batchSize));
+        cfg.warmupSteps = int(opt.getInt("warmup", cfg.warmupSteps));
+        cfg.updateEvery = int(opt.getInt("updateEvery", cfg.updateEvery));
+        if (cfg.hiddenWidth < 1 || cfg.episodeLength < 1 || batch < 1
+            || replay < batch || cfg.warmupSteps < 0
+            || cfg.updateEvery < 1)
+            fatal("searcher 'RL': need width/episode/updateEvery >= 1, "
+                  "batch >= 1, replay >= batch, warmup >= 0");
+        cfg.replayCapacity = size_t(replay);
+        cfg.batchSize = size_t(batch);
+        return std::make_unique<DdpgSearcher>(ctx.model, cfg, ctx.timing);
+    },
+});
+} // namespace
+
+namespace detail {
+extern const int ddpgSearcherRegistered;
+const int ddpgSearcherRegistered = 1;
+} // namespace detail
 
 } // namespace mm

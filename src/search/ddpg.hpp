@@ -49,7 +49,8 @@ class DdpgSearcher : public Searcher
                  const TimingModel &timing = {});
 
     std::string name() const override { return "RL"; }
-    SearchResult run(const SearchBudget &budget, Rng &rng) override;
+    SearchResult run(SearchContext &ctx) override;
+    using Searcher::run;
 
   private:
     const CostModel *model;

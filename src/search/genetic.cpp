@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
-#include "common/clock.hpp"
 #include "mapping/moves.hpp"
+#include "search/registry.hpp"
 
 namespace mm {
 
@@ -29,11 +29,11 @@ GeneticSearcher::GeneticSearcher(const CostModel &model_, GeneticConfig cfg_,
 }
 
 SearchResult
-GeneticSearcher::run(const SearchBudget &budget, Rng &rng)
+GeneticSearcher::run(SearchContext &ctx)
 {
-    WallTimer timer;
     const MapSpace &space = model->space();
-    SearchRecorder rec(*model, budget, stepLatency);
+    SearchRecorder rec(*model, ctx, stepLatency);
+    Rng &rng = *ctx.rng;
 
     auto evaluate = [&](Individual &ind) {
         if (ind.evaluated || rec.exhausted())
@@ -99,9 +99,44 @@ GeneticSearcher::run(const SearchBudget &budget, Rng &rng)
         pop = std::move(next);
     }
 
-    SearchResult result = rec.finish(name());
-    result.wallSec = timer.elapsedSec();
-    return result;
+    return rec.finish(name());
 }
+
+namespace {
+const SearcherRegistrar registrar({
+    "GA",
+    "generational genetic algorithm with tournament selection and "
+    "elitism (DEAP-style, Appendix A)",
+    /*needsSurrogate=*/false,
+    {
+        {"pop", "population size (paper: 100)"},
+        {"cx", "crossover probability (paper: 0.75)"},
+        {"mut", "per-attribute mutation probability (paper: 0.05)"},
+        {"tourn", "tournament size"},
+        {"elites", "elites carried forward unchanged"},
+    },
+    [](const SearcherBuildContext &ctx, SearcherOptions &opt) {
+        GeneticConfig cfg;
+        cfg.populationSize = int(opt.getInt("pop", cfg.populationSize));
+        cfg.crossoverProb = opt.getDouble("cx", cfg.crossoverProb);
+        cfg.mutationProb = opt.getDouble("mut", cfg.mutationProb);
+        cfg.tournamentSize = int(opt.getInt("tourn", cfg.tournamentSize));
+        cfg.elites = int(opt.getInt("elites", cfg.elites));
+        if (cfg.populationSize < 2)
+            fatal("searcher 'GA': pop must be >= 2");
+        if (cfg.tournamentSize < 1)
+            fatal("searcher 'GA': tourn must be >= 1");
+        if (cfg.elites < 0 || cfg.elites >= cfg.populationSize)
+            fatal("searcher 'GA': elites must be in [0, pop)");
+        return std::make_unique<GeneticSearcher>(ctx.model, cfg,
+                                                 ctx.timing);
+    },
+});
+} // namespace
+
+namespace detail {
+extern const int geneticSearcherRegistered;
+const int geneticSearcherRegistered = 1;
+} // namespace detail
 
 } // namespace mm

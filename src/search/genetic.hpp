@@ -31,7 +31,8 @@ class GeneticSearcher : public Searcher
                     const TimingModel &timing = {});
 
     std::string name() const override { return "GA"; }
-    SearchResult run(const SearchBudget &budget, Rng &rng) override;
+    SearchResult run(SearchContext &ctx) override;
+    using Searcher::run;
 
   private:
     const CostModel *model;

@@ -1,0 +1,92 @@
+#include "search/orchestrator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/thread_pool.hpp"
+
+namespace mm {
+
+const SearchResult &
+MultiRunResult::bestRun() const
+{
+    MM_ASSERT(!runs.empty(), "bestRun() on an empty result");
+    size_t bestIdx = 0;
+    for (size_t i = 1; i < runs.size(); ++i)
+        if (runs[i].bestNormEdp < runs[bestIdx].bestNormEdp)
+            bestIdx = i;
+    return runs[bestIdx];
+}
+
+MultiRunResult
+runMany(const SearcherFactory &factory, const SearchBudget &budget,
+        const MultiRunOptions &opts)
+{
+    MM_ASSERT(opts.runs >= 1, "need at least one repetition");
+    MM_ASSERT(factory != nullptr, "null searcher factory");
+
+    MultiRunResult out;
+    out.runs.resize(size_t(opts.runs));
+
+    auto oneRun = [&](size_t r) {
+        // Each repetition owns its searcher and its RNG stream: the
+        // fan-out schedule cannot perturb any draw, so a fixed base
+        // seed is bitwise reproducible at any thread count.
+        std::unique_ptr<Searcher> searcher = factory();
+        uint64_t seed = opts.seedFor
+                            ? opts.seedFor(int(r))
+                            : repetitionSeed(opts.baseSeed, int(r));
+        Rng rng(seed);
+        SearchContext ctx;
+        ctx.budget = budget;
+        ctx.rng = &rng;
+        ctx.observer = opts.observerFor ? opts.observerFor(int(r)) : nullptr;
+        ctx.stop = opts.stop;
+        ctx.progressEvery = opts.progressEvery;
+        out.runs[r] = searcher->run(ctx);
+    };
+
+    size_t lanes = opts.threads == 0 ? std::thread::hardware_concurrency()
+                                     : size_t(std::max(opts.threads, 1));
+    lanes = std::max<size_t>(lanes, 1);
+    lanes = std::min(lanes, size_t(opts.runs));
+    if (lanes <= 1) {
+        for (size_t r = 0; r < out.runs.size(); ++r)
+            oneRun(r);
+    } else {
+        ThreadPool pool(lanes);
+        pool.parallelFor(out.runs.size(), oneRun);
+    }
+
+    out.method = out.runs.front().method;
+    std::vector<double> finals;
+    for (const SearchResult &r : out.runs) {
+        out.totalWallSec += r.wallSec;
+        if (std::isfinite(r.bestNormEdp))
+            finals.push_back(r.bestNormEdp);
+    }
+    if (!finals.empty()) {
+        std::sort(finals.begin(), finals.end());
+        out.bestNormEdp = finals.front();
+        out.spreadNormEdp = finals.back() - finals.front();
+        size_t mid = finals.size() / 2;
+        out.medianNormEdp = finals.size() % 2 == 1
+                                ? finals[mid]
+                                : 0.5 * (finals[mid - 1] + finals[mid]);
+    }
+    return out;
+}
+
+MultiRunResult
+runMany(const std::string &spec, const SearcherBuildContext &ctx,
+        const SearchBudget &budget, const MultiRunOptions &opts)
+{
+    // Build once eagerly so a bad spec fails before any run starts,
+    // then per repetition inside the fan-out.
+    (void)SearcherRegistry::instance().make(spec, ctx);
+    return runMany(
+        [&]() { return SearcherRegistry::instance().make(spec, ctx); },
+        budget, opts);
+}
+
+} // namespace mm

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Multi-run search orchestration: fan N independently seeded repetitions
+ * of one search method across the shared ThreadPool, stream each run's
+ * trace through observers, and aggregate the outcomes (best / median /
+ * spread) — the harness the figure benches repeat per method and the
+ * seam a serving frontend schedules requests through.
+ *
+ * Determinism: run r draws from Rng(repetitionSeed(baseSeed, r)) and
+ * owns its searcher instance, so results are bitwise identical at any
+ * thread count and identical to the historical serial repetition loops
+ * (repetitionSeed preserves their exact seed derivation). Only the
+ * measured wallSec fields vary between executions.
+ *
+ * Cancellation: one StopToken covers the whole batch — requesting a
+ * stop ends every in-flight repetition at its next step and returns the
+ * valid best-so-far results (repetitions that had not started yet
+ * return immediately with zero steps).
+ */
+#pragma once
+
+#include <functional>
+
+#include "search/registry.hpp"
+
+namespace mm {
+
+/** The historical per-repetition seed derivation of the benches. */
+inline uint64_t
+repetitionSeed(uint64_t baseSeed, int run)
+{
+    return baseSeed * 1000003ULL + uint64_t(run) * 7919ULL + 1;
+}
+
+/** Knobs of runMany. */
+struct MultiRunOptions
+{
+    /** Independent repetitions. */
+    int runs = 1;
+    /** Base of the per-run seed derivation. */
+    uint64_t baseSeed = 1;
+    /** Concurrent repetitions; 0 = hardware concurrency, 1 = serial. */
+    int threads = 1;
+    /** Steps between per-run SearchObserver::onProgress calls (0 = off). */
+    int64_t progressEvery = 0;
+    /**
+     * Observer for run @p r, or null; called once per run before it
+     * starts. With threads > 1, distinct runs invoke their observers
+     * concurrently — return per-run instances or make them thread-safe.
+     */
+    std::function<SearchObserver *(int run)> observerFor;
+    /** Cooperative cancellation across every repetition. */
+    StopToken *stop = nullptr;
+    /**
+     * Override of the per-run seed (e.g. a bench preserving historical
+     * ad-hoc seeding); defaults to repetitionSeed(baseSeed, run).
+     */
+    std::function<uint64_t(int run)> seedFor;
+};
+
+/** Aggregate of one method's repetitions. */
+struct MultiRunResult
+{
+    std::string method;
+    std::vector<SearchResult> runs;
+    /** Final best-so-far normalized EDP: best / median / max-min. */
+    double bestNormEdp = std::numeric_limits<double>::infinity();
+    double medianNormEdp = std::numeric_limits<double>::infinity();
+    double spreadNormEdp = 0.0;
+    /** Summed real seconds across repetitions. */
+    double totalWallSec = 0.0;
+
+    /** The repetition that achieved bestNormEdp. */
+    const SearchResult &bestRun() const;
+};
+
+/** Constructs a fresh searcher for every repetition. */
+using SearcherFactory = std::function<std::unique_ptr<Searcher>()>;
+
+/**
+ * Run @p opts.runs seeded repetitions of the searcher @p factory builds
+ * under @p budget, fanned over @p opts.threads lanes.
+ */
+MultiRunResult runMany(const SearcherFactory &factory,
+                       const SearchBudget &budget,
+                       const MultiRunOptions &opts);
+
+/** Registry convenience: repetitions of the searcher @p spec names. */
+MultiRunResult runMany(const std::string &spec,
+                       const SearcherBuildContext &ctx,
+                       const SearchBudget &budget,
+                       const MultiRunOptions &opts);
+
+} // namespace mm

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 
-#include "common/clock.hpp"
 #include "common/string_util.hpp"
 #include "common/thread_pool.hpp"
+#include "search/registry.hpp"
 
 namespace mm {
 
@@ -12,17 +12,17 @@ SearchResult
 runBatchedGradientSearch(const CostModel &model, Surrogate &surrogate,
                          const GradientSearchConfig &chainCfg,
                          int chainCount, int threadCount,
-                         double stepLatencySec, const SearchBudget &budget,
-                         Rng &rng, const std::string &method)
+                         double stepLatencySec, SearchContext &ctx,
+                         const std::string &method)
 {
     MM_ASSERT(chainCount >= 1, "need at least one chain");
-    WallTimer timer;
     const MapSpace &space = model.space();
     MappingCodec codec(space);
     MM_ASSERT(codec.featureCount() == surrogate.featureCount(),
               "surrogate was trained for a different algorithm");
 
-    SearchRecorder rec(model, budget, stepLatencySec);
+    SearchRecorder rec(model, ctx, stepLatencySec);
+    Rng &rng = *ctx.rng;
     // More lanes than chains only adds wakeup/contention overhead.
     size_t lanes = threadCount <= 0 ? std::thread::hardware_concurrency()
                                     : size_t(threadCount);
@@ -99,9 +99,7 @@ runBatchedGradientSearch(const CostModel &model, Surrogate &surrogate,
                                                   costs[2 * k + 1]);
     }
 
-    SearchResult result = rec.finish(method);
-    result.wallSec = timer.elapsedSec();
-    return result;
+    return rec.finish(method);
 }
 
 ParallelGradientSearcher::ParallelGradientSearcher(const CostModel &model_,
@@ -121,11 +119,95 @@ ParallelGradientSearcher::name() const
 }
 
 SearchResult
-ParallelGradientSearcher::run(const SearchBudget &budget, Rng &rng)
+ParallelGradientSearcher::run(SearchContext &ctx)
 {
     return runBatchedGradientSearch(*model, *surrogate, cfg.chain,
                                     cfg.chains, cfg.threads, stepLatency,
-                                    budget, rng, name());
+                                    ctx, name());
 }
+
+namespace {
+
+/** Shared by the MM and MM-P factories (same chain hyper-parameters). */
+GradientSearchConfig
+chainConfigFromOptions(SearcherOptions &opt, const char *key)
+{
+    GradientSearchConfig cfg;
+    cfg.learningRate = opt.getDouble("lr", cfg.learningRate);
+    cfg.injectEvery = int(opt.getInt("injectEvery", cfg.injectEvery));
+    cfg.initTemperature = opt.getDouble("temp", cfg.initTemperature);
+    cfg.tempDecay = opt.getDouble("tempDecay", cfg.tempDecay);
+    cfg.decayEveryInjections =
+        int(opt.getInt("decayEvery", cfg.decayEveryInjections));
+    cfg.enableInjection = opt.getBool("inject", cfg.enableInjection);
+    if (cfg.learningRate <= 0.0)
+        fatal(std::string("searcher '") + key + "': lr must be > 0");
+    if (cfg.injectEvery <= 0)
+        fatal(std::string("searcher '") + key
+              + "': injectEvery must be > 0");
+    if (cfg.decayEveryInjections <= 0)
+        fatal(std::string("searcher '") + key
+              + "': decayEvery must be > 0");
+    return cfg;
+}
+
+const std::vector<SearcherOptionSpec> kChainOptionSpecs = {
+    {"lr", "gradient-descent learning rate (paper: 1; ours: 0.3)"},
+    {"injectEvery", "steps between random-injection trials (paper: 10)"},
+    {"temp", "initial injection-acceptance temperature (paper: 50)"},
+    {"tempDecay", "temperature decay factor (paper: 0.75)"},
+    {"decayEvery", "injections between temperature decays (paper: 50)"},
+    {"inject", "enable random injection (0 disables; ablation switch)"},
+};
+
+const SearcherRegistrar sequentialRegistrar([] {
+    SearcherRegistry::Entry entry;
+    entry.key = "MM";
+    entry.description =
+        "Mind Mappings, sequential Phase-2 gradient search over the "
+        "trained surrogate (Section 4.2)";
+    entry.needsSurrogate = true;
+    entry.options = kChainOptionSpecs;
+    entry.factory = [](const SearcherBuildContext &ctx,
+                       SearcherOptions &opt) {
+        return std::make_unique<MindMappingsSearcher>(
+            ctx.model, *ctx.surrogate, chainConfigFromOptions(opt, "MM"),
+            ctx.timing);
+    };
+    return entry;
+}());
+
+const SearcherRegistrar parallelRegistrar([] {
+    SearcherRegistry::Entry entry;
+    entry.key = "MM-P";
+    entry.description =
+        "Mind Mappings, batched multi-chain Phase-2 driver: independent "
+        "restart chains, one surrogate batch per step";
+    entry.needsSurrogate = true;
+    entry.options = kChainOptionSpecs;
+    entry.options.insert(
+        entry.options.begin(),
+        {{"chains", "independent restart chains evaluated as one batch"},
+         {"threads", "fork-join lanes (0 = hardware concurrency)"}});
+    entry.factory = [](const SearcherBuildContext &ctx,
+                       SearcherOptions &opt) {
+        ParallelSearchConfig cfg;
+        cfg.chain = chainConfigFromOptions(opt, "MM-P");
+        cfg.chains = int(opt.getInt("chains", cfg.chains));
+        cfg.threads = int(opt.getInt("threads", cfg.threads));
+        if (cfg.chains < 1)
+            fatal("searcher 'MM-P': chains must be >= 1");
+        return std::make_unique<ParallelGradientSearcher>(
+            ctx.model, *ctx.surrogate, cfg, ctx.timing);
+    };
+    return entry;
+}());
+
+} // namespace
+
+namespace detail {
+extern const int parallelGradientSearcherRegistered;
+const int parallelGradientSearcherRegistered = 1;
+} // namespace detail
 
 } // namespace mm

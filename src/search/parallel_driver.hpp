@@ -55,7 +55,8 @@ class ParallelGradientSearcher : public Searcher
                              const TimingModel &timing = {});
 
     std::string name() const override;
-    SearchResult run(const SearchBudget &budget, Rng &rng) override;
+    SearchResult run(SearchContext &ctx) override;
+    using Searcher::run;
 
   private:
     const CostModel *model;
@@ -65,17 +66,18 @@ class ParallelGradientSearcher : public Searcher
 };
 
 /**
- * The shared driver loop: run @p chainCount chains under @p budget,
- * batching surrogate evaluations, with chain-local work spread over
- * @p threadCount lanes (0 = hardware concurrency). Chain RNG streams
- * are forked from @p rng in chain order. @p method tags the result.
+ * The shared driver loop: run @p chainCount chains under @p ctx's
+ * budget, batching surrogate evaluations, with chain-local work spread
+ * over @p threadCount lanes (0 = hardware concurrency). Chain RNG
+ * streams are forked from ctx.rng in chain order. @p method tags the
+ * result.
  */
 SearchResult runBatchedGradientSearch(const CostModel &model,
                                       Surrogate &surrogate,
                                       const GradientSearchConfig &chainCfg,
                                       int chainCount, int threadCount,
                                       double stepLatencySec,
-                                      const SearchBudget &budget, Rng &rng,
+                                      SearchContext &ctx,
                                       const std::string &method);
 
 } // namespace mm

@@ -1,6 +1,6 @@
 #include "search/random_search.hpp"
 
-#include "common/clock.hpp"
+#include "search/registry.hpp"
 
 namespace mm {
 
@@ -10,16 +10,31 @@ RandomSearcher::RandomSearcher(const CostModel &model_,
 {}
 
 SearchResult
-RandomSearcher::run(const SearchBudget &budget, Rng &rng)
+RandomSearcher::run(SearchContext &ctx)
 {
-    WallTimer timer;
-    SearchRecorder rec(*model, budget, stepLatency);
+    SearchRecorder rec(*model, ctx, stepLatency);
+    Rng &rng = *ctx.rng;
     const MapSpace &space = model->space();
     while (!rec.exhausted())
         rec.step(space.randomValid(rng));
-    SearchResult result = rec.finish(name());
-    result.wallSec = timer.elapsedSec();
-    return result;
+    return rec.finish(name());
 }
+
+namespace {
+const SearcherRegistrar registrar({
+    "Random",
+    "uniform random sampling of valid mappings (the unguided floor)",
+    /*needsSurrogate=*/false,
+    {},
+    [](const SearcherBuildContext &ctx, SearcherOptions &) {
+        return std::make_unique<RandomSearcher>(ctx.model, ctx.timing);
+    },
+});
+} // namespace
+
+namespace detail {
+extern const int randomSearcherRegistered;
+const int randomSearcherRegistered = 1;
+} // namespace detail
 
 } // namespace mm

@@ -15,7 +15,8 @@ class RandomSearcher : public Searcher
     RandomSearcher(const CostModel &model, const TimingModel &timing = {});
 
     std::string name() const override { return "Random"; }
-    SearchResult run(const SearchBudget &budget, Rng &rng) override;
+    SearchResult run(SearchContext &ctx) override;
+    using Searcher::run;
 
   private:
     const CostModel *model;

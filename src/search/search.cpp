@@ -38,6 +38,16 @@ SearchResult::bestAtVirtualTime(double t) const
 }
 
 SearchRecorder::SearchRecorder(const CostModel &model_,
+                               const SearchContext &ctx,
+                               double stepLatencySec)
+    : model(&model_), budget(ctx.budget), observer(ctx.observer),
+      stop(ctx.stop), progressEvery(ctx.progressEvery),
+      stepLatency(stepLatencySec)
+{
+    MM_ASSERT(stepLatency >= 0.0, "negative step latency");
+}
+
+SearchRecorder::SearchRecorder(const CostModel &model_,
                                const SearchBudget &budget_,
                                double stepLatencySec)
     : model(&model_), budget(budget_), stepLatency(stepLatencySec)
@@ -48,28 +58,65 @@ SearchRecorder::SearchRecorder(const CostModel &model_,
 bool
 SearchRecorder::exhausted() const
 {
-    return budget.done(stepCount, virtualClock);
+    if (budget.done(stepCount, virtualClock))
+        return true;
+    if (stop != nullptr && stop->stopRequested())
+        return true;
+    // Only pay for a clock read when a wall budget is actually set.
+    if (std::isfinite(budget.maxWallSec)
+        && timer.elapsedSec() >= budget.maxWallSec)
+        return true;
+    return false;
+}
+
+SearchProgress
+SearchRecorder::progressNow() const
+{
+    SearchProgress p;
+    p.steps = stepCount;
+    p.virtualSec = virtualClock;
+    p.wallSec = timer.elapsedSec();
+    p.bestNormEdp = best;
+    p.best = trace.empty() ? nullptr : &bestMapping;
+    return p;
+}
+
+void
+SearchRecorder::recordProbe(const Mapping &candidate, double norm)
+{
+    if (norm < best) {
+        best = norm;
+        bestMapping = candidate;
+        trace.push_back({stepCount, virtualClock, best});
+        if (observer != nullptr)
+            observer->onImprovement(progressNow());
+    }
+    if (observer != nullptr && progressEvery > 0
+        && stepCount % progressEvery == 0)
+        observer->onProgress(progressNow());
 }
 
 double
 SearchRecorder::step(const Mapping &candidate)
 {
-    MM_ASSERT(!exhausted(), "step() called after budget exhaustion");
+    // The deterministic budgets are hard preconditions; wall-clock or
+    // stop-token exhaustion may race past the caller's exhausted()
+    // check, and recording the already-computed candidate then is both
+    // harmless and what keeps cancelled results best-so-far valid.
+    MM_ASSERT(!budget.done(stepCount, virtualClock),
+              "step() called after budget exhaustion");
     ++stepCount;
     virtualClock += stepLatency;
     double norm = model->normalizedEdp(candidate);
-    if (norm < best) {
-        best = norm;
-        bestMapping = candidate;
-        trace.push_back({stepCount, virtualClock, best});
-    }
+    recordProbe(candidate, norm);
     return norm;
 }
 
 void
 SearchRecorder::stepBatch(std::span<const Mapping> candidates)
 {
-    MM_ASSERT(!exhausted(), "stepBatch() called after budget exhaustion");
+    MM_ASSERT(!budget.done(stepCount, virtualClock),
+              "stepBatch() called after budget exhaustion");
     if (candidates.empty())
         return;
     virtualClock += stepLatency;
@@ -78,11 +125,7 @@ SearchRecorder::stepBatch(std::span<const Mapping> candidates)
             break;
         ++stepCount;
         double norm = model->normalizedEdp(candidate);
-        if (norm < best) {
-            best = norm;
-            bestMapping = candidate;
-            trace.push_back({stepCount, virtualClock, best});
-        }
+        recordProbe(candidate, norm);
     }
 }
 
@@ -96,6 +139,8 @@ SearchRecorder::finish(std::string method) const
     result.trace = trace;
     result.steps = stepCount;
     result.virtualSec = virtualClock;
+    result.wallSec = timer.elapsedSec();
+    result.cancelled = stop != nullptr && stop->stopRequested();
     // Guarantee a terminal point so time/step interpolation saturates.
     if (result.trace.empty() || result.trace.back().step != stepCount)
         result.trace.push_back({stepCount, virtualClock, best});

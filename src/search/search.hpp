@@ -1,8 +1,9 @@
 /**
  * @file
  * Search framework shared by Mind Mappings and the black-box baselines
- * (Section 5.2): budgets, traces, the Searcher interface, and the
- * virtual clock that reproduces the paper's iso-time methodology.
+ * (Section 5.2): budgets, traces, observers, cancellation, the Searcher
+ * interface, and the virtual clock that reproduces the paper's iso-time
+ * methodology.
  *
  * Iteration semantics follow the paper: one "step" is one cost-function
  * query — a Timeloop-stand-in query for the baselines, a surrogate
@@ -17,6 +18,19 @@
  * RL, converging in 62.5 s at ~1000 steps). Real wall time is recorded
  * alongside for transparency. See DESIGN.md, "Substitutions".
  *
+ * Wall-clock budgets: alongside steps and virtual seconds, a budget can
+ * bound *real* elapsed seconds (SearchBudget::byWallTime). This is the
+ * iso-wall-clock mode of the fig6 bench, where the threaded backend's
+ * genuine throughput advantage — invisible under the virtual clock —
+ * shows up directly. Wall/stop-token exhaustion is checked without
+ * touching any RNG, so step- and virtual-time-budgeted runs are bitwise
+ * unaffected by the machinery.
+ *
+ * Run contract: Searcher::run(SearchContext &) bundles the budget with
+ * the RNG, an optional SearchObserver (on-improvement and periodic
+ * progress callbacks) and an optional cooperative StopToken. Callers
+ * that need none of that use the run(budget, rng) convenience wrapper.
+ *
  * Measurement: the quality traces record the best-so-far *true*
  * normalized EDP of the candidates a method proposes, matching how the
  * paper plots all methods on one axis; for Mind Mappings these trace
@@ -25,22 +39,31 @@
  */
 #pragma once
 
+#include <atomic>
 #include <limits>
 #include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/clock.hpp"
 #include "costmodel/cost_model.hpp"
 
 namespace mm {
 
-/** Stop condition: step count (iso-iteration) or virtual time (iso-time). */
+/**
+ * Stop condition: step count (iso-iteration), virtual time (iso-time),
+ * or real elapsed seconds (iso-wall-clock).
+ */
 struct SearchBudget
 {
     int64_t maxSteps = std::numeric_limits<int64_t>::max();
     double maxVirtualSec = std::numeric_limits<double>::infinity();
+    /** Real elapsed seconds; measured by the recorder's wall timer. */
+    double maxWallSec = std::numeric_limits<double>::infinity();
 
+    /** Deterministic (step / virtual-time) exhaustion only; the wall
+     * clock is the recorder's to watch. */
     bool
     done(int64_t steps, double virtualSec) const
     {
@@ -60,6 +83,14 @@ struct SearchBudget
     {
         SearchBudget b;
         b.maxVirtualSec = seconds;
+        return b;
+    }
+
+    static SearchBudget
+    byWallTime(double seconds)
+    {
+        SearchBudget b;
+        b.maxWallSec = seconds;
         return b;
     }
 };
@@ -82,6 +113,8 @@ struct SearchResult
     int64_t steps = 0;
     double virtualSec = 0.0;
     double wallSec = 0.0;
+    /** True when a StopToken ended the run before the budget did. */
+    bool cancelled = false;
 
     /** Best-so-far value at step @p s (step-function interpolation). */
     double bestAtStep(int64_t s) const;
@@ -103,19 +136,96 @@ struct TimingModel
 };
 
 /**
+ * Cooperative cancellation flag. The owner (an orchestrator, a signal
+ * handler, a future server endpoint) calls requestStop() from any
+ * thread; the running searcher observes it at its next recorder check
+ * and returns its valid best-so-far result. Checking never consumes
+ * randomness, so un-stopped runs are bitwise unaffected.
+ */
+class StopToken
+{
+  public:
+    StopToken() = default;
+    StopToken(const StopToken &) = delete;
+    StopToken &operator=(const StopToken &) = delete;
+
+    void requestStop() { flag.store(true, std::memory_order_relaxed); }
+    bool stopRequested() const
+    {
+        return flag.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<bool> flag{false};
+};
+
+/** Snapshot handed to SearchObserver callbacks. */
+struct SearchProgress
+{
+    int64_t steps = 0;
+    double virtualSec = 0.0;
+    double wallSec = 0.0;
+    double bestNormEdp = std::numeric_limits<double>::infinity();
+    /** Best mapping so far; null until the first improvement. */
+    const Mapping *best = nullptr;
+};
+
+/**
+ * Callbacks streamed out of a running search. Invoked synchronously on
+ * the searching thread; implementations must be cheap (they sit on the
+ * step path) and, when one observer instance is shared across
+ * concurrently running searches, thread-safe.
+ */
+class SearchObserver
+{
+  public:
+    virtual ~SearchObserver() = default;
+
+    /** The best-so-far true normalized EDP just improved. */
+    virtual void onImprovement(const SearchProgress &) {}
+
+    /** Periodic heartbeat every SearchContext::progressEvery steps. */
+    virtual void onProgress(const SearchProgress &) {}
+};
+
+/**
+ * Everything one search run executes against: the budget, the RNG
+ * stream, and the optional observer / cancellation hooks. The rng
+ * pointer is required; observer and stop may stay null.
+ */
+struct SearchContext
+{
+    SearchBudget budget;
+    Rng *rng = nullptr;
+    SearchObserver *observer = nullptr;
+    StopToken *stop = nullptr;
+    /** Steps between SearchObserver::onProgress calls (0 = off). */
+    int64_t progressEvery = 0;
+};
+
+/**
  * Budget/trace bookkeeping shared by all searcher implementations.
  *
  * A searcher calls step() once per cost-function query with the mapping
  * it proposed; the recorder charges virtual time, probes true quality,
- * and maintains the best-so-far trace.
+ * maintains the best-so-far trace, drives the observer callbacks, and
+ * watches the wall clock and the stop token. The wall timer starts at
+ * construction, so wall budgets cover a searcher's setup work too.
  */
 class SearchRecorder
 {
   public:
+    SearchRecorder(const CostModel &model, const SearchContext &ctx,
+                   double stepLatencySec);
+
+    /** Observer-less convenience used by tests and simple callers. */
     SearchRecorder(const CostModel &model, const SearchBudget &budget,
                    double stepLatencySec);
 
-    /** True when the budget is exhausted. */
+    /**
+     * True when the budget (steps, virtual or wall seconds) is
+     * exhausted or a stop was requested.
+     */
     bool exhausted() const;
 
     /**
@@ -140,14 +250,22 @@ class SearchRecorder
     int64_t steps() const { return stepCount; }
     double virtualSec() const { return virtualClock; }
     double bestNormEdp() const { return best; }
+    double wallSec() const { return timer.elapsedSec(); }
 
     /** Finalize into a result tagged with @p method. */
     SearchResult finish(std::string method) const;
 
   private:
+    void recordProbe(const Mapping &candidate, double norm);
+    SearchProgress progressNow() const;
+
     const CostModel *model;
     SearchBudget budget;
+    SearchObserver *observer = nullptr;
+    StopToken *stop = nullptr;
+    int64_t progressEvery = 0;
     double stepLatency;
+    WallTimer timer;
     int64_t stepCount = 0;
     double virtualClock = 0.0;
     double best = std::numeric_limits<double>::infinity();
@@ -164,8 +282,18 @@ class Searcher
     /** Short method tag ("MM", "SA", "GA", "RL", "Random"). */
     virtual std::string name() const = 0;
 
-    /** Execute one independent search run under @p budget. */
-    virtual SearchResult run(const SearchBudget &budget, Rng &rng) = 0;
+    /** Execute one independent search run under @p ctx. */
+    virtual SearchResult run(SearchContext &ctx) = 0;
+
+    /** Convenience wrapper: budget + RNG, no observer, no stop. */
+    SearchResult
+    run(const SearchBudget &budget, Rng &rng)
+    {
+        SearchContext ctx;
+        ctx.budget = budget;
+        ctx.rng = &rng;
+        return run(ctx);
+    }
 };
 
 } // namespace mm

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <numeric>
 #include <sstream>
 
 #include "common/rng.hpp"
@@ -213,6 +214,55 @@ TEST(Loss, NameRoundTrip)
     for (auto kind : {LossKind::MSE, LossKind::MAE, LossKind::Huber})
         EXPECT_EQ(lossFromName(lossName(kind)), kind);
     EXPECT_THROW(lossFromName("bogus"), FatalError);
+}
+
+TEST(Loss, ParallelPathIsBitwiseIdenticalToSerial)
+{
+    // The parallel elementwise pass must not change a single bit of
+    // either the scalar loss (serial reduction in element order) or the
+    // gradient, at any lane count — the Phase-1 lane-invariance
+    // guarantee depends on it. Sized past the parallel threshold.
+    Rng rng(91);
+    Matrix pred = randomMatrix(192, 24, rng, 3.0);
+    Matrix target = randomMatrix(192, 24, rng, 3.0);
+
+    for (auto kind : {LossKind::MSE, LossKind::MAE, LossKind::Huber}) {
+        Matrix gradSerial, gradPar;
+        double serial = lossForward(kind, pred, target, 1.0, gradSerial);
+        for (size_t lanes : {2u, 5u}) {
+            ParallelContext par(lanes);
+            double parallel =
+                lossForward(kind, pred, target, 1.0, gradPar, &par);
+            EXPECT_EQ(serial, parallel) << int(kind) << " @" << lanes;
+            ASSERT_EQ(gradSerial.size(), gradPar.size());
+            for (size_t i = 0; i < gradSerial.size(); ++i)
+                ASSERT_EQ(gradSerial.data()[i], gradPar.data()[i]);
+            EXPECT_EQ(lossValue(kind, pred, target, 1.0, &par), serial);
+        }
+    }
+}
+
+TEST(Trainer, ParallelGatherIsBitwiseIdenticalToSerial)
+{
+    Rng rng(93);
+    Matrix x = randomMatrix(300, 17, rng);
+    Matrix y = randomMatrix(300, 5, rng);
+    MatrixBatchSource src(x, y);
+
+    std::vector<size_t> idx(x.rows());
+    std::iota(idx.begin(), idx.end(), size_t(0));
+    Rng shuf(7);
+    shuf.shuffle(idx);
+
+    Matrix bxS, byS, bxP, byP;
+    src.gather(idx, 10, 128, bxS, byS, nullptr);
+    ParallelContext par(4);
+    src.gather(idx, 10, 128, bxP, byP, &par);
+    ASSERT_EQ(bxS.size(), bxP.size());
+    for (size_t i = 0; i < bxS.size(); ++i)
+        ASSERT_EQ(bxS.data()[i], bxP.data()[i]);
+    for (size_t i = 0; i < byS.size(); ++i)
+        ASSERT_EQ(byS.data()[i], byP.data()[i]);
 }
 
 TEST(Optimizer, SgdDescendsQuadratic)
