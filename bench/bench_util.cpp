@@ -28,17 +28,18 @@ benchOptions(const BenchEnv &env)
     opts.phase1.preset = env.paperPreset ? SurrogatePreset::Paper
                                          : SurrogatePreset::Fast;
     opts.phase1.resolve();
-    opts.phase1.data.samples = size_t(
-        envInt("MM_TRAIN_SAMPLES", int64_t(opts.phase1.data.samples)));
+    opts.phase1.data.samples =
+        envSize("MM_TRAIN_SAMPLES", opts.phase1.data.samples);
     opts.phase1.train.epochs =
         int(envInt("MM_EPOCHS", opts.phase1.train.epochs));
     opts.useCache = !SurrogateCache::disabled();
     opts.phase1.threads = int(envInt("MM_TRAIN_THREADS", 0));
     opts.phase1.data.streamDir = env.streamDir;
-    opts.phase1.data.shardSize = size_t(envInt(
-        "MM_SHARD_ROWS", int64_t(opts.phase1.data.shardSize)));
-    opts.phase1.train.shuffleWindow =
-        size_t(envInt("MM_SHUFFLE_WINDOW", 0));
+    opts.phase1.data.shardSize =
+        envSize("MM_SHARD_ROWS", opts.phase1.data.shardSize);
+    opts.phase1.data.overlapStreamWrites =
+        envInt("MM_STREAM_OVERLAP", 1) != 0;
+    opts.phase1.train.shuffleWindow = envSize("MM_SHUFFLE_WINDOW", 0);
     return opts;
 }
 
@@ -48,8 +49,13 @@ peakRssMb()
     struct rusage ru{};
     if (getrusage(RUSAGE_SELF, &ru) != 0)
         return 0.0;
-    // Linux reports ru_maxrss in KiB.
+#if defined(__APPLE__)
+    // macOS reports ru_maxrss in bytes.
+    return double(ru.ru_maxrss) / (1024.0 * 1024.0);
+#else
+    // Linux (and the BSDs) report ru_maxrss in KiB.
     return double(ru.ru_maxrss) / 1024.0;
+#endif
 }
 
 std::unique_ptr<MindMappings>

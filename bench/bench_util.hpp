@@ -30,6 +30,16 @@
  *                     labeled shards through this directory
  *   MM_SHARD_ROWS     rows per shard for the streamed path
  *   MM_SHUFFLE_WINDOW shuffle-window rows (0 = global shuffle)
+ *   MM_STREAM_OVERLAP 0 disables the double-buffered shard writer
+ *                     (generation then commits each shard inline;
+ *                     bytes are identical either way)
+ *   MM_PREFETCH_SHARDS shards the streamed trainer warms into the
+ *                     reader cache ahead of the epoch order (def. 0 =
+ *                     off; results are bitwise identical regardless)
+ *   MM_SHARD_CACHE    decoded shards the streamed trainer caches
+ *                     (def. 8)
+ *   MM_NO_MMAP        1 forces stream-read fallbacks instead of mmap
+ *                     for shard and surrogate-cache loads
  *
  * Searchers are constructed through the library's SearcherRegistry
  * (search/registry.hpp) and repeated through runMany
@@ -66,7 +76,7 @@ struct BenchEnv
     /** Iso-wall-clock budget in real seconds (0 disables fig6's table). */
     double wallSecs = envDouble("MM_WALL", 0.25);
     /** Base seed; 0 keeps the historical per-problem seeding. */
-    uint64_t seed = uint64_t(envInt("MM_SEED", 0));
+    uint64_t seed = uint64_t(envSize("MM_SEED", 0));
     /** Comma-separated registry keys filtering fig5/fig6 methods. */
     std::string methods = envStr("MM_METHODS", "");
     /** Concurrent repetitions per method (1 = serial). */

@@ -27,8 +27,8 @@ main()
 
     AcceleratorSpec arch = AcceleratorSpec::paperDefault();
     MindMappingsOptions opts;
-    opts.phase1.data.samples = size_t(
-        envInt("MM_TRAIN_SAMPLES", int64_t(DatasetConfig{}.samples)));
+    opts.phase1.data.samples =
+        envSize("MM_TRAIN_SAMPLES", DatasetConfig{}.samples);
     opts.phase1.train.epochs =
         int(envInt("MM_EPOCHS", int64_t(TrainConfig{}.epochs)));
     MindMappings mapper(arch, cnnLayerAlgo(), opts);

@@ -48,7 +48,7 @@ main()
 
     MindMappingsOptions opts;
     opts.phase1.data.samples =
-        size_t(envInt("MM_TRAIN_SAMPLES", int64_t(DatasetConfig{}.samples)));
+        envSize("MM_TRAIN_SAMPLES", DatasetConfig{}.samples);
     opts.phase1.train.epochs =
         int(envInt("MM_EPOCHS", int64_t(TrainConfig{}.epochs)));
     // MM_STREAM_DIR runs Phase 1 out-of-core: labeled samples stream

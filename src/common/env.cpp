@@ -1,5 +1,6 @@
 #include "common/env.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 
 #include "common/error.hpp"
@@ -15,6 +16,24 @@ rawEnv(const std::string &name)
     return std::getenv(name.c_str());
 }
 
+/**
+ * Full-string decimal parse of @p text; fatal with @p name and the
+ * offending text on trailing junk, empty input or overflow.
+ */
+int64_t
+parseIntOrFatal(const std::string &name, const char *text)
+{
+    char *end = nullptr;
+    errno = 0;
+    int64_t value = std::strtoll(text, &end, 10);
+    if (end == text || *end != '\0')
+        fatal(strCat("env var ", name, "='", text, "' is not an integer"));
+    if (errno == ERANGE)
+        fatal(strCat("env var ", name, "='", text,
+                     "' overflows a 64-bit integer"));
+    return value;
+}
+
 } // namespace
 
 int64_t
@@ -23,11 +42,7 @@ envInt(const std::string &name, int64_t fallback)
     const char *raw = rawEnv(name);
     if (raw == nullptr)
         return fallback;
-    char *end = nullptr;
-    int64_t value = std::strtoll(raw, &end, 10);
-    if (end == raw || *end != '\0')
-        fatal(strCat("env var ", name, "='", raw, "' is not an integer"));
-    return value;
+    return parseIntOrFatal(name, raw);
 }
 
 double
@@ -41,6 +56,38 @@ envDouble(const std::string &name, double fallback)
     if (end == raw || *end != '\0')
         fatal(strCat("env var ", name, "='", raw, "' is not a number"));
     return value;
+}
+
+size_t
+envSize(const std::string &name, size_t fallback)
+{
+    const char *raw = rawEnv(name);
+    if (raw == nullptr)
+        return fallback;
+    int64_t value = parseIntOrFatal(name, raw);
+    if (value < 0)
+        fatal(strCat("env var ", name, "='", raw,
+                     "' must be non-negative"));
+    return size_t(value);
+}
+
+std::vector<size_t>
+envSizeList(const std::string &name, const std::vector<size_t> &fallback)
+{
+    const char *raw = rawEnv(name);
+    if (raw == nullptr)
+        return fallback;
+    std::vector<size_t> out;
+    for (const std::string &item : split(raw, ',')) {
+        if (item.empty())
+            continue;
+        int64_t value = parseIntOrFatal(name, item.c_str());
+        if (value < 0)
+            fatal(strCat("env var ", name, " item '", item,
+                         "' must be non-negative"));
+        out.push_back(size_t(value));
+    }
+    return out;
 }
 
 std::string

@@ -8,16 +8,39 @@
  */
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace mm {
 
-/** Integer env var with default; throws FatalError on unparsable value. */
+/**
+ * Integer env var with default. Anything but a full, in-range decimal
+ * integer — trailing junk ("10k"), empty string, overflow — raises
+ * FatalError naming the variable and the offending text; a knob is
+ * never silently misparsed to a prefix, zero or a clamped extreme.
+ */
 int64_t envInt(const std::string &name, int64_t fallback);
 
 /** Double env var with default; throws FatalError on unparsable value. */
 double envDouble(const std::string &name, double fallback);
+
+/**
+ * Non-negative integer env var with default — for count/size knobs
+ * (rows, shards, samples) where a negative value cast to size_t would
+ * silently become astronomically large. Negative values raise
+ * FatalError like any other malformed text.
+ */
+size_t envSize(const std::string &name, size_t fallback);
+
+/**
+ * Comma-separated list of non-negative integers with default (e.g.
+ * MM_SIZES=3000,10000). Malformed or negative items raise FatalError
+ * naming the variable and the item; empty items are ignored.
+ */
+std::vector<size_t> envSizeList(const std::string &name,
+                                const std::vector<size_t> &fallback);
 
 /** String env var with default. */
 std::string envStr(const std::string &name, const std::string &fallback);

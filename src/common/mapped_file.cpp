@@ -1,0 +1,128 @@
+#include "common/mapped_file.hpp"
+
+#include <fstream>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define MM_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define MM_HAVE_MMAP 0
+#endif
+
+#include "common/env.hpp"
+
+namespace mm {
+
+namespace {
+
+/** Read the whole file into @p out; false on any I/O failure. */
+bool
+slurp(const std::string &path, std::string &out)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return false;
+    is.seekg(0, std::ios::end);
+    const std::streamoff size = is.tellg();
+    if (size < 0)
+        return false;
+    is.seekg(0);
+    out.resize(size_t(size));
+    is.read(out.data(), size);
+    return bool(is) || size == 0;
+}
+
+} // namespace
+
+MappedFile::~MappedFile()
+{
+    release();
+}
+
+void
+MappedFile::release()
+{
+#if MM_HAVE_MMAP
+    if (mapped && data_ != nullptr)
+        ::munmap(const_cast<char *>(data_), size_);
+#endif
+    data_ = nullptr;
+    size_ = 0;
+    mapped = false;
+    fallback.clear();
+}
+
+MappedFile::MappedFile(MappedFile &&other) noexcept
+{
+    *this = std::move(other);
+}
+
+MappedFile &
+MappedFile::operator=(MappedFile &&other) noexcept
+{
+    if (this == &other)
+        return *this;
+    release();
+    mapped = other.mapped;
+    if (mapped) {
+        data_ = other.data_;
+        size_ = other.size_;
+    } else {
+        fallback = std::move(other.fallback);
+        data_ = fallback.data();
+        size_ = fallback.size();
+    }
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.mapped = false;
+    other.fallback.clear();
+    return *this;
+}
+
+std::optional<MappedFile>
+MappedFile::open(const std::string &path)
+{
+    MappedFile mf;
+#if MM_HAVE_MMAP
+    if (envInt("MM_NO_MMAP", 0) == 0) {
+        int fd = ::open(path.c_str(), O_RDONLY);
+        if (fd >= 0) {
+            struct stat st{};
+            if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode)) {
+                if (st.st_size == 0) {
+                    ::close(fd);
+                    mf.mapped = true; // empty file: valid empty view
+                    return mf;
+                }
+                void *addr = ::mmap(nullptr, size_t(st.st_size), PROT_READ,
+                                    MAP_PRIVATE, fd, 0);
+                ::close(fd);
+                if (addr != MAP_FAILED) {
+                    mf.data_ = static_cast<const char *>(addr);
+                    mf.size_ = size_t(st.st_size);
+                    mf.mapped = true;
+                    return mf;
+                }
+                // mmap refused (exotic fs): fall through to the copy.
+            } else {
+                ::close(fd);
+                return std::nullopt; // not a regular file
+            }
+        } else {
+            return std::nullopt; // missing or unreadable
+        }
+    }
+#endif
+    if (!slurp(path, mf.fallback))
+        return std::nullopt;
+    mf.data_ = mf.fallback.data();
+    mf.size_ = mf.fallback.size();
+    mf.mapped = false;
+    return mf;
+}
+
+} // namespace mm

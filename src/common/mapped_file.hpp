@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Read-only memory-mapped file views.
+ *
+ * The out-of-core storage layer (core/shard_store.hpp) and the on-disk
+ * surrogate cache (core/cache.hpp) both verify a checksummed envelope
+ * and then deserialize a large float payload. Reading through
+ * std::ifstream copies every byte at least twice (kernel -> stream
+ * buffer -> body string) before the payload lands in its Matrix; a
+ * read-only mmap exposes the page cache directly, so the checksum pass
+ * and the payload memcpy each touch the bytes exactly once.
+ *
+ * Portability: when mmap is unavailable (non-POSIX build), fails at
+ * runtime (e.g. a filesystem without mmap support), or is disabled via
+ * MM_NO_MMAP=1, MappedFile transparently falls back to reading the file
+ * into a heap buffer — callers see the same bytes() span either way and
+ * never need to branch on the mechanism.
+ */
+#pragma once
+
+#include <cstddef>
+#include <istream>
+#include <optional>
+#include <span>
+#include <streambuf>
+#include <string>
+
+namespace mm {
+
+/** An immutable whole-file byte view (mmap when possible). */
+class MappedFile
+{
+  public:
+    MappedFile() = default;
+    ~MappedFile();
+
+    MappedFile(MappedFile &&other) noexcept;
+    MappedFile &operator=(MappedFile &&other) noexcept;
+    MappedFile(const MappedFile &) = delete;
+    MappedFile &operator=(const MappedFile &) = delete;
+
+    /**
+     * Open @p path read-only. Returns std::nullopt when the file is
+     * missing or unreadable (never throws for I/O errors — callers
+     * treat that exactly like a missing file).
+     */
+    static std::optional<MappedFile> open(const std::string &path);
+
+    /** The file's bytes; valid for the lifetime of this object. */
+    std::span<const char> bytes() const { return {data_, size_}; }
+
+    /** True when the view is an actual mmap (false = heap fallback). */
+    bool isMapped() const { return mapped; }
+
+  private:
+    const char *data_ = nullptr;
+    size_t size_ = 0;
+    bool mapped = false;
+    std::string fallback; ///< owns the bytes when !mapped
+
+    void release();
+};
+
+/**
+ * std::istream over external bytes it does not own — the glue that lets
+ * existing stream-based deserializers (Normalizer::load, Mlp::load)
+ * read straight out of a MappedFile with zero intermediate copies.
+ * The bytes must outlive the stream.
+ */
+class MemoryIStream : private std::streambuf, public std::istream
+{
+  public:
+    explicit MemoryIStream(std::span<const char> bytes)
+        : std::istream(static_cast<std::streambuf *>(this))
+    {
+        char *base = const_cast<char *>(bytes.data());
+        setg(base, base, base + bytes.size());
+    }
+
+  protected:
+    /** Support tellg/seekg — readChecksummedBlob seeks to bound sizes. */
+    std::streambuf::pos_type
+    seekoff(std::streambuf::off_type off, std::ios_base::seekdir dir,
+            std::ios_base::openmode which) override
+    {
+        using pos_type = std::streambuf::pos_type;
+        using off_type = std::streambuf::off_type;
+        if (!(which & std::ios_base::in))
+            return pos_type(off_type(-1));
+        char *base = eback();
+        off_type size = egptr() - base;
+        off_type target = off;
+        if (dir == std::ios_base::cur)
+            target = (gptr() - base) + off;
+        else if (dir == std::ios_base::end)
+            target = size + off;
+        if (target < 0 || target > size)
+            return pos_type(off_type(-1));
+        setg(base, base + target, base + size);
+        return pos_type(target);
+    }
+
+    std::streambuf::pos_type
+    seekpos(std::streambuf::pos_type pos,
+            std::ios_base::openmode which) override
+    {
+        return seekoff(std::streambuf::off_type(pos), std::ios_base::beg,
+                       which);
+    }
+};
+
+} // namespace mm

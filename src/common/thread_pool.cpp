@@ -115,4 +115,97 @@ ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn)
         std::rethrow_exception(err);
 }
 
+// ---------------------------------------------------------------------------
+// SerialWorker
+// ---------------------------------------------------------------------------
+
+SerialWorker::SerialWorker() : worker([this] { workerLoop(); }) {}
+
+SerialWorker::~SerialWorker()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        stopping = true;
+    }
+    workCv.notify_all();
+    worker.join();
+}
+
+void
+SerialWorker::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    for (;;) {
+        workCv.wait(lock, [this] { return stopping || !queue.empty(); });
+        if (stopping && queue.empty())
+            return;
+        std::function<void()> task = std::move(queue.front());
+        queue.pop_front();
+        inFlight = 1;
+        lock.unlock();
+        std::exception_ptr err;
+        try {
+            task();
+        } catch (...) {
+            err = std::current_exception();
+        }
+        lock.lock();
+        inFlight = 0;
+        if (err && !error) {
+            error = err;
+            // Drop everything already queued *now*, in the same lock
+            // hold that latches the error: a submitter that rethrows
+            // (clearing `error`) must not revive work whose
+            // prerequisites are gone. submit() never enqueues while
+            // the error is pending, so the queue stays consistent.
+            queue.clear();
+        }
+        idleCv.notify_all();
+    }
+}
+
+void
+SerialWorker::submit(std::function<void()> task)
+{
+    std::exception_ptr err;
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        if (error) {
+            err = error;
+            error = nullptr;
+        } else {
+            queue.push_back(std::move(task));
+        }
+    }
+    if (err)
+        std::rethrow_exception(err);
+    workCv.notify_all();
+}
+
+void
+SerialWorker::throttle(size_t maxPending)
+{
+    std::exception_ptr err;
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        idleCv.wait(lock, [&] {
+            return error != nullptr
+                   || queue.size() + inFlight <= maxPending;
+        });
+        if (error) {
+            err = error;
+            error = nullptr;
+        }
+    }
+    if (err)
+        std::rethrow_exception(err);
+}
+
+size_t
+SerialWorker::pending() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return queue.size() + inFlight;
+}
+
 } // namespace mm

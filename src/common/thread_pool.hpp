@@ -13,6 +13,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -64,6 +65,60 @@ class ThreadPool
     size_t inFlight = 0;
     std::exception_ptr firstError;
     bool stopping = false;
+};
+
+/**
+ * One background thread draining a FIFO of tasks — the asynchronous
+ * complement to ThreadPool's fork-join parallelFor. Used where work
+ * must overlap the submitter without changing its order: the streamed
+ * Phase-1 generator commits shard N on this thread while labeling
+ * shard N+1 (double buffering), and the shard reader warms upcoming
+ * shards into its cache ahead of the training loop.
+ *
+ * Error contract: the first exception a task throws is captured, all
+ * queued and subsequently submitted tasks are dropped, and the
+ * exception is rethrown on the next submit()/throttle()/drain() — so a
+ * failed background write cannot be silently lost. The destructor
+ * drains quietly (errors already observed or unobservable there).
+ */
+class SerialWorker
+{
+  public:
+    SerialWorker();
+    ~SerialWorker();
+
+    SerialWorker(const SerialWorker &) = delete;
+    SerialWorker &operator=(const SerialWorker &) = delete;
+
+    /** Enqueue @p task; rethrows a prior task's pending exception. */
+    void submit(std::function<void()> task);
+
+    /**
+     * Block until at most @p maxPending tasks are queued or running;
+     * rethrows a prior task's pending exception. throttle(0) == drain.
+     * A double-buffering producer calls throttle(1) before reusing a
+     * buffer: at most the latest submission can still be in flight, so
+     * every earlier buffer is free.
+     */
+    void throttle(size_t maxPending);
+
+    /** Block until the queue is empty and the worker idle; rethrows. */
+    void drain() { throttle(0); }
+
+    /** Queued + running tasks (racy snapshot; for tests/heuristics). */
+    size_t pending() const;
+
+  private:
+    void workerLoop();
+
+    mutable std::mutex mtx;
+    std::condition_variable workCv;
+    std::condition_variable idleCv;
+    std::deque<std::function<void()>> queue;
+    size_t inFlight = 0; ///< 0 or 1: the task currently executing
+    std::exception_ptr error;
+    bool stopping = false;
+    std::thread worker;
 };
 
 } // namespace mm

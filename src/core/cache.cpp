@@ -4,9 +4,11 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <vector>
 
 #include "common/env.hpp"
+#include "common/mapped_file.hpp"
 #include "core/shard_store.hpp"
 
 namespace mm {
@@ -16,6 +18,20 @@ namespace fs = std::filesystem;
 namespace {
 
 constexpr const char *kEntrySuffix = ".surrogate";
+
+/**
+ * Serializes the LRU bookkeeping (mtime touches vs. the eviction scan)
+ * within this process. Without it a load's touch can lose to a
+ * concurrent evictOverCap() that already ranked the entry stalest: the
+ * just-loaded entry gets evicted. Cross-process interleavings remain
+ * best effort (eviction re-stats each victim before removing it).
+ */
+std::mutex &
+lruMutex()
+{
+    static std::mutex m;
+    return m;
+}
 
 /** Hex FNV-1a of the fingerprint string; filenames stay fs-safe. */
 std::string
@@ -85,19 +101,35 @@ SurrogateCache::load(const std::string &fingerprint) const
     if (disabled())
         return std::nullopt;
     const std::string path = pathFor(fingerprint);
-    std::ifstream is(path, std::ios::binary);
-    if (!is)
+    // Existence check + LRU touch under the eviction lock: any
+    // same-process eviction either completed before (the entry is
+    // gone — a plain miss) or scans after and sees the fresh mtime.
+    // Touching before the read is safe because a corrupt entry is
+    // removed below regardless of its stamp. Only those two cheap
+    // stat-level calls sit inside the lock; the actual read (mmap or,
+    // under MM_NO_MMAP, a full fallback slurp) and deserialization
+    // happen outside it, so concurrent loads never serialize on I/O.
+    {
+        std::lock_guard<std::mutex> lock(lruMutex());
+        std::error_code tec;
+        if (!fs::exists(path, tec) || tec)
+            return std::nullopt;
+        fs::last_write_time(path, fs::file_time_type::clock::now(), tec);
+    }
+    auto mf = MappedFile::open(path);
+    if (!mf)
         return std::nullopt;
-    std::optional<Surrogate> s = Surrogate::tryLoad(is);
-    std::error_code ec;
+    // Warm load: checksum-verify and deserialize straight out of the
+    // mapped entry (atomic renames guarantee the mapping is never a
+    // torn write, only ever a complete old or new file).
+    std::optional<Surrogate> s = Surrogate::tryLoad(mf->bytes());
     if (!s.has_value()) {
         // Truncated or corrupt entry (torn writer, bit rot): treat as
         // a miss and drop it so it cannot poison later runs.
+        std::error_code ec;
         fs::remove(path, ec);
         return std::nullopt;
     }
-    // LRU touch; best effort (the entry may be racing an eviction).
-    fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
     return s;
 }
 
@@ -132,6 +164,12 @@ SurrogateCache::evictOverCap() const
 {
     if (cap <= 0)
         return;
+    // Scan and remove under the LRU lock: a load that touched an entry
+    // before we got here is ordered before the scan, one that touches
+    // after sees the entry already gone (a plain miss). O(n) scan +
+    // O(evicted) removals: nth_element partitions out the stalest
+    // entries without sorting the whole list.
+    std::lock_guard<std::mutex> lock(lruMutex());
     std::vector<fs::path> entries = listEntries(root);
     if (int64_t(entries.size()) <= cap)
         return;
@@ -143,12 +181,22 @@ SurrogateCache::evictOverCap() const
         if (!ec)
             byAge.emplace_back(t, p);
     }
-    std::sort(byAge.begin(), byAge.end(),
-              [](const auto &a, const auto &b) { return a.first < b.first; });
-    const size_t evict =
-        byAge.size() > size_t(cap) ? byAge.size() - size_t(cap) : 0;
-    for (size_t i = 0; i < evict; ++i)
-        fs::remove(byAge[i].second, ec); // racing removals are fine
+    if (int64_t(byAge.size()) <= cap)
+        return;
+    const size_t evict = byAge.size() - size_t(cap);
+    auto byStamp = [](const auto &a, const auto &b) {
+        return a.first < b.first;
+    };
+    std::nth_element(byAge.begin(), byAge.begin() + long(evict) - 1,
+                     byAge.end(), byStamp);
+    const fs::file_time_type cutoff = byAge[evict - 1].first;
+    for (size_t i = 0; i < evict; ++i) {
+        // Re-stat before removing: a cross-process toucher may have
+        // refreshed the entry since the scan — skip it then.
+        auto t = fs::last_write_time(byAge[i].second, ec);
+        if (!ec && t <= cutoff)
+            fs::remove(byAge[i].second, ec); // racing removals are fine
+    }
 }
 
 } // namespace mm

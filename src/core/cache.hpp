@@ -19,7 +19,14 @@
  *     deserializing garbage;
  *   - an LRU entry cap (MM_CACHE_MAX_ENTRIES, 0 = unlimited) bounds
  *     disk usage: loads touch the entry's mtime, stores evict the
- *     stalest entries beyond the cap.
+ *     stalest entries beyond the cap. A load opens and touches its
+ *     entry under the same in-process lock the eviction scan holds, so
+ *     same-process evictions order cleanly against loads (an eviction
+ *     either precedes the load — a plain miss — or sees the refreshed
+ *     stamp), and eviction re-stats each victim before removal to stay
+ *     best-effort-correct across processes;
+ *   - loads go through a read-only mmap of the entry (MappedFile) and
+ *     deserialize in place — no stream or body-string copies.
  *
  * Controlled by the MM_CACHE_DIR env var; set MM_NO_CACHE=1 to disable.
  */

@@ -3,8 +3,10 @@
 #include <cmath>
 #include <filesystem>
 #include <memory>
+#include <optional>
 
 #include "common/string_util.hpp"
+#include "common/thread_pool.hpp"
 #include "core/feature_transform.hpp"
 #include "core/shard_store.hpp"
 #include "costmodel/cost_model.hpp"
@@ -286,11 +288,26 @@ generateDatasetStreamed(const AcceleratorSpec &arch,
     ShardStoreWriter writer(cfg.streamDir, layout);
 
     // Label one shard's worth of samples at a time: peak memory is
-    // O(shardSize), and each committed shard is a restart point. The
-    // seed-fork order is global sample order, so shard contents match
-    // the rows the in-RAM path produces, at any lane count.
-    Matrix bx, by;
+    // O(shardSize) (two buffers when overlapping), and each committed
+    // shard is a restart point. The seed-fork order is global sample
+    // order, so shard contents match the rows the in-RAM path
+    // produces, at any lane count.
+    //
+    // Double buffering: a background writer commits shard N while the
+    // lanes label shard N+1 into the other buffer — serializing,
+    // checksumming and fsync-free streaming of shard N ride under the
+    // cost-model evaluations instead of adding to them. The writer is
+    // FIFO and writes exactly the bytes the serial loop would, so the
+    // store is byte-identical and crash resume keeps working at shard
+    // granularity (a crash can at worst lose the one in-flight shard,
+    // which a rerun relabels). Buffers are declared before the worker
+    // so an unwinding exception drains the writer first.
+    Matrix bufX[2], bufY[2];
     std::vector<uint64_t> seeds;
+    std::optional<SerialWorker> shardWriter;
+    if (cfg.overlapStreamWrites)
+        shardWriter.emplace();
+    size_t cur = 0;
     for (size_t s = 0; s < size_t(layout.shardCount); ++s) {
         const size_t count = size_t(layout.shardRows(s));
         if (writer.shardValid(s)) {
@@ -303,6 +320,13 @@ generateDatasetStreamed(const AcceleratorSpec &arch,
         seeds.clear();
         for (size_t i = 0; i < count; ++i)
             seeds.push_back(rng.forkSeed());
+        if (shardWriter) {
+            // At most one commit in flight: the task submitted two
+            // iterations ago (the last user of this buffer) is done.
+            shardWriter->throttle(1);
+        }
+        Matrix &bx = bufX[cur];
+        Matrix &by = bufY[cur];
         bx.ensureShape(count, builder.features);
         by.ensureShape(count, builder.outputs);
         auto labelSample = [&](size_t i) {
@@ -313,8 +337,16 @@ generateDatasetStreamed(const AcceleratorSpec &arch,
         else
             for (size_t i = 0; i < count; ++i)
                 labelSample(i);
-        writer.writeShard(s, bx, by);
+        if (shardWriter) {
+            shardWriter->submit(
+                [&writer, s, &bx, &by] { writer.writeShard(s, bx, by); });
+            cur ^= 1;
+        } else {
+            writer.writeShard(s, bx, by);
+        }
     }
+    if (shardWriter)
+        shardWriter->drain();
 
     // Single streaming-moments pass over the training rows — bitwise
     // the same normalizers Normalizer::fit computes on the in-RAM

@@ -114,7 +114,7 @@ trainSurrogate(const AcceleratorSpec &arch, const AlgorithmSpec &algo,
         // default for exactness at small scale, but say so loudly —
         // at paper scale the windowed shuffle is the intended mode.
         if (cfg.train.shuffleWindow == 0
-            && sd.shardCount > 2 * size_t(envInt("MM_SHARD_CACHE", 8))) {
+            && sd.shardCount > 2 * envSize("MM_SHARD_CACHE", 8)) {
             std::cerr
                 << "[phase1] WARNING: streaming " << sd.shardCount
                 << " shards with a global shuffle re-reads shards "
@@ -133,7 +133,8 @@ trainSurrogate(const AcceleratorSpec &arch, const AlgorithmSpec &algo,
                                       FeatureTransform{sd.featureLogPrefix},
                                       std::move(sd.inputNorm),
                                       std::move(sd.outputNorm), tensors),
-                            std::move(history), datasetSec, trainSec};
+                            std::move(history), datasetSec, trainSec,
+                            sd.reused};
     }
 
     WallTimer dataTimer;

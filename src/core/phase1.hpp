@@ -62,6 +62,9 @@ struct Phase1Result
     std::vector<EpochReport> history;
     double datasetSec = 0.0;
     double trainSec = 0.0;
+    /** Streamed path only: a committed store was reused as-is, so
+     * datasetSec timed a manifest validation, not generation. */
+    bool datasetReused = false;
 };
 
 /** Build the MLP layer specs for the given hidden widths and head. */

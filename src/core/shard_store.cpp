@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -10,6 +11,7 @@
 
 #include "common/env.hpp"
 #include "common/error.hpp"
+#include "common/mapped_file.hpp"
 #include "common/string_util.hpp"
 
 namespace mm {
@@ -71,6 +73,16 @@ readBlobFile(const std::string &path, uint32_t magic, uint32_t version,
         return std::nullopt;
     }
     return readChecksummedBlob(is, magic, version, err);
+}
+
+/** Parse a little-endian POD out of @p bytes at @p offset. */
+template <typename T>
+T
+peek(std::span<const char> bytes, size_t offset)
+{
+    T v{};
+    std::memcpy(&v, bytes.data() + offset, sizeof(T));
+    return v;
 }
 
 } // namespace
@@ -154,6 +166,47 @@ readChecksummedBlob(std::istream &is, uint32_t magic, uint32_t version,
     return body;
 }
 
+std::optional<std::span<const char>>
+readChecksummedBlobView(std::span<const char> file, uint32_t magic,
+                        uint32_t version, std::string *err)
+{
+    auto fail =
+        [&](const std::string &why) -> std::optional<std::span<const char>> {
+        if (err)
+            *err = why;
+        return std::nullopt;
+    };
+    // Envelope layout: [u32 magic][u32 version][u64 size][body]
+    //                  [u64 fnv(body)][u32 ~magic].
+    constexpr size_t kHeadBytes = 2 * sizeof(uint32_t) + sizeof(uint64_t);
+    constexpr size_t kFootBytes = sizeof(uint64_t) + sizeof(uint32_t);
+    if (file.size() < sizeof(uint32_t)
+        || peek<uint32_t>(file, 0) != magic)
+        return fail("bad magic (not a recognized file)");
+    if (file.size() < 2 * sizeof(uint32_t))
+        return fail(strCat("unsupported format version 0 (expected ",
+                           version, ")"));
+    if (uint32_t v = peek<uint32_t>(file, sizeof(uint32_t)); v != version)
+        return fail(strCat("unsupported format version ", v, " (expected ",
+                           version, ")"));
+    if (file.size() < kHeadBytes)
+        return fail("truncated file (no body size)");
+    const uint64_t size = peek<uint64_t>(file, 2 * sizeof(uint32_t));
+    const uint64_t remaining = file.size() - kHeadBytes;
+    if (remaining < kFootBytes || size > remaining - kFootBytes)
+        return fail("corrupt or truncated body size");
+    const std::span<const char> body = file.subspan(kHeadBytes,
+                                                    size_t(size));
+    const size_t footAt = kHeadBytes + size_t(size);
+    if (file.size() != footAt + kFootBytes)
+        return fail("trailing bytes after footer");
+    if (peek<uint32_t>(file, footAt + sizeof(uint64_t)) != uint32_t(~magic))
+        return fail("bad footer magic");
+    if (peek<uint64_t>(file, footAt) != fnv1a64(body.data(), body.size()))
+        return fail("checksum mismatch (corrupt or torn write)");
+    return body;
+}
+
 bool
 commitFileAtomic(const std::string &path,
                  const std::function<void(std::ostream &)> &writeBody)
@@ -200,22 +253,26 @@ bool
 readShardFile(const std::string &dir, size_t idx, const ShardLayout &expect,
               Matrix &x, Matrix &y, std::string *err)
 {
-    auto body =
-        readBlobFile(shardPath(dir, idx), kShardMagic, kStoreVersion, err);
-    if (!body)
-        return false;
     auto fail = [&](const std::string &why) {
         if (err)
             *err = why;
         return false;
     };
+    // Warm-load: the checksum pass runs over the mapped bytes and the
+    // payload memcpys straight into the matrices — the stream path's
+    // buffer and body-string copies are gone.
+    auto mf = MappedFile::open(shardPath(dir, idx));
+    if (!mf)
+        return fail("missing file");
+    auto body = readChecksummedBlobView(mf->bytes(), kShardMagic,
+                                        kStoreVersion, err);
+    if (!body)
+        return false;
 
-    std::istringstream is(*body);
-    ShardHeader h{};
-    if (!get(is, h.shardIndex) || !get(is, h.rowCount)
-        || !get(is, h.features) || !get(is, h.outputs)
-        || !get(is, h.configHash))
+    if (body->size() < sizeof(ShardHeader))
         return fail("truncated shard header");
+    ShardHeader h{};
+    std::memcpy(&h, body->data(), sizeof(h));
     if (h.shardIndex != idx)
         return fail(strCat("shard index mismatch (header says ",
                            h.shardIndex, ")"));
@@ -236,11 +293,12 @@ readShardFile(const std::string &dir, size_t idx, const ShardLayout &expect,
 
     x.ensureShape(rows, size_t(h.features));
     y.ensureShape(rows, size_t(h.outputs));
-    is.read(reinterpret_cast<char *>(x.data()),
-            std::streamsize(xFloats * sizeof(float)));
-    is.read(reinterpret_cast<char *>(y.data()),
-            std::streamsize(yFloats * sizeof(float)));
-    MM_ASSERT(bool(is), "shard body shorter than its validated size");
+    std::memcpy(x.data(), body->data() + sizeof(ShardHeader),
+                xFloats * sizeof(float));
+    std::memcpy(y.data(),
+                body->data() + sizeof(ShardHeader)
+                    + xFloats * sizeof(float),
+                yFloats * sizeof(float));
     return true;
 }
 
@@ -371,7 +429,8 @@ ShardedDatasetReader::tryReadManifest(const std::string &dir)
 }
 
 ShardedDatasetReader::ShardedDatasetReader(std::string dir,
-                                           size_t cacheShards)
+                                           size_t cacheShards,
+                                           size_t prefetchShards)
     : root(std::move(dir))
 {
     auto m = tryReadManifest(root);
@@ -384,8 +443,25 @@ ShardedDatasetReader::ShardedDatasetReader(std::string dir,
                   strCat("missing shard file ", shardPath(root, s)));
     }
     if (cacheShards == 0)
-        cacheShards = size_t(std::max<int64_t>(1, envInt("MM_SHARD_CACHE", 8)));
-    cache.resize(cacheShards);
+        cacheShards = envSize("MM_SHARD_CACHE", 8);
+    cacheShards = std::max<size_t>(cacheShards, 1);
+    // Split the capacity into independently locked ways so concurrent
+    // gather lanes touching different shards never contend on one
+    // mutex — but keep at least two slots per way: one-slot ways are
+    // direct-mapped, and shards colliding mod wayCount would evict
+    // each other forever where the old fully associative LRU kept
+    // both. Capacity rounds up to ways * slotsPerWay.
+    const size_t wayCount =
+        std::min<size_t>(8, std::max<size_t>(1, cacheShards / 2));
+    const size_t slotsPerWay = (cacheShards + wayCount - 1) / wayCount;
+    ways = std::vector<CacheWay>(wayCount);
+    for (CacheWay &w : ways)
+        w.slots.resize(slotsPerWay);
+    prefetchCount = prefetchShards == size_t(-1)
+                        ? envSize("MM_PREFETCH_SHARDS", 0)
+                        : prefetchShards;
+    if (prefetchCount > 0)
+        prefetcher = std::make_unique<SerialWorker>();
 }
 
 void
@@ -433,38 +509,84 @@ ShardedDatasetReader::materialize(size_t rowBegin, size_t rowCount,
                });
 }
 
-ShardedDatasetReader::CachedShard &
-ShardedDatasetReader::cachedShard(size_t idx)
+ShardedDatasetReader::ShardPtr
+ShardedDatasetReader::pinShard(size_t idx) const
 {
-    CachedShard *victim = &cache[0];
-    for (CachedShard &slot : cache) {
+    CacheWay &way = ways[idx % ways.size()];
+    std::lock_guard<std::mutex> lock(way.m);
+    CacheWay::Slot *victim = &way.slots[0];
+    for (CacheWay::Slot &slot : way.slots) {
         if (slot.idx == idx) {
-            slot.stamp = ++tick;
-            return slot;
+            slot.stamp = ++way.tick;
+            return slot.shard;
         }
         if (slot.stamp < victim->stamp)
             victim = &slot;
     }
-    readShard(idx, victim->x, victim->y);
+    // Miss: decode under this way's lock (other ways stay available).
+    // The evicted shard's pinners keep it alive via their shared_ptr.
+    auto decoded = std::make_shared<DecodedShard>();
+    readShard(idx, decoded->x, decoded->y);
     victim->idx = idx;
-    victim->stamp = ++tick;
-    return *victim;
+    victim->stamp = ++way.tick;
+    victim->shard = std::move(decoded);
+    return victim->shard;
+}
+
+void
+ShardedDatasetReader::prefetch(std::vector<size_t> shards) const
+{
+    if (shards.empty() || prefetcher == nullptr)
+        return;
+    // One warm-up request in flight at a time: if the worker is still
+    // chewing on the last one, drop this one rather than queue behind.
+    if (prefetchBusy.exchange(true))
+        return;
+    try {
+        prefetcher->submit([this, s = std::move(shards)] {
+            // Scope guard, not a trailing store: an unwinding pinShard
+            // must not leave the busy flag latched (prefetch would be
+            // silently dead for the rest of the run).
+            struct ClearBusy
+            {
+                std::atomic<bool> &flag;
+                ~ClearBusy() { flag.store(false); }
+            } clear{prefetchBusy};
+            for (size_t idx : s)
+                (void)pinShard(idx);
+        });
+    } catch (...) {
+        // Best effort end to end: a failed background read must not
+        // escape into the training loop or latch the busy flag — the
+        // synchronous path surfaces the real error (with the shard
+        // named) if and when the shard is actually needed.
+        prefetchBusy.store(false);
+    }
+}
+
+const ShardedDatasetReader::DecodedShard &
+ShardedDatasetReader::pinnedRowShard(size_t row)
+{
+    const size_t idx = row / size_t(manifest.layout.shardSize);
+    if (idx != rowMemoIdx) {
+        rowMemo = pinShard(idx);
+        rowMemoIdx = idx;
+    }
+    return *rowMemo;
 }
 
 std::span<const float>
 ShardedDatasetReader::xRow(size_t row)
 {
     MM_ASSERT(row < manifest.layout.rows, "row out of range");
-    const size_t shardSize = size_t(manifest.layout.shardSize);
-    return cachedShard(row / shardSize).x.row(row % shardSize);
+    return pinnedRowShard(row).x.row(row % size_t(manifest.layout.shardSize));
 }
 
 std::span<const float>
 ShardedDatasetReader::yRow(size_t row)
 {
     MM_ASSERT(row < manifest.layout.rows, "row out of range");
-    const size_t shardSize = size_t(manifest.layout.shardSize);
-    return cachedShard(row / shardSize).y.row(row % shardSize);
+    return pinnedRowShard(row).y.row(row % size_t(manifest.layout.shardSize));
 }
 
 // ---------------------------------------------------------------------------
@@ -494,17 +616,65 @@ ShardBatchSource::yCols() const
 void
 ShardBatchSource::gather(const std::vector<size_t> &idx, size_t begin,
                          size_t n, Matrix &bx, Matrix &by,
-                         ParallelContext *)
+                         ParallelContext *par)
 {
     bx.ensureShape(n, xCols());
     by.ensureShape(n, yCols());
     const Normalizer &xn = src.inputNorm();
     const Normalizer &yn = src.outputNorm();
-    for (size_t r = 0; r < n; ++r) {
-        const size_t row = base + idx[begin + r];
-        MM_ASSERT(row < base + count, "batch index out of range");
-        xn.normalizeRow(src.xRow(row), bx.row(r));
-        yn.normalizeRow(src.yRow(row), by.row(r));
+    const size_t shardSize = size_t(src.layout().shardSize);
+
+    // Each range pins its current shard once and rides it across
+    // consecutive rows (epoch orders are window-local, so runs are
+    // long); every output row's value is independent of which lane
+    // computes it, so batches are bitwise identical at any lane count.
+    auto gatherRange = [&](size_t lo, size_t hi) {
+        ShardedDatasetReader::ShardPtr pinned;
+        size_t pinnedIdx = size_t(-1);
+        for (size_t r = lo; r < hi; ++r) {
+            const size_t row = base + idx[begin + r];
+            MM_ASSERT(row < base + count, "batch index out of range");
+            const size_t shard = row / shardSize;
+            if (shard != pinnedIdx) {
+                pinned = src.pinShard(shard);
+                pinnedIdx = shard;
+            }
+            const size_t local = row % shardSize;
+            xn.normalizeRow(pinned->x.row(local), bx.row(r));
+            yn.normalizeRow(pinned->y.row(local), by.row(r));
+        }
+    };
+
+    if (par != nullptr && par->lanes() > 1
+        && n >= 2 * kGatherChunkRows) {
+        const size_t chunks =
+            (n + kGatherChunkRows - 1) / kGatherChunkRows;
+        par->parallelFor(chunks, [&](size_t c) {
+            gatherRange(c * kGatherChunkRows,
+                        std::min(n, (c + 1) * kGatherChunkRows));
+        });
+    } else {
+        gatherRange(0, n);
+    }
+
+    // Warm the shards the rows after this batch will touch — the epoch
+    // index order is known, so the look-ahead is exact, not a guess.
+    // The scan is bounded: finding fewer than `depth` distinct shards
+    // in the horizon just means the near future is already covered.
+    if (src.prefetchDepth() > 0) {
+        const size_t depth = src.prefetchDepth();
+        std::vector<size_t> upcoming;
+        upcoming.reserve(depth);
+        const size_t horizon = std::max<size_t>(depth * 256, 1024);
+        const size_t scanLimit = std::min(idx.size(), begin + n + horizon);
+        for (size_t r = begin + n;
+             r < scanLimit && upcoming.size() < depth; ++r) {
+            const size_t shard = (base + idx[r]) / shardSize;
+            if (std::find(upcoming.begin(), upcoming.end(), shard)
+                == upcoming.end())
+                upcoming.push_back(shard);
+        }
+        src.prefetch(std::move(upcoming));
     }
 }
 

@@ -30,18 +30,34 @@
  *     deserializing garbage;
  *   - generation is restartable at shard granularity: shards that
  *     already validate for the same config hash are skipped on rerun.
+ *
+ * Concurrency & I/O:
+ *   - shard files are read through MappedFile (common/mapped_file.hpp):
+ *     the checksum is verified over the mapped bytes and the float
+ *     payload is copied straight into its matrices — no stream-buffer
+ *     or body-string intermediaries (MM_NO_MMAP=1 forces the portable
+ *     read fallback);
+ *   - ShardedDatasetReader's decoded-shard cache is a sharded LRU
+ *     (independently locked ways, shared_ptr-pinned entries), so
+ *     mini-batch gathers fan out over ParallelContext lanes and an
+ *     optional background thread (MM_PREFETCH_SHARDS) warms upcoming
+ *     shards while the trainer computes.
  */
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "core/normalizer.hpp"
 #include "nn/trainer.hpp"
 #include "tensor/matrix.hpp"
@@ -80,6 +96,18 @@ std::optional<std::string> readChecksummedBlob(std::istream &is,
                                                uint32_t version,
                                                std::string *err,
                                                bool expectEof = true);
+
+/**
+ * Zero-copy variant over an in-memory file image (e.g. a MappedFile):
+ * verifies the same envelope with the same diagnostics and returns a
+ * view of the body *inside* @p file — nothing is copied, so the
+ * checksum pass is the only walk over the bytes. The view is valid for
+ * the lifetime of @p file's storage. Trailing bytes after the footer
+ * are always rejected (a file image has no "rest of the stream").
+ */
+std::optional<std::span<const char>>
+readChecksummedBlobView(std::span<const char> file, uint32_t magic,
+                        uint32_t version, std::string *err);
 
 /**
  * The shared commit protocol for every durable file in this codebase:
@@ -192,21 +220,41 @@ struct ShardManifest
  * Verified reader over a committed shard store.
  *
  * Sequential access (forEachRow / materialize) streams shard by shard;
- * random access (xRow / yRow) goes through a small LRU of decoded
+ * random access goes through a concurrent sharded LRU of decoded
  * shards, so memory stays O(cacheShards * shardSize) regardless of
- * dataset size. Not thread-safe; give each thread its own reader.
+ * dataset size.
+ *
+ * Thread-safety: pinShard(), prefetch() and ShardBatchSource::gather
+ * are safe to call from any number of threads at once — the cache is
+ * split into independently locked ways (by shard index) and hands out
+ * shared_ptr-pinned shards, so a shard one thread is reading can never
+ * be freed under it by another thread's eviction. xRow()/yRow() keep a
+ * per-reader pin memo and remain single-threaded conveniences.
  */
 class ShardedDatasetReader
 {
   public:
+    /** One decoded shard, shared between the cache and its pinners. */
+    struct DecodedShard
+    {
+        Matrix x, y;
+    };
+    using ShardPtr = std::shared_ptr<const DecodedShard>;
+
     /**
      * Opens @p dir, validates the manifest and checks every shard file
      * exists (missing shards fail fast here, with the shard named).
      *
      * @param cacheShards Decoded shards kept for random access;
      *                    0 selects the MM_SHARD_CACHE env var (def. 8).
+     * @param prefetchShards Shards warmed ahead of sequential gathers
+     *                    by a background thread; 0 (and by default the
+     *                    MM_PREFETCH_SHARDS env var) disables. Purely a
+     *                    cache warm-up: results are byte-identical with
+     *                    any value.
      */
-    explicit ShardedDatasetReader(std::string dir, size_t cacheShards = 0);
+    explicit ShardedDatasetReader(std::string dir, size_t cacheShards = 0,
+                                  size_t prefetchShards = size_t(-1));
 
     /**
      * Read the manifest of @p dir without touching shards. Returns
@@ -238,26 +286,56 @@ class ShardedDatasetReader
     void materialize(size_t rowBegin, size_t rowCount, Matrix &x,
                      Matrix &y) const;
 
-    /** Raw feature row @p row via the LRU cache. */
+    /**
+     * Shard @p idx, decoded, through the concurrent LRU. Thread-safe;
+     * the returned pin keeps the shard alive past any eviction.
+     */
+    ShardPtr pinShard(size_t idx) const;
+
+    /**
+     * Queue a background warm-up of @p shards into the cache (dedup
+     * against cached shards is implicit). Best effort: when the warm-up
+     * thread is still busy with the previous request, the new one is
+     * dropped — prefetching never blocks the training loop. No effect
+     * on results, only on wall time.
+     */
+    void prefetch(std::vector<size_t> shards) const;
+
+    /** Prefetch look-ahead depth (0 = disabled). */
+    size_t prefetchDepth() const { return prefetchCount; }
+
+    /** Raw feature row @p row (single-threaded convenience). */
     std::span<const float> xRow(size_t row);
 
-    /** Raw target row @p row via the LRU cache. */
+    /** Raw target row @p row (single-threaded convenience). */
     std::span<const float> yRow(size_t row);
 
   private:
-    struct CachedShard
+    /** One independently locked way of the sharded LRU. */
+    struct CacheWay
     {
-        size_t idx = size_t(-1);
-        uint64_t stamp = 0;
-        Matrix x, y;
+        struct Slot
+        {
+            size_t idx = size_t(-1);
+            uint64_t stamp = 0;
+            ShardPtr shard;
+        };
+        mutable std::mutex m;
+        std::vector<Slot> slots;
+        uint64_t tick = 0;
     };
 
-    CachedShard &cachedShard(size_t idx);
+    const DecodedShard &pinnedRowShard(size_t row);
 
     std::string root;
     ShardManifest manifest;
-    std::vector<CachedShard> cache;
-    uint64_t tick = 0;
+    mutable std::vector<CacheWay> ways;
+    ShardPtr rowMemo;            ///< xRow/yRow pin (single-threaded)
+    size_t rowMemoIdx = size_t(-1);
+    size_t prefetchCount = 0;
+    mutable std::atomic<bool> prefetchBusy{false};
+    /** Declared last: destroyed (drained) before the cache it touches. */
+    mutable std::unique_ptr<SerialWorker> prefetcher;
 };
 
 /**
@@ -266,6 +344,15 @@ class ShardedDatasetReader
  * bitwise identical to gathering from a pre-normalized in-RAM matrix
  * (Normalizer::normalizeRow is the shared arithmetic), so streamed
  * training reproduces the in-RAM path exactly.
+ *
+ * gather honors its ParallelContext: row gathers fan out over the
+ * lanes in the same fixed chunking as the in-RAM MatrixBatchSource
+ * (output rows are disjoint and every row's value is independent of
+ * the schedule, so batches are bitwise identical at any lane count),
+ * with each lane pinning shards through the reader's concurrent
+ * cache. When the reader has a prefetch depth, each gather also queues
+ * a background warm-up of the shards the *following* rows of the epoch
+ * order will touch.
  */
 class ShardBatchSource final : public BatchSource
 {
@@ -277,8 +364,6 @@ class ShardBatchSource final : public BatchSource
     size_t rows() const override { return count; }
     size_t xCols() const override;
     size_t yCols() const override;
-    /** The LRU shard cache is stateful, so rows resolve serially; the
-     * ParallelContext is deliberately ignored. */
     void gather(const std::vector<size_t> &idx, size_t begin, size_t n,
                 Matrix &bx, Matrix &by,
                 ParallelContext *par = nullptr) override;

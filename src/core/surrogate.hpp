@@ -19,6 +19,7 @@
 
 #include <iosfwd>
 #include <optional>
+#include <span>
 
 #include "arch/accelerator.hpp"
 #include "core/feature_transform.hpp"
@@ -115,6 +116,14 @@ class Surrogate
      * deserializing garbage.
      */
     static std::optional<Surrogate> tryLoad(std::istream &is);
+
+    /**
+     * Warm-load variant over an in-memory file image (a MappedFile):
+     * the envelope is verified over @p bytes in place and the weights
+     * deserialize straight out of it — no stream buffer or body-string
+     * copies. Same validity contract as the stream overload.
+     */
+    static std::optional<Surrogate> tryLoad(std::span<const char> bytes);
 
     /** tryLoad that treats any invalid stream as a fatal invariant. */
     static Surrogate load(std::istream &is);

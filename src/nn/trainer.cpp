@@ -8,13 +8,6 @@ namespace mm {
 namespace {
 
 /**
- * Rows per parallel gather chunk. Fixed (never derived from the lane
- * count) so the work split — all disjoint row copies — is identical at
- * any lane count.
- */
-constexpr size_t kGatherChunk = 16;
-
-/**
  * Copy the index-selected rows of src into dst, optionally fanning the
  * row copies over @p par. Capacity is reused across batches: after the
  * first call of an epoch only the row count changes (for the final
@@ -31,11 +24,13 @@ gatherRows(const Matrix &src, const std::vector<size_t> &idx, size_t begin,
             std::copy(from.begin(), from.end(), dst.row(r).begin());
         }
     };
-    if (par != nullptr && par->lanes() > 1 && count >= 2 * kGatherChunk) {
-        const size_t chunks = (count + kGatherChunk - 1) / kGatherChunk;
+    if (par != nullptr && par->lanes() > 1
+        && count >= 2 * kGatherChunkRows) {
+        const size_t chunks =
+            (count + kGatherChunkRows - 1) / kGatherChunkRows;
         par->parallelFor(chunks, [&](size_t c) {
-            copyRange(c * kGatherChunk,
-                      std::min(count, (c + 1) * kGatherChunk));
+            copyRange(c * kGatherChunkRows,
+                      std::min(count, (c + 1) * kGatherChunkRows));
         });
     } else {
         copyRange(0, count);

@@ -43,6 +43,15 @@ struct TrainConfig
 };
 
 /**
+ * Rows per parallel gather chunk, shared by every BatchSource. Fixed
+ * (never derived from the lane count) so the work split — all disjoint
+ * row copies — is identical at any lane count; the in-RAM and shard-
+ * store sources using the same constant is part of what keeps the two
+ * paths bitwise interchangeable.
+ */
+inline constexpr size_t kGatherChunkRows = 16;
+
+/**
  * Row provider for the trainer: hands out (X, Y) mini-batches selected
  * by index. Implementations range from in-RAM matrices to out-of-core
  * shard stores (core/shard_store.hpp); the trainer is agnostic, which
@@ -61,10 +70,9 @@ class BatchSource
     /**
      * Copy source rows idx[begin + r], r in [0, n), into row r of
      * @p bx / @p by (shaping them to n rows). A non-null @p par may
-     * spread the row copies over its lanes in a fixed chunking (rows
-     * are disjoint, so the result is bitwise lane-invariant);
-     * implementations whose row access is stateful (e.g. an LRU shard
-     * cache) are free to ignore it and gather serially.
+     * spread the row copies over its lanes in chunks of
+     * kGatherChunkRows (rows are disjoint, so the result is bitwise
+     * lane-invariant at any lane count).
      */
     virtual void gather(const std::vector<size_t> &idx, size_t begin,
                         size_t n, Matrix &bx, Matrix &by,

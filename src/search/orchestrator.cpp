@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/stats.hpp"
 #include "common/thread_pool.hpp"
 
 namespace mm {
@@ -66,13 +67,10 @@ runMany(const SearcherFactory &factory, const SearchBudget &budget,
             finals.push_back(r.bestNormEdp);
     }
     if (!finals.empty()) {
-        std::sort(finals.begin(), finals.end());
-        out.bestNormEdp = finals.front();
-        out.spreadNormEdp = finals.back() - finals.front();
-        size_t mid = finals.size() / 2;
-        out.medianNormEdp = finals.size() % 2 == 1
-                                ? finals[mid]
-                                : 0.5 * (finals[mid - 1] + finals[mid]);
+        auto [lo, hi] = std::minmax_element(finals.begin(), finals.end());
+        out.bestNormEdp = *lo;
+        out.spreadNormEdp = *hi - *lo;
+        out.medianNormEdp = quantile(finals, 0.5);
     }
     return out;
 }

@@ -5,9 +5,12 @@
  */
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <map>
 #include <set>
+#include <thread>
 
 #include <sstream>
 
@@ -375,6 +378,125 @@ TEST(ParallelContextTest, SerialAndPooledLanes)
     pooled.parallelFor(hits2.size(), [&](size_t i) { hits2[i] = 1; });
     for (int v : hits2)
         EXPECT_EQ(v, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Env-knob hardening: malformed values must fail loudly, naming the
+// variable and the offending text — never a silently misparsed prefix,
+// zero, or size_t-wrapped negative.
+// ---------------------------------------------------------------------------
+
+TEST(Env, RejectsTrailingJunkOverflowAndNegativeSizes)
+{
+    ::setenv("MM_TEST_SUFFIX", "10k", 1);
+    ::setenv("MM_TEST_HUGE", "10000000000000000000000", 1);
+    ::setenv("MM_TEST_NEG", "-5", 1);
+    ::setenv("MM_TEST_EMPTY", "", 1);
+
+    try {
+        envInt("MM_TEST_SUFFIX", 0);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("MM_TEST_SUFFIX"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("10k"), std::string::npos);
+    }
+    EXPECT_THROW(envInt("MM_TEST_HUGE", 0), FatalError);
+    EXPECT_THROW(envInt("MM_TEST_EMPTY", 0), FatalError);
+    EXPECT_THROW(envSize("MM_TEST_SUFFIX", 0), FatalError);
+    EXPECT_THROW(envSize("MM_TEST_NEG", 0), FatalError);
+    EXPECT_EQ(envInt("MM_TEST_NEG", 0), -5); // negatives fine as ints
+    EXPECT_EQ(envSize("MM_TEST_ABSENT", 33u), 33u);
+
+    ::unsetenv("MM_TEST_SUFFIX");
+    ::unsetenv("MM_TEST_HUGE");
+    ::unsetenv("MM_TEST_NEG");
+    ::unsetenv("MM_TEST_EMPTY");
+}
+
+TEST(Env, SizeListParsesAndRejectsMalformedItems)
+{
+    ::setenv("MM_TEST_LIST", "3000,10000,,60000", 1);
+    EXPECT_EQ(envSizeList("MM_TEST_LIST", {}),
+              (std::vector<size_t>{3000, 10000, 60000}));
+    EXPECT_EQ(envSizeList("MM_TEST_ABSENT", {1, 2}),
+              (std::vector<size_t>{1, 2}));
+
+    ::setenv("MM_TEST_LIST", "3000,10k", 1);
+    try {
+        envSizeList("MM_TEST_LIST", {});
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("MM_TEST_LIST"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("10k"), std::string::npos);
+    }
+    ::setenv("MM_TEST_LIST", "100,-3", 1);
+    EXPECT_THROW(envSizeList("MM_TEST_LIST", {}), FatalError);
+    ::unsetenv("MM_TEST_LIST");
+}
+
+// ---------------------------------------------------------------------------
+// SerialWorker: the background writer under the double-buffered
+// streamed generator and the shard prefetcher.
+// ---------------------------------------------------------------------------
+
+TEST(SerialWorker, RunsTasksInSubmissionOrder)
+{
+    std::vector<int> order;
+    {
+        SerialWorker w;
+        for (int i = 0; i < 50; ++i)
+            w.submit([&order, i] { order.push_back(i); });
+        w.drain();
+    }
+    ASSERT_EQ(order.size(), 50u);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(order[size_t(i)], i);
+}
+
+TEST(SerialWorker, ThrottleBoundsInFlightWork)
+{
+    // A double-buffering producer relies on throttle(1): after it
+    // returns, every task but (at most) the newest has completed.
+    SerialWorker w;
+    std::atomic<int> done{0};
+    for (int round = 0; round < 10; ++round) {
+        w.throttle(1);
+        int expectMin = round - 1; // all but the previous submission
+        EXPECT_GE(done.load(), expectMin);
+        w.submit([&done] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            done.fetch_add(1);
+        });
+    }
+    w.drain();
+    EXPECT_EQ(done.load(), 10);
+}
+
+TEST(SerialWorker, FirstErrorIsRethrownAndLaterTasksDropped)
+{
+    SerialWorker w;
+    std::atomic<bool> ranAfterError{false};
+    w.submit([] { throw FatalError("background boom"); });
+    // The error may surface at the next submit (if the failing task
+    // already ran) or at drain — either way exactly once, and the
+    // post-error task must never execute.
+    bool threw = false;
+    try {
+        w.submit([&ranAfterError] { ranAfterError = true; });
+        w.drain();
+    } catch (const FatalError &e) {
+        threw = true;
+        EXPECT_NE(std::string(e.what()).find("background boom"),
+                  std::string::npos);
+    }
+    EXPECT_TRUE(threw);
+    w.drain(); // no second rethrow: the error was consumed
+    EXPECT_FALSE(ranAfterError.load());
+    // The worker is usable again.
+    w.submit([] {});
+    w.drain();
 }
 
 } // namespace

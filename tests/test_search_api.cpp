@@ -10,8 +10,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <thread>
 
+#include "common/stats.hpp"
 #include "core/phase1.hpp"
 #include "search/annealing.hpp"
 #include "search/orchestrator.hpp"
@@ -430,6 +432,38 @@ TEST(RunManyTest, BitwiseInvariantAcrossThreadCounts)
         EXPECT_TRUE(sameResult(results[0].runs[i], results[1].runs[i]));
     EXPECT_DOUBLE_EQ(results[0].medianNormEdp, results[1].medianNormEdp);
     EXPECT_DOUBLE_EQ(results[0].bestNormEdp, results[1].bestNormEdp);
+}
+
+TEST(RunManyTest, MedianIsTheSharedQuantileForOddAndEvenRunCounts)
+{
+    // runMany's median must be exactly common/stats' quantile(·, 0.5):
+    // odd counts pick the middle run, even counts average the middle
+    // two — no hand-rolled variant that can drift.
+    ApiFixtureBase fx;
+    SearcherBuildContext ctx{fx.model};
+    for (int runCount : {3, 4}) {
+        MultiRunOptions opts;
+        opts.runs = runCount;
+        opts.baseSeed = 31;
+        MultiRunResult res =
+            runMany("Random", ctx, SearchBudget::bySteps(40), opts);
+
+        std::vector<double> finals;
+        for (const auto &r : res.runs)
+            if (std::isfinite(r.bestNormEdp))
+                finals.push_back(r.bestNormEdp);
+        ASSERT_EQ(int(finals.size()), runCount);
+        EXPECT_DOUBLE_EQ(res.medianNormEdp, quantile(finals, 0.5))
+            << "runs=" << runCount;
+
+        std::sort(finals.begin(), finals.end());
+        double expect = runCount % 2 == 1
+                            ? finals[size_t(runCount / 2)]
+                            : 0.5
+                                  * (finals[size_t(runCount / 2 - 1)]
+                                     + finals[size_t(runCount / 2)]);
+        EXPECT_DOUBLE_EQ(res.medianNormEdp, expect) << "runs=" << runCount;
+    }
 }
 
 TEST(RunManyTest, AggregatesAreConsistent)

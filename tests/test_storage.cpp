@@ -18,6 +18,7 @@
 
 #include <unistd.h>
 
+#include "common/mapped_file.hpp"
 #include "common/parallel_context.hpp"
 #include "core/cache.hpp"
 #include "core/phase1.hpp"
@@ -730,4 +731,290 @@ TEST(ShardedCache, MissOnEmptyAndDisabled)
     cache.store("absent", tinySurrogate(7, 4));
     setenv("MM_NO_CACHE", "0", 1);
     EXPECT_FALSE(cache.load("absent").has_value()); // store was a no-op
+}
+
+// ---------------------------------------------------------------------------
+// Warm loads (mmap + fallback)
+// ---------------------------------------------------------------------------
+
+TEST(MappedFileIO, MapAndFallbackSeeTheSameBytes)
+{
+    TempDir dir("mmap");
+    fs::create_directories(dir.path);
+    const std::string path = dir.path + "/blob.bin";
+    std::string payload("mapped-bytes\0with\x01junk", 22);
+    {
+        std::ofstream os(path, std::ios::binary);
+        os.write(payload.data(), std::streamsize(payload.size()));
+    }
+
+    auto mapped = MappedFile::open(path);
+    ASSERT_TRUE(mapped.has_value());
+    EXPECT_TRUE(mapped->isMapped());
+    ASSERT_EQ(mapped->bytes().size(), payload.size());
+    EXPECT_EQ(std::string(mapped->bytes().data(), mapped->bytes().size()),
+              payload);
+
+    setenv("MM_NO_MMAP", "1", 1);
+    auto copied = MappedFile::open(path);
+    setenv("MM_NO_MMAP", "0", 1);
+    ASSERT_TRUE(copied.has_value());
+    EXPECT_FALSE(copied->isMapped());
+    ASSERT_EQ(copied->bytes().size(), payload.size());
+    EXPECT_EQ(std::string(copied->bytes().data(), copied->bytes().size()),
+              payload);
+
+    EXPECT_FALSE(MappedFile::open(dir.path + "/absent").has_value());
+}
+
+TEST(MappedFileIO, SurrogateWarmLoadMatchesStreamLoad)
+{
+    Surrogate s = tinySurrogate(21, 6);
+    std::ostringstream os(std::ios::binary);
+    s.save(os);
+    const std::string bytes = os.str();
+
+    auto warm =
+        Surrogate::tryLoad(std::span<const char>(bytes.data(), bytes.size()));
+    ASSERT_TRUE(warm.has_value());
+    std::istringstream is(bytes);
+    auto cold = Surrogate::tryLoad(is);
+    ASSERT_TRUE(cold.has_value());
+
+    std::vector<double> z(6, 0.3);
+    EXPECT_EQ(warm->predictNormEdp(z), cold->predictNormEdp(z));
+
+    // Corruption is still rejected through the view path.
+    std::string torn = bytes.substr(0, bytes.size() / 2);
+    EXPECT_FALSE(
+        Surrogate::tryLoad(std::span<const char>(torn.data(), torn.size()))
+            .has_value());
+    std::string flipped = bytes;
+    flipped[flipped.size() / 2] =
+        char(flipped[flipped.size() / 2] ^ 0x20);
+    EXPECT_FALSE(Surrogate::tryLoad(
+                     std::span<const char>(flipped.data(), flipped.size()))
+                     .has_value());
+}
+
+TEST(MappedFileIO, ShardReadsWorkWithMmapDisabled)
+{
+    // The portable fallback must decode the exact same shards.
+    TempDir dir("nommap");
+    Matrix xAll, yAll;
+    writeRandomStore(dir.path, 50, 5, 3, 16, xAll, yAll);
+
+    setenv("MM_NO_MMAP", "1", 1);
+    ShardedDatasetReader reader(dir.path, 2);
+    Matrix x, y;
+    reader.materialize(0, 50, x, y);
+    setenv("MM_NO_MMAP", "0", 1);
+    EXPECT_EQ(maxAbsDiff(x, xAll), 0.0);
+    EXPECT_EQ(maxAbsDiff(y, yAll), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent shard cache + parallel gather
+// ---------------------------------------------------------------------------
+
+TEST(ConcurrentShardCache, MultiThreadGatherStressSeesOnlyCorrectRows)
+{
+    // Many threads hammer one reader through a deliberately tiny cache
+    // (constant eviction) — every gathered row must still be exactly
+    // the row that was written, and pinned shards must stay alive
+    // across evictions (ASan/TSan cover the lifetime claims).
+    TempDir dir("gather_stress");
+    constexpr size_t kRows = 600, kF = 5, kO = 3, kShard = 32;
+    Matrix xAll, yAll;
+    writeRandomStore(dir.path, kRows, kF, kO, kShard, xAll, yAll);
+
+    ShardedDatasetReader reader(dir.path, 3);
+    constexpr int kThreads = 8;
+    std::atomic<int> mismatches{0};
+    auto worker = [&](int tid) {
+        ShardBatchSource source(reader, 0, kRows);
+        Rng rng(uint64_t(tid) * 131 + 7);
+        std::vector<size_t> idx(kRows);
+        for (size_t i = 0; i < kRows; ++i)
+            idx[i] = i;
+        Matrix bx, by;
+        for (int iter = 0; iter < 30; ++iter) {
+            rng.shuffle(idx);
+            const size_t n = 96;
+            source.gather(idx, 0, n, bx, by, nullptr);
+            for (size_t r = 0; r < n; ++r) {
+                for (size_t c = 0; c < kF; ++c)
+                    if (bx(r, c) != xAll(idx[r], c))
+                        mismatches.fetch_add(1);
+                for (size_t c = 0; c < kO; ++c)
+                    if (by(r, c) != yAll(idx[r], c))
+                        mismatches.fetch_add(1);
+            }
+        }
+    };
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back(worker, t);
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ConcurrentShardCache, ParallelGatherMatchesSerialBitwise)
+{
+    TempDir dir("gather_par");
+    constexpr size_t kRows = 500, kF = 7, kO = 2, kShard = 64;
+    Matrix xAll, yAll;
+    writeRandomStore(dir.path, kRows, kF, kO, kShard, xAll, yAll);
+
+    ShardedDatasetReader reader(dir.path, 2);
+    ShardBatchSource source(reader, 0, kRows);
+    Rng rng(404);
+    std::vector<size_t> idx(kRows);
+    for (size_t i = 0; i < kRows; ++i)
+        idx[i] = i;
+    rng.shuffle(idx);
+
+    Matrix sx, sy;
+    source.gather(idx, 3, 256, sx, sy, nullptr);
+    for (size_t lanes : {2u, 4u, 8u}) {
+        ParallelContext ctx(lanes);
+        Matrix px, py;
+        source.gather(idx, 3, 256, px, py, &ctx);
+        EXPECT_EQ(maxAbsDiff(px, sx), 0.0) << "lanes=" << lanes;
+        EXPECT_EQ(maxAbsDiff(py, sy), 0.0) << "lanes=" << lanes;
+    }
+}
+
+TEST(StreamedDatasetEquivalence, PrefetchAndParallelGatherKeepPhase1Bitwise)
+{
+    // The acceptance bar of the concurrent out-of-core path: with the
+    // background prefetcher on, a tiny (always-evicting) shard cache,
+    // and parallel gathers, the streamed pipeline still trains the
+    // exact surrogate the in-RAM path trains, at 1/4/8 lanes.
+    AcceleratorSpec arch = AcceleratorSpec::paperDefault();
+    Phase1Config cfg;
+    cfg.hidden = {16, 16};
+    cfg.train.epochs = 3;
+    cfg.data.samples = 400;
+    cfg.data.problemCount = 3;
+    cfg.data.seed = 5;
+    cfg.seed = 9;
+    cfg.data.shardSize = 64; // 7 shards vs a 2-shard cache
+
+    Phase1Result ram = trainSurrogate(arch, conv1dAlgo(), cfg);
+    std::vector<double> z(ram.surrogate.featureCount(), 0.25);
+    double ramPred = ram.surrogate.predictNormEdp(z);
+
+    setenv("MM_PREFETCH_SHARDS", "3", 1);
+    setenv("MM_SHARD_CACHE", "2", 1);
+    for (int threads : {1, 4, 8}) {
+        TempDir dir("prefetch_e2e");
+        Phase1Config scfg = cfg;
+        scfg.data.streamDir = dir.path;
+        scfg.threads = threads;
+        Phase1Result streamed = trainSurrogate(arch, conv1dAlgo(), scfg);
+
+        ASSERT_EQ(streamed.history.size(), ram.history.size());
+        for (size_t e = 0; e < ram.history.size(); ++e) {
+            EXPECT_EQ(streamed.history[e].trainLoss,
+                      ram.history[e].trainLoss)
+                << "threads=" << threads << " epoch=" << e;
+            EXPECT_EQ(streamed.history[e].testLoss,
+                      ram.history[e].testLoss);
+        }
+        EXPECT_EQ(streamed.surrogate.predictNormEdp(z), ramPred)
+            << "threads=" << threads;
+    }
+    unsetenv("MM_PREFETCH_SHARDS");
+    unsetenv("MM_SHARD_CACHE");
+}
+
+// ---------------------------------------------------------------------------
+// Double-buffered generation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** Raw bytes of @p path. */
+std::string
+slurpFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    std::stringstream ss;
+    ss << is.rdbuf();
+    return ss.str();
+}
+
+} // namespace
+
+TEST(OverlappedGeneration, ByteIdenticalToSerializedWriter)
+{
+    // The background writer must produce the exact files the inline
+    // writer produces — shard for shard, byte for byte, manifest
+    // included.
+    AcceleratorSpec arch = AcceleratorSpec::paperDefault();
+    TempDir dirA("overlap_on"), dirB("overlap_off");
+    DatasetConfig cfg;
+    cfg.samples = 300;
+    cfg.problemCount = 2;
+    cfg.shardSize = 64;
+
+    DatasetConfig on = cfg;
+    on.streamDir = dirA.path;
+    on.overlapStreamWrites = true;
+    DatasetConfig off = cfg;
+    off.streamDir = dirB.path;
+    off.overlapStreamWrites = false;
+
+    ParallelContext ctx(4);
+    StreamedDataset a = generateDatasetStreamed(arch, conv1dAlgo(), on, &ctx);
+    StreamedDataset b =
+        generateDatasetStreamed(arch, conv1dAlgo(), off, &ctx);
+    EXPECT_FALSE(a.reused);
+    EXPECT_FALSE(b.reused);
+    ASSERT_EQ(a.shardCount, b.shardCount);
+    for (size_t s = 0; s < a.shardCount; ++s) {
+        EXPECT_EQ(slurpFile(shardPath(dirA.path, s)),
+                  slurpFile(shardPath(dirB.path, s)))
+            << "shard " << s;
+    }
+    EXPECT_EQ(slurpFile(manifestPath(dirA.path)),
+              slurpFile(manifestPath(dirB.path)));
+}
+
+TEST(OverlappedGeneration, CrashResumeWithWriterThreadIsByteIdentical)
+{
+    // Crash emulation against the overlapped writer: kill the manifest
+    // and both a committed and the "in-flight" (= newest) shard, then
+    // resume — the store must converge to the original bytes with the
+    // untouched shards never rewritten.
+    AcceleratorSpec arch = AcceleratorSpec::paperDefault();
+    TempDir dir("overlap_resume");
+    DatasetConfig cfg;
+    cfg.samples = 300;
+    cfg.problemCount = 2;
+    cfg.shardSize = 64;
+    cfg.streamDir = dir.path;
+    cfg.overlapStreamWrites = true;
+
+    StreamedDataset full = generateDatasetStreamed(arch, conv1dAlgo(), cfg);
+    const size_t lastShard = full.shardCount - 1;
+    std::vector<std::string> before;
+    for (size_t s = 0; s < full.shardCount; ++s)
+        before.push_back(slurpFile(shardPath(dir.path, s)));
+
+    fs::remove(manifestPath(dir.path));
+    fs::remove(shardPath(dir.path, 1));
+    fs::remove(shardPath(dir.path, lastShard)); // the mid-commit victim
+    auto shard0Time = fs::last_write_time(shardPath(dir.path, 0));
+
+    StreamedDataset resumed = generateDatasetStreamed(arch, conv1dAlgo(), cfg);
+    EXPECT_FALSE(resumed.reused);
+    EXPECT_EQ(fs::last_write_time(shardPath(dir.path, 0)), shard0Time);
+    for (size_t s = 0; s < full.shardCount; ++s)
+        EXPECT_EQ(slurpFile(shardPath(dir.path, s)), before[s])
+            << "shard " << s;
+    EXPECT_EQ(resumed.inputNorm.mean(0), full.inputNorm.mean(0));
+    EXPECT_EQ(resumed.outputNorm.std(0), full.outputNorm.std(0));
 }
