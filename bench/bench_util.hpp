@@ -40,6 +40,15 @@
  *                     (def. 8)
  *   MM_NO_MMAP        1 forces stream-read fallbacks instead of mmap
  *                     for shard and surrogate-cache loads
+ *   MM_EVAL_BATCH     samples per batched labeling block in Phase 1
+ *                     (def. 4096; dataset bytes are identical at any
+ *                     value — this only trades peak block memory
+ *                     against CostModel::evaluateBatch amortization)
+ *   MM_EVAL_THREADS   lanes for costmodel_perf's threaded rows (def. 1,
+ *                     0 = hardware concurrency)
+ *   MM_EVAL_N         mappings per shape in costmodel_perf (def. 4096)
+ *   MM_EVAL_SECS      target seconds per costmodel_perf measurement
+ *                     (def. 0.2)
  *
  * Searchers are constructed through the library's SearcherRegistry
  * (search/registry.hpp) and repeated through runMany

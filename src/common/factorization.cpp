@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <map>
+#include <mutex>
 #include <tuple>
 
 #include "common/string_util.hpp"
@@ -193,9 +194,17 @@ FactorizationTable::repair(std::span<const int64_t> factors,
 const FactorizationTable &
 factorTable(int64_t bound, int slots, int64_t maxFactor)
 {
+    // Guarded by a mutex: dataset-labeling lanes and batched searchers
+    // sample concurrently, and the first draw for a new bound may land
+    // on any lane. std::map never invalidates node references, so the
+    // returned reference stays valid unguarded for program lifetime;
+    // hot paths (CostTables) resolve their tables once and keep the
+    // pointers.
+    static std::mutex mtx;
     static std::map<std::tuple<int64_t, int, int64_t>, FactorizationTable>
         cache;
     auto key = std::make_tuple(bound, slots, maxFactor);
+    std::lock_guard<std::mutex> lock(mtx);
     auto it = cache.find(key);
     if (it == cache.end()) {
         it = cache

@@ -89,8 +89,11 @@ class FactorizationTable
 /**
  * Global memoized access to factorization tables.
  *
- * Not thread-safe by design (the library is single-threaded; see
- * DESIGN.md). Returns a reference that stays valid for program lifetime.
+ * Thread-safe: lookups serialize on an internal mutex (labeling lanes
+ * and batched searchers sample concurrently). The returned reference
+ * stays valid for program lifetime; hot paths should resolve it once
+ * per dimension and keep the pointer (as CostTables does) instead of
+ * re-entering the lock.
  */
 const FactorizationTable &factorTable(int64_t bound, int slots,
                                       int64_t maxFactor = -1);

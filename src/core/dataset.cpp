@@ -1,5 +1,6 @@
 #include "core/dataset.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <filesystem>
 #include <memory>
@@ -29,12 +30,38 @@ struct ProblemContext
     {}
 };
 
+/** Reused per-sample scratch of the elite best-of-k draw. */
+struct EliteScratch
+{
+    std::vector<Mapping> candidates;
+    std::vector<const Mapping *> mapPtrs;
+    std::vector<double> edps;
+};
+
+thread_local EliteScratch tlsElite;
+
+thread_local std::vector<double> tlsStats;
+
 /**
  * Shared labeling core of the in-RAM and streamed paths: the problem
- * pool plus the per-sample sample-and-label step. Both paths construct
- * it from the same Rng in the same order and then label each sample
- * from a seed forked in global sample order, which is what makes the
- * two paths (and any lane count) bitwise identical.
+ * pool plus the blocked sample/evaluate/write pipeline. Both paths
+ * construct it from the same Rng in the same order and then label each
+ * sample from a seed forked in global sample order, which is what makes
+ * the two paths (and any lane count, and any block size) bitwise
+ * identical.
+ *
+ * Labeling one block runs in three phases:
+ *   A. sampleRow() per row (parallel): replay the per-sample RNG
+ *      stream — context pick, base draw, optional elite best-of-k —
+ *      and encode the features.
+ *   B. One CostModel::evaluateBatch per distinct problem context over
+ *      the block's rows for that context (pointer-gathered, row
+ *      order), instead of one scalar evaluate per row.
+ *   C. writeTargets() per row (parallel): meta-stats, lower-bound
+ *      normalization, log conditioning.
+ * Per-sample evaluation is deterministic and batch results are bitwise
+ * identical to scalar evaluation, so the pipeline produces the exact
+ * bytes of the historical per-sample label() loop.
  */
 struct DatasetBuilder
 {
@@ -54,6 +81,7 @@ struct DatasetBuilder
                   "bad test fraction");
         MM_ASSERT(cfg.eliteFraction >= 0.0 && cfg.eliteFraction <= 1.0,
                   "elite fraction out of range");
+        MM_ASSERT(cfg.labelBlock >= 1, "labelBlock must be >= 1");
         if (!cfg.problems.empty()) {
             for (const Problem &p : cfg.problems) {
                 MM_ASSERT(p.algo == &algo, "problem/algorithm mismatch");
@@ -71,32 +99,67 @@ struct DatasetBuilder
         transform = FeatureTransform{pool.front()->codec.orderOffset()};
     }
 
-    /** Sample + label one row from its forked seed. Thread-safe: the
-     * pool's entry points are all const. */
+    /** Reused cross-phase storage of one labeling block. */
+    struct LabelScratch
+    {
+        std::vector<Mapping> maps;
+        std::vector<uint32_t> ctxOf;
+        std::vector<CostResult> results;
+        std::vector<const Mapping *> mapPtrs;
+        std::vector<CostResult *> resPtrs;
+    };
+
+    /** Phase A: replay one sample's forked RNG stream — context pick,
+     * base draw, elite best-of-k — and encode its features.
+     * Thread-safe: the pool's entry points are all const. */
     void
-    label(uint64_t seed, std::span<float> xRow, std::span<float> yRow) const
+    sampleRow(uint64_t seed, std::span<float> xRow, Mapping &m,
+              uint32_t &ctxIdx) const
     {
         Rng srng(seed);
-        ProblemContext &ctx = *pool[size_t(
-            srng.uniformInt(0, int64_t(pool.size()) - 1))];
-        Mapping m = ctx.space.randomValid(srng);
+        ctxIdx = uint32_t(srng.uniformInt(0, int64_t(pool.size()) - 1));
+        const ProblemContext &ctx = *pool[ctxIdx];
+        m = ctx.space.randomValid(srng);
         if (cfg.eliteFraction > 0.0 && srng.bernoulli(cfg.eliteFraction)) {
             // Best-of-k draw: biases coverage toward the low-EDP tail.
-            for (int c = 1; c < cfg.eliteCandidates; ++c) {
-                Mapping cand = ctx.space.randomValid(srng);
-                if (ctx.model.edp(cand) < ctx.model.edp(m))
-                    m = std::move(cand);
-            }
+            // Candidates are drawn up front (evaluation consumes no
+            // RNG, so the stream matches the historical interleaved
+            // loop), scored in one edpBatch, and reduced by the same
+            // strict-< running argmin the sequential comparisons ran.
+            EliteScratch &es = tlsElite;
+            es.candidates.clear();
+            for (int c = 1; c < cfg.eliteCandidates; ++c)
+                es.candidates.push_back(ctx.space.randomValid(srng));
+            es.mapPtrs.clear();
+            es.mapPtrs.push_back(&m);
+            for (const Mapping &cand : es.candidates)
+                es.mapPtrs.push_back(&cand);
+            es.edps.resize(es.mapPtrs.size());
+            ctx.model.edpBatch(
+                std::span<const Mapping *const>(es.mapPtrs),
+                std::span<double>(es.edps));
+            size_t best = 0;
+            for (size_t c = 1; c < es.edps.size(); ++c)
+                if (es.edps[c] < es.edps[best])
+                    best = c;
+            if (best > 0)
+                m = std::move(es.candidates[best - 1]);
         }
         auto feat = ctx.codec.encode(m);
         transform.apply(feat);
         for (size_t c = 0; c < features; ++c)
             xRow[c] = float(feat[c]);
+    }
 
-        CostResult res = ctx.model.evaluate(m);
-        const LowerBound &lb = ctx.model.lowerBound();
+    /** Phase C: one row's targets from its evaluated result. */
+    void
+    writeTargets(uint32_t ctxIdx, const CostResult &res,
+                 std::span<float> yRow) const
+    {
+        const LowerBound &lb = pool[ctxIdx]->model.lowerBound();
         if (cfg.metaStatOutputs) {
-            auto stats = res.metaStats();
+            std::vector<double> &stats = tlsStats;
+            res.metaStats(stats);
             normalizeMetaStatsByBound(stats, tensors, lb.energyPj,
                                       lb.cycles);
             logTransformOutputs(stats);
@@ -105,6 +168,55 @@ struct DatasetBuilder
         } else {
             yRow[0] = float(std::log(res.edp() / lb.edp()));
         }
+    }
+
+    /** Label rows [rowBase, rowBase + seeds.size()) of @p x / @p y. */
+    void
+    labelBlock(std::span<const uint64_t> seeds, Matrix &x, Matrix &y,
+               size_t rowBase, ParallelContext *par,
+               LabelScratch &scratch) const
+    {
+        const size_t n = seeds.size();
+        scratch.maps.resize(n);
+        scratch.ctxOf.resize(n);
+        scratch.results.resize(n);
+
+        auto sample = [&](size_t i) {
+            sampleRow(seeds[i], x.row(rowBase + i), scratch.maps[i],
+                      scratch.ctxOf[i]);
+        };
+        if (par != nullptr)
+            par->parallelFor(n, sample);
+        else
+            for (size_t i = 0; i < n; ++i)
+                sample(i);
+
+        // One batch per problem context, rows gathered in order.
+        for (uint32_t c = 0; c < uint32_t(pool.size()); ++c) {
+            scratch.mapPtrs.clear();
+            scratch.resPtrs.clear();
+            for (size_t i = 0; i < n; ++i) {
+                if (scratch.ctxOf[i] == c) {
+                    scratch.mapPtrs.push_back(&scratch.maps[i]);
+                    scratch.resPtrs.push_back(&scratch.results[i]);
+                }
+            }
+            if (scratch.mapPtrs.empty())
+                continue;
+            pool[c]->model.evaluateBatch(
+                std::span<const Mapping *const>(scratch.mapPtrs),
+                std::span<CostResult *const>(scratch.resPtrs), par);
+        }
+
+        auto targets = [&](size_t i) {
+            writeTargets(scratch.ctxOf[i], scratch.results[i],
+                         y.row(rowBase + i));
+        };
+        if (par != nullptr)
+            par->parallelFor(n, targets);
+        else
+            for (size_t i = 0; i < n; ++i)
+                targets(i);
     }
 };
 
@@ -176,14 +288,13 @@ generateDataset(const AcceleratorSpec &arch, const AlgorithmSpec &algo,
     for (size_t i = 0; i < cfg.samples; ++i)
         sampleSeeds.push_back(rng.forkSeed());
 
-    auto labelSample = [&](size_t i) {
-        builder.label(sampleSeeds[i], x.row(i), y.row(i));
-    };
-    if (par != nullptr)
-        par->parallelFor(cfg.samples, labelSample);
-    else
-        for (size_t i = 0; i < cfg.samples; ++i)
-            labelSample(i);
+    DatasetBuilder::LabelScratch scratch;
+    for (size_t start = 0; start < cfg.samples; start += cfg.labelBlock) {
+        const size_t len = std::min(cfg.labelBlock, cfg.samples - start);
+        builder.labelBlock(
+            std::span<const uint64_t>(sampleSeeds).subspan(start, len), x,
+            y, start, par, scratch);
+    }
 
     // Split, then fit normalizers on the training rows only.
     size_t trainRows = 0, testRows = 0;
@@ -304,6 +415,7 @@ generateDatasetStreamed(const AcceleratorSpec &arch,
     // so an unwinding exception drains the writer first.
     Matrix bufX[2], bufY[2];
     std::vector<uint64_t> seeds;
+    DatasetBuilder::LabelScratch labelScratch;
     std::optional<SerialWorker> shardWriter;
     if (cfg.overlapStreamWrites)
         shardWriter.emplace();
@@ -329,14 +441,12 @@ generateDatasetStreamed(const AcceleratorSpec &arch,
         Matrix &by = bufY[cur];
         bx.ensureShape(count, builder.features);
         by.ensureShape(count, builder.outputs);
-        auto labelSample = [&](size_t i) {
-            builder.label(seeds[i], bx.row(i), by.row(i));
-        };
-        if (par != nullptr)
-            par->parallelFor(count, labelSample);
-        else
-            for (size_t i = 0; i < count; ++i)
-                labelSample(i);
+        for (size_t start = 0; start < count; start += cfg.labelBlock) {
+            const size_t len = std::min(cfg.labelBlock, count - start);
+            builder.labelBlock(
+                std::span<const uint64_t>(seeds).subspan(start, len), bx,
+                by, start, par, labelScratch);
+        }
         if (shardWriter) {
             shardWriter->submit(
                 [&writer, s, &bx, &by] { writer.writeShard(s, bx, by); });

@@ -54,6 +54,17 @@ struct DatasetConfig
     int eliteCandidates = 8;
     uint64_t seed = 1;
     /**
+     * Samples labeled per batched block (must be >= 1): each block is
+     * sampled in parallel, evaluated with one CostModel::evaluateBatch
+     * call per distinct problem, and written out. Dataset bytes are
+     * identical at ANY value (per-sample RNG streams and per-sample
+     * evaluation are order-independent), so this knob — like lane
+     * count — is excluded from the streamed config hash; it only
+     * trades peak block memory against batch amortization.
+     * MM_EVAL_BATCH overrides it in the benches.
+     */
+    size_t labelBlock = 4096;
+    /**
      * When non-empty, Phase 1 runs out-of-core: labeled samples are
      * written to checksummed fixed-size shards in this directory
      * (core/shard_store.hpp) instead of two dense in-RAM matrices, and

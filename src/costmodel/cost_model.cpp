@@ -3,49 +3,89 @@
 #include <algorithm>
 #include <cmath>
 
-#include "common/string_util.hpp"
+#include "common/parallel_context.hpp"
+#include "nn/trainer.hpp"
 
 namespace mm {
 
 namespace {
 
-/** One temporal loop of the flattened nest. */
-struct TemporalLoop
-{
-    int dim;
-    double trip;
-};
-
-/** Append a temporal block's loops (outermost first, trip>1 only). */
-void
-appendBlock(std::vector<TemporalLoop> &loops, const Mapping &m,
-            MemLevel lvl)
-{
-    for (size_t i = 0; i < m.rank(); ++i) {
-        int dim = m.loopOrder[size_t(lvl)][i];
-        int64_t trip = m.tiling[size_t(lvl)][size_t(dim)];
-        if (trip > 1)
-            loops.push_back({dim, double(trip)});
-    }
-}
+/**
+ * Mappings evaluated per descriptor block. Fixed (not tunable) so batch
+ * results never depend on configuration, and equal to the trainer's
+ * gather chunk so the evaluation and training pipelines agree on one
+ * blocking unit.
+ */
+constexpr size_t kCostEvalChunk = 16;
+static_assert(kCostEvalChunk == kGatherChunkRows,
+              "evaluation chunk must match the trainer's gather chunk");
 
 /**
- * Reload factor: product of trip counts of all loops down to and
- * including the innermost loop relevant to tensor @p spec. The trailing
- * run of irrelevant loops yields stationarity and is excluded. With no
- * relevant loop the data stays resident: factor 1.
+ * Per-thread descriptor scratch: chunk after chunk reuses one block's
+ * storage, and pool threads each get their own (no sharing, no locks).
  */
-double
-reloadFactor(const TensorSpec &spec, std::span<const TemporalLoop> loops)
+thread_local DescriptorBlock tlsBlock;
+
+/**
+ * Chunked batch driver: lower then evaluate kCostEvalChunk mappings at
+ * a time, fanning chunks out over @p par when provided. mappingAt(i)
+ * yields the i-th mapping; emit(i, raw) consumes its result. Chunks are
+ * independent and every index is written exactly once, so results are
+ * identical (bitwise) at any lane count.
+ */
+template <typename MappingAt, typename Emit>
+void
+runBatch(const CostTables &tables, size_t n, const MappingAt &mappingAt,
+         const Emit &emit, ParallelContext *par)
 {
-    size_t last = 0; // one past the innermost relevant loop
-    for (size_t i = 0; i < loops.size(); ++i)
-        if (spec.usesDim(loops[i].dim))
-            last = i + 1;
-    double factor = 1.0;
-    for (size_t i = 0; i < last; ++i)
-        factor *= loops[i].trip;
-    return factor;
+    if (n == 0)
+        return;
+    const size_t chunks = (n + kCostEvalChunk - 1) / kCostEvalChunk;
+    auto runChunk = [&](size_t c) {
+        const size_t begin = c * kCostEvalChunk;
+        const size_t end = std::min(n, begin + kCostEvalChunk);
+        DescriptorBlock &block = tlsBlock;
+        block.ensure(tables, end - begin);
+        for (size_t i = begin; i < end; ++i)
+            lowerMapping(tables, mappingAt(i), block, i - begin);
+        RawCost raw;
+        for (size_t i = begin; i < end; ++i) {
+            evalDescriptor(tables, block, i - begin, raw);
+            emit(i, raw);
+        }
+    };
+    if (par != nullptr)
+        par->parallelFor(chunks, runChunk);
+    else
+        for (size_t c = 0; c < chunks; ++c)
+            runChunk(c);
+}
+
+/** Copy a RawCost into a (capacity-reusing) CostResult. */
+void
+rawToResult(const RawCost &raw, CostResult &res)
+{
+    const size_t tensors = raw.tensors;
+    res.access.resize(tensors);
+    res.energyPj.resize(tensors);
+    for (size_t t = 0; t < tensors; ++t) {
+        for (int lvl = 0; lvl < kNumMemLevels; ++lvl) {
+            res.access[t][size_t(lvl)].reads = raw.reads[t][size_t(lvl)];
+            res.access[t][size_t(lvl)].writes = raw.writes[t][size_t(lvl)];
+            res.energyPj[t][size_t(lvl)] = raw.energyPj[t][size_t(lvl)];
+        }
+    }
+    res.nocWords = raw.nocWords;
+    res.paddedMacs = raw.paddedMacs;
+    res.actualMacs = raw.actualMacs;
+    res.macEnergyPj = raw.macEnergyPj;
+    res.nocEnergyPj = raw.nocEnergyPj;
+    res.totalEnergyPj = raw.totalEnergyPj;
+    res.computeCycles = raw.computeCycles;
+    for (int lvl = 0; lvl < kNumMemLevels; ++lvl)
+        res.bandwidthCycles[size_t(lvl)] = raw.bandwidthCycles[size_t(lvl)];
+    res.cycles = raw.cycles;
+    res.utilization = raw.utilization;
 }
 
 } // namespace
@@ -60,139 +100,140 @@ std::vector<double>
 CostResult::metaStats() const
 {
     std::vector<double> stats;
-    stats.reserve(metaStatCount(energyPj.size()));
+    metaStats(stats);
+    return stats;
+}
+
+void
+CostResult::metaStats(std::vector<double> &out) const
+{
+    out.clear();
+    out.reserve(metaStatCount(energyPj.size()));
     for (const auto &perLevel : energyPj)
         for (double e : perLevel)
-            stats.push_back(e);
-    stats.push_back(totalEnergyPj);
-    stats.push_back(utilization);
-    stats.push_back(cycles);
-    return stats;
+            out.push_back(e);
+    out.push_back(totalEnergyPj);
+    out.push_back(utilization);
+    out.push_back(cycles);
 }
 
 CostModel::CostModel(const MapSpace &space)
     : mapSpace(&space),
       bound(computeLowerBound(space.arch(), space.problem()))
-{}
+{
+    tables.build(space);
+    tables.boundEdp = bound.edp();
+}
 
 CostResult
 CostModel::evaluate(const Mapping &m) const
 {
-    const MapSpace &space = *mapSpace;
-    const AcceleratorSpec &arch = space.arch();
-    const AlgorithmSpec &algo = *space.problem().algo;
-    MM_ASSERT(space.isMember(m),
-              "cost model requires a valid mapping: "
-                  + space.validityError(m));
-
-    const size_t tensors = algo.tensorCount();
-    const double pes = double(m.usedPes());
-
-    // Flattened temporal loop prefixes.
-    std::vector<TemporalLoop> dramBlock, aboveL1, allTemporal;
-    appendBlock(dramBlock, m, MemLevel::DRAM);
-    aboveL1 = dramBlock;
-    appendBlock(aboveL1, m, MemLevel::L2);
-    allTemporal = aboveL1;
-    appendBlock(allTemporal, m, MemLevel::L1);
-
-    const auto e1 = m.extentsL1();
-    const auto esp = m.extentsSpatial();
-    const auto e2 = m.extentsL2();
-    const auto full = m.extentsFull();
-
     CostResult res;
-    res.access.resize(tensors);
-    res.energyPj.resize(tensors);
-
-    res.paddedMacs = 1.0;
-    for (int64_t f : full)
-        res.paddedMacs *= double(f);
-    res.actualMacs = space.problem().totalMacs();
-
-    for (size_t t = 0; t < tensors; ++t) {
-        const TensorSpec &spec = algo.tensors[t];
-        const double f1 = double(algo.tileFootprint(t, e1));
-        const double fsp = double(algo.tileFootprint(t, esp));
-        const double f2 = double(algo.tileFootprint(t, e2));
-        const double ffull = double(algo.tileFootprint(t, full));
-
-        const double rfDram = reloadFactor(spec, dramBlock);
-        const double rfL2 = reloadFactor(spec, aboveL1);
-        const double rfL1 = reloadFactor(spec, allTemporal);
-
-        auto &acc = res.access[t];
-        if (!spec.isOutput) {
-            // DRAM read port serves L2 tiles; L2 serves the multicast
-            // union of per-PE tiles; L1 serves one-word operand latches.
-            acc[size_t(MemLevel::DRAM)].reads = f2 * rfDram;
-            acc[size_t(MemLevel::L2)].writes = f2 * rfDram;
-            acc[size_t(MemLevel::L2)].reads = fsp * rfL2;
-            acc[size_t(MemLevel::L1)].writes = pes * f1 * rfL2;
-            acc[size_t(MemLevel::L1)].reads = pes * rfL1;
-            res.nocWords += pes * f1 * rfL2;
-        } else {
-            // Updates flow upward; reads = updates - first writes
-            // (read-modify-write of partial sums).
-            const double updL1 = pes * rfL1;
-            const double firstL1 = pes * f1 * rfL2;
-            acc[size_t(MemLevel::L1)].writes = updL1;
-            acc[size_t(MemLevel::L1)].reads =
-                std::max(0.0, updL1 - firstL1);
-
-            const double updL2 = fsp * rfL2;
-            const double firstL2 = f2 * rfDram;
-            acc[size_t(MemLevel::L2)].writes = updL2;
-            acc[size_t(MemLevel::L2)].reads =
-                std::max(0.0, updL2 - firstL2);
-
-            const double updDram = f2 * rfDram;
-            acc[size_t(MemLevel::DRAM)].writes = updDram;
-            acc[size_t(MemLevel::DRAM)].reads =
-                std::max(0.0, updDram - ffull);
-
-            res.nocWords += pes * f1 * rfL2;
-        }
-
-        for (int lvl = 0; lvl < kNumMemLevels; ++lvl)
-            res.energyPj[t][size_t(lvl)] =
-                acc[size_t(lvl)].total()
-                * arch.levels[size_t(lvl)].energyPerWordPj;
-    }
-
-    res.macEnergyPj = res.paddedMacs * arch.macEnergyPj;
-    res.nocEnergyPj = res.nocWords * arch.nocEnergyPerWordPj;
-    res.totalEnergyPj = res.macEnergyPj + res.nocEnergyPj;
-    for (const auto &perLevel : res.energyPj)
-        for (double e : perLevel)
-            res.totalEnergyPj += e;
-
-    // Delay: compute-bound or bandwidth-bound, whichever dominates.
-    res.computeCycles =
-        res.paddedMacs / (pes * double(arch.macsPerPePerCycle));
-    for (int lvl = 0; lvl < kNumMemLevels; ++lvl) {
-        double words = 0.0;
-        for (size_t t = 0; t < tensors; ++t)
-            words += res.access[t][size_t(lvl)].total();
-        const MemLevelSpec &spec = arch.levels[size_t(lvl)];
-        double bw = spec.bandwidthWordsPerCycle;
-        if (spec.perPe)
-            words /= std::max(pes, 1.0);
-        res.bandwidthCycles[size_t(lvl)] = words / bw;
-    }
-    res.cycles = std::max({res.computeCycles,
-                           res.bandwidthCycles[0],
-                           res.bandwidthCycles[1],
-                           res.bandwidthCycles[2]});
-    res.utilization =
-        res.actualMacs / (res.cycles * arch.peakMacsPerCycle());
+    evaluate(m, res);
     return res;
+}
+
+void
+CostModel::evaluate(const Mapping &m, CostResult &out) const
+{
+    DescriptorBlock &block = tlsBlock;
+    block.ensure(tables, 1);
+    lowerMapping(tables, m, block, 0);
+    RawCost raw;
+    evalDescriptor(tables, block, 0, raw);
+    rawToResult(raw, out);
+}
+
+void
+CostModel::evaluateBatch(std::span<const Mapping> mappings,
+                         std::span<CostResult> results,
+                         ParallelContext *par) const
+{
+    MM_ASSERT(mappings.size() == results.size(),
+              "evaluateBatch spans must have equal length");
+    runBatch(
+        tables, mappings.size(),
+        [&](size_t i) -> const Mapping & { return mappings[i]; },
+        [&](size_t i, const RawCost &raw) { rawToResult(raw, results[i]); },
+        par);
+}
+
+void
+CostModel::evaluateBatch(std::span<const Mapping *const> mappings,
+                         std::span<CostResult *const> results,
+                         ParallelContext *par) const
+{
+    MM_ASSERT(mappings.size() == results.size(),
+              "evaluateBatch spans must have equal length");
+    runBatch(
+        tables, mappings.size(),
+        [&](size_t i) -> const Mapping & { return *mappings[i]; },
+        [&](size_t i, const RawCost &raw) { rawToResult(raw, *results[i]); },
+        par);
+}
+
+void
+CostModel::edpBatch(std::span<const Mapping> mappings,
+                    std::span<double> out, ParallelContext *par) const
+{
+    MM_ASSERT(mappings.size() == out.size(),
+              "edpBatch spans must have equal length");
+    runBatch(
+        tables, mappings.size(),
+        [&](size_t i) -> const Mapping & { return mappings[i]; },
+        [&](size_t i, const RawCost &raw) { out[i] = raw.edp(); }, par);
+}
+
+void
+CostModel::edpBatch(std::span<const Mapping *const> mappings,
+                    std::span<double> out, ParallelContext *par) const
+{
+    MM_ASSERT(mappings.size() == out.size(),
+              "edpBatch spans must have equal length");
+    runBatch(
+        tables, mappings.size(),
+        [&](size_t i) -> const Mapping & { return *mappings[i]; },
+        [&](size_t i, const RawCost &raw) { out[i] = raw.edp(); }, par);
+}
+
+void
+CostModel::normalizedEdpBatch(std::span<const Mapping> mappings,
+                              std::span<double> out,
+                              ParallelContext *par) const
+{
+    MM_ASSERT(mappings.size() == out.size(),
+              "normalizedEdpBatch spans must have equal length");
+    runBatch(
+        tables, mappings.size(),
+        [&](size_t i) -> const Mapping & { return mappings[i]; },
+        [&](size_t i, const RawCost &raw) {
+            out[i] = raw.edp() / tables.boundEdp;
+        },
+        par);
+}
+
+void
+CostModel::normalizedEdpBatch(std::span<const Mapping *const> mappings,
+                              std::span<double> out,
+                              ParallelContext *par) const
+{
+    MM_ASSERT(mappings.size() == out.size(),
+              "normalizedEdpBatch spans must have equal length");
+    runBatch(
+        tables, mappings.size(),
+        [&](size_t i) -> const Mapping & { return *mappings[i]; },
+        [&](size_t i, const RawCost &raw) {
+            out[i] = raw.edp() / tables.boundEdp;
+        },
+        par);
 }
 
 double
 CostModel::edp(const Mapping &m) const
 {
-    return evaluate(m).edp();
+    double out = 0.0;
+    edpBatch(std::span<const Mapping>(&m, 1), std::span<double>(&out, 1));
+    return out;
 }
 
 double

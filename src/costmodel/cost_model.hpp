@@ -24,16 +24,42 @@
  * objective is EDP (Section 5.1.2). The iteration space is the *padded*
  * bound, so over-approximate factorizations are charged for their
  * padding.
+ *
+ * Execution is a two-stage pipeline (costmodel/descriptor.hpp):
+ *
+ *   1. Lowering compiles each Mapping into one lane of a packed,
+ *      structure-of-arrays DescriptorBlock — flattened temporal trip
+ *      counts with per-loop dimension bitmasks, extents at the four
+ *      residency points, and the spatial fan-out — validating map-space
+ *      membership with an allocation-free mirror of
+ *      MapSpace::validityError.
+ *   2. A branch-free kernel evaluates each lane with mask-driven
+ *      selects over prefix trip products (no data-dependent branches in
+ *      the cost arithmetic) into fixed-size POD results.
+ *
+ * The batch entry points (evaluateBatch / edpBatch /
+ * normalizedEdpBatch) run that pipeline over fixed-size chunks —
+ * optionally fanned out over a ParallelContext — and are bitwise
+ * identical to the scalar path at any batch size and lane count, because
+ * the kernel replays the scalar arithmetic operation for operation;
+ * scalar evaluate() itself is a batch of one. Consumers that evaluate
+ * streams of mappings (Phase-1 dataset labeling, the baseline
+ * searchers) should prefer the batch calls: lowering amortizes the
+ * membership walk, and the kernel runs allocation-free.
  */
 #pragma once
 
 #include <array>
+#include <span>
 #include <vector>
 
+#include "costmodel/descriptor.hpp"
 #include "costmodel/lower_bound.hpp"
 #include "mapping/map_space.hpp"
 
 namespace mm {
+
+class ParallelContext;
 
 /** Read/write word counts of one tensor at one memory level. */
 struct TensorLevelAccess
@@ -77,6 +103,9 @@ struct CostResult
      */
     std::vector<double> metaStats() const;
 
+    /** metaStats() into a reused vector (no allocation at capacity). */
+    void metaStats(std::vector<double> &out) const;
+
     /** Number of meta-statistics for a T-tensor problem: 3T + 3. */
     static size_t metaStatCount(size_t tensorCount);
 };
@@ -95,11 +124,54 @@ class CostModel
     /** Full evaluation; the mapping must be a valid member. */
     CostResult evaluate(const Mapping &m) const;
 
+    /**
+     * Full evaluation into a reused result: the access/energy vectors
+     * are resized in place, so repeated calls on the same CostResult
+     * never touch the allocator after the first.
+     */
+    void evaluate(const Mapping &m, CostResult &out) const;
+
     /** Shorthand for evaluate(m).edp(). */
     double edp(const Mapping &m) const;
 
     /** EDP normalized to the algorithmic minimum (Section 5.2). */
     double normalizedEdp(const Mapping &m) const;
+
+    /**
+     * Evaluate a batch of mappings: results[i] = evaluate(mappings[i]),
+     * bitwise, for every i. Work proceeds in fixed-size chunks (one
+     * descriptor block each); when @p par is non-null the chunks fan
+     * out over its lanes, and because every lane writes disjoint
+     * results the output is bitwise lane-invariant.
+     */
+    void evaluateBatch(std::span<const Mapping> mappings,
+                       std::span<CostResult> results,
+                       ParallelContext *par = nullptr) const;
+
+    /** Pointer-indirected batch: scatter/gather without copying rows. */
+    void evaluateBatch(std::span<const Mapping *const> mappings,
+                       std::span<CostResult *const> results,
+                       ParallelContext *par = nullptr) const;
+
+    /** edp(m) per mapping without materializing full CostResults. */
+    void edpBatch(std::span<const Mapping> mappings,
+                  std::span<double> out,
+                  ParallelContext *par = nullptr) const;
+
+    /** Pointer-indirected edpBatch. */
+    void edpBatch(std::span<const Mapping *const> mappings,
+                  std::span<double> out,
+                  ParallelContext *par = nullptr) const;
+
+    /** normalizedEdp(m) per mapping, batch form. */
+    void normalizedEdpBatch(std::span<const Mapping> mappings,
+                            std::span<double> out,
+                            ParallelContext *par = nullptr) const;
+
+    /** Pointer-indirected normalizedEdpBatch. */
+    void normalizedEdpBatch(std::span<const Mapping *const> mappings,
+                            std::span<double> out,
+                            ParallelContext *par = nullptr) const;
 
     /** The (possibly unachievable) algorithmic minimum (Appendix A). */
     const LowerBound &lowerBound() const { return bound; }
@@ -107,6 +179,8 @@ class CostModel
   private:
     const MapSpace *mapSpace;
     LowerBound bound;
+    /** Stage-1/2 compile of the map space (descriptor.hpp). */
+    CostTables tables;
 };
 
 } // namespace mm

@@ -1,0 +1,166 @@
+#include "costmodel/reference_eval.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.hpp"
+
+namespace mm {
+
+namespace {
+
+/** One temporal loop of the flattened nest. */
+struct TemporalLoop
+{
+    int dim;
+    double trip;
+};
+
+/** Append a temporal block's loops (outermost first, trip>1 only). */
+void
+appendBlock(std::vector<TemporalLoop> &loops, const Mapping &m,
+            MemLevel lvl)
+{
+    for (size_t i = 0; i < m.rank(); ++i) {
+        int dim = m.loopOrder[size_t(lvl)][i];
+        int64_t trip = m.tiling[size_t(lvl)][size_t(dim)];
+        if (trip > 1)
+            loops.push_back({dim, double(trip)});
+    }
+}
+
+/**
+ * Reload factor: product of trip counts of all loops down to and
+ * including the innermost loop relevant to tensor @p spec. The trailing
+ * run of irrelevant loops yields stationarity and is excluded. With no
+ * relevant loop the data stays resident: factor 1.
+ */
+double
+reloadFactor(const TensorSpec &spec, std::span<const TemporalLoop> loops)
+{
+    size_t last = 0; // one past the innermost relevant loop
+    for (size_t i = 0; i < loops.size(); ++i)
+        if (spec.usesDim(loops[i].dim))
+            last = i + 1;
+    double factor = 1.0;
+    for (size_t i = 0; i < last; ++i)
+        factor *= loops[i].trip;
+    return factor;
+}
+
+} // namespace
+
+CostResult
+referenceEvaluate(const MapSpace &space, const Mapping &m)
+{
+    const AcceleratorSpec &arch = space.arch();
+    const AlgorithmSpec &algo = *space.problem().algo;
+    MM_ASSERT(space.isMember(m),
+              "cost model requires a valid mapping: "
+                  + space.validityError(m));
+
+    const size_t tensors = algo.tensorCount();
+    const double pes = double(m.usedPes());
+
+    // Flattened temporal loop prefixes.
+    std::vector<TemporalLoop> dramBlock, aboveL1, allTemporal;
+    appendBlock(dramBlock, m, MemLevel::DRAM);
+    aboveL1 = dramBlock;
+    appendBlock(aboveL1, m, MemLevel::L2);
+    allTemporal = aboveL1;
+    appendBlock(allTemporal, m, MemLevel::L1);
+
+    const auto e1 = m.extentsL1();
+    const auto esp = m.extentsSpatial();
+    const auto e2 = m.extentsL2();
+    const auto full = m.extentsFull();
+
+    CostResult res;
+    res.access.resize(tensors);
+    res.energyPj.resize(tensors);
+
+    res.paddedMacs = 1.0;
+    for (int64_t f : full)
+        res.paddedMacs *= double(f);
+    res.actualMacs = space.problem().totalMacs();
+
+    for (size_t t = 0; t < tensors; ++t) {
+        const TensorSpec &spec = algo.tensors[t];
+        const double f1 = double(algo.tileFootprint(t, e1));
+        const double fsp = double(algo.tileFootprint(t, esp));
+        const double f2 = double(algo.tileFootprint(t, e2));
+        const double ffull = double(algo.tileFootprint(t, full));
+
+        const double rfDram = reloadFactor(spec, dramBlock);
+        const double rfL2 = reloadFactor(spec, aboveL1);
+        const double rfL1 = reloadFactor(spec, allTemporal);
+
+        auto &acc = res.access[t];
+        if (!spec.isOutput) {
+            // DRAM read port serves L2 tiles; L2 serves the multicast
+            // union of per-PE tiles; L1 serves one-word operand latches.
+            acc[size_t(MemLevel::DRAM)].reads = f2 * rfDram;
+            acc[size_t(MemLevel::L2)].writes = f2 * rfDram;
+            acc[size_t(MemLevel::L2)].reads = fsp * rfL2;
+            acc[size_t(MemLevel::L1)].writes = pes * f1 * rfL2;
+            acc[size_t(MemLevel::L1)].reads = pes * rfL1;
+            res.nocWords += pes * f1 * rfL2;
+        } else {
+            // Updates flow upward; reads = updates - first writes
+            // (read-modify-write of partial sums).
+            const double updL1 = pes * rfL1;
+            const double firstL1 = pes * f1 * rfL2;
+            acc[size_t(MemLevel::L1)].writes = updL1;
+            acc[size_t(MemLevel::L1)].reads =
+                std::max(0.0, updL1 - firstL1);
+
+            const double updL2 = fsp * rfL2;
+            const double firstL2 = f2 * rfDram;
+            acc[size_t(MemLevel::L2)].writes = updL2;
+            acc[size_t(MemLevel::L2)].reads =
+                std::max(0.0, updL2 - firstL2);
+
+            const double updDram = f2 * rfDram;
+            acc[size_t(MemLevel::DRAM)].writes = updDram;
+            acc[size_t(MemLevel::DRAM)].reads =
+                std::max(0.0, updDram - ffull);
+
+            res.nocWords += pes * f1 * rfL2;
+        }
+
+        for (int lvl = 0; lvl < kNumMemLevels; ++lvl)
+            res.energyPj[t][size_t(lvl)] =
+                acc[size_t(lvl)].total()
+                * arch.levels[size_t(lvl)].energyPerWordPj;
+    }
+
+    res.macEnergyPj = res.paddedMacs * arch.macEnergyPj;
+    res.nocEnergyPj = res.nocWords * arch.nocEnergyPerWordPj;
+    res.totalEnergyPj = res.macEnergyPj + res.nocEnergyPj;
+    for (const auto &perLevel : res.energyPj)
+        for (double e : perLevel)
+            res.totalEnergyPj += e;
+
+    // Delay: compute-bound or bandwidth-bound, whichever dominates.
+    res.computeCycles =
+        res.paddedMacs / (pes * double(arch.macsPerPePerCycle));
+    for (int lvl = 0; lvl < kNumMemLevels; ++lvl) {
+        double words = 0.0;
+        for (size_t t = 0; t < tensors; ++t)
+            words += res.access[t][size_t(lvl)].total();
+        const MemLevelSpec &spec = arch.levels[size_t(lvl)];
+        double bw = spec.bandwidthWordsPerCycle;
+        if (spec.perPe)
+            words /= std::max(pes, 1.0);
+        res.bandwidthCycles[size_t(lvl)] = words / bw;
+    }
+    res.cycles = std::max({res.computeCycles,
+                           res.bandwidthCycles[0],
+                           res.bandwidthCycles[1],
+                           res.bandwidthCycles[2]});
+    res.utilization =
+        res.actualMacs / (res.cycles * arch.peakMacsPerCycle());
+    return res;
+}
+
+} // namespace mm

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * The original straight-line scalar cost-model evaluation, preserved
+ * verbatim as a differential oracle for the descriptor pipeline
+ * (costmodel/descriptor.hpp).
+ *
+ * CostModel::evaluate is a batch of one since the pipeline rewrite, so
+ * comparing batch output against it cannot catch a bug shared by both
+ * paths. This reference re-derives every quantity independently — the
+ * full MapSpace::isMember validity walk, allocated extent/footprint
+ * vectors, per-tensor reload-factor scans — exactly as the model was
+ * first written. Tests assert the pipeline matches it bitwise;
+ * bench/costmodel_perf uses it as the historical per-call baseline the
+ * batch path is measured against. Not for production use: it allocates
+ * on every call.
+ */
+#pragma once
+
+#include "costmodel/cost_model.hpp"
+
+namespace mm {
+
+/** Evaluate @p m the original way; bitwise equals CostModel::evaluate. */
+CostResult referenceEvaluate(const MapSpace &space, const Mapping &m);
+
+} // namespace mm

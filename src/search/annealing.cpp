@@ -28,9 +28,20 @@ AnnealingSearcher::run(SearchContext &ctx)
     double tMax = cfg.tMax;
     double tMin = cfg.tMin;
     if (tMax <= 0.0 || tMin <= 0.0) {
-        RunningStat stat;
+        // Draw all pilot moves up front (sampling is the only RNG
+        // consumer, so the stream matches the historical interleaved
+        // draw/evaluate loop), score them in one batch, and feed the
+        // estimator in draw order — same moments bitwise.
+        std::vector<Mapping> pilots;
+        pilots.reserve(size_t(std::max(cfg.pilotSamples, 0)));
         for (int i = 0; i < cfg.pilotSamples; ++i)
-            stat.push(model->normalizedEdp(space.randomValid(rng)));
+            pilots.push_back(space.randomValid(rng));
+        std::vector<double> norms(pilots.size());
+        model->normalizedEdpBatch(std::span<const Mapping>(pilots),
+                                  std::span<double>(norms));
+        RunningStat stat;
+        for (double norm : norms)
+            stat.push(norm);
         double scale = std::max(stat.stddev(), 1e-6);
         if (tMax <= 0.0)
             tMax = scale;

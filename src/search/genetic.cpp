@@ -20,6 +20,17 @@ struct Individual
 
 } // namespace
 
+namespace detail {
+
+bool
+childMayInheritFitness(const Mapping &child, const Mapping &parent,
+                       bool parentEvaluated)
+{
+    return parentEvaluated && child == parent;
+}
+
+} // namespace detail
+
 GeneticSearcher::GeneticSearcher(const CostModel &model_, GeneticConfig cfg_,
                                  const TimingModel &timing)
     : model(&model_), cfg(cfg_), stepLatency(timing.gaStepSec)
@@ -35,18 +46,47 @@ GeneticSearcher::run(SearchContext &ctx)
     SearchRecorder rec(*model, ctx, stepLatency);
     Rng &rng = *ctx.rng;
 
-    auto evaluate = [&](Individual &ind) {
-        if (ind.evaluated || rec.exhausted())
+    // One cost-model batch per generation: collect the individuals with
+    // pending fitness (population order), clamp to what the
+    // deterministic budgets still admit, evaluate them in one
+    // normalizedEdpBatch call, then charge/record them in that same
+    // order — bitwise identical to the historical per-individual
+    // step() loop (evaluations consume no RNG, and stepPrescored
+    // replays step()'s accounting). Under a wall-clock budget the
+    // batch may evaluate candidates the wall then cuts off; those are
+    // dropped unrecorded, exactly as if the loop had stopped there.
+    std::vector<const Mapping *> pendingMaps;
+    std::vector<size_t> pendingIdx;
+    std::vector<double> norms;
+    auto evaluatePending = [&](std::vector<Individual> &gen) {
+        pendingMaps.clear();
+        pendingIdx.clear();
+        for (size_t i = 0; i < gen.size(); ++i) {
+            if (!gen[i].evaluated) {
+                pendingIdx.push_back(i);
+                pendingMaps.push_back(&gen[i].mapping);
+            }
+        }
+        const size_t planned = size_t(
+            rec.plannedSteps(int64_t(pendingIdx.size())));
+        pendingIdx.resize(planned);
+        pendingMaps.resize(planned);
+        if (planned == 0)
             return;
-        ind.fitness = rec.step(ind.mapping);
-        ind.evaluated = true;
+        norms.resize(planned);
+        model->normalizedEdpBatch(std::span<const Mapping *const>(pendingMaps),
+                                  std::span<double>(norms));
+        const size_t used = rec.stepPrescored(pendingMaps, norms);
+        for (size_t j = 0; j < used; ++j) {
+            gen[pendingIdx[j]].fitness = norms[j];
+            gen[pendingIdx[j]].evaluated = true;
+        }
     };
 
     std::vector<Individual> pop(size_t(cfg.populationSize));
     for (auto &ind : pop)
         ind.mapping = space.randomValid(rng);
-    for (auto &ind : pop)
-        evaluate(ind);
+    evaluatePending(pop);
 
     auto tournament = [&]() -> const Individual & {
         const Individual *winner = nullptr;
@@ -84,18 +124,21 @@ GeneticSearcher::run(SearchContext &ctx)
                 child.mapping = pa.mapping;
             child.mapping =
                 mutate(space, child.mapping, cfg.mutationProb, rng);
-            if (child.mapping == pa.mapping) {
+            if (detail::childMayInheritFitness(child.mapping, pa.mapping,
+                                               pa.evaluated)) {
                 // Unchanged clones inherit the parent's fitness instead
-                // of burning a cost-function query.
+                // of burning a cost-function query; a child whose
+                // genome differs (or whose parent was never scored)
+                // always earns its own.
                 child.fitness = pa.fitness;
-                child.evaluated = pa.evaluated;
+                child.evaluated = true;
             }
             next.push_back(std::move(child));
         }
 
-        // Elites keep their fitness; everyone else is (re)evaluated.
-        for (auto &ind : next)
-            evaluate(ind);
+        // Elites keep their fitness; everyone else is (re)evaluated in
+        // one batch.
+        evaluatePending(next);
         pop = std::move(next);
     }
 

@@ -23,6 +23,21 @@ struct GeneticConfig
     int elites = 2;
 };
 
+namespace detail {
+
+/**
+ * True when a GA child may reuse @p parent's cached fitness instead of
+ * burning a cost-function query: only when the child's genome is
+ * structurally identical to the parent's AND the parent's fitness is
+ * real (@p parentEvaluated). Guarding on both closes the stale-fitness
+ * hazard where a child inherits a number its own genome never earned —
+ * exposed for the regression test in tests/test_search.cpp.
+ */
+bool childMayInheritFitness(const Mapping &child, const Mapping &parent,
+                            bool parentEvaluated);
+
+} // namespace detail
+
 /** Generational GA over the map space. */
 class GeneticSearcher : public Searcher
 {

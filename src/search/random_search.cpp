@@ -9,14 +9,46 @@ RandomSearcher::RandomSearcher(const CostModel &model_,
     : model(&model_), stepLatency(timing.randomStepSec)
 {}
 
+namespace {
+
+/** Proposals drawn and evaluated per cost-model batch. */
+constexpr int64_t kProposalBlock = 64;
+
+} // namespace
+
 SearchResult
 RandomSearcher::run(SearchContext &ctx)
 {
     SearchRecorder rec(*model, ctx, stepLatency);
     Rng &rng = *ctx.rng;
     const MapSpace &space = model->space();
-    while (!rec.exhausted())
-        rec.step(space.randomValid(rng));
+
+    // Batch the proposal stream: draw a block of candidates (sampling
+    // is the only RNG consumer, so a block of draws is the same stream
+    // as interleaved draw/evaluate), score it with one
+    // normalizedEdpBatch call, and charge the results in order. Blocks
+    // are clamped to plannedSteps() so a deterministic budget consumes
+    // exactly as many draws as the historical one-at-a-time loop;
+    // under a wall-clock budget the wall may cut a block short, and
+    // its unrecorded tail is dropped just as the sequential loop would
+    // never have drawn it.
+    std::vector<Mapping> proposals;
+    std::vector<const Mapping *> proposalPtrs;
+    std::vector<double> norms;
+    while (!rec.exhausted()) {
+        const size_t block = size_t(rec.plannedSteps(kProposalBlock));
+        proposals.clear();
+        for (size_t i = 0; i < block; ++i)
+            proposals.push_back(space.randomValid(rng));
+        proposalPtrs.clear();
+        for (const Mapping &m : proposals)
+            proposalPtrs.push_back(&m);
+        norms.resize(block);
+        model->normalizedEdpBatch(
+            std::span<const Mapping *const>(proposalPtrs),
+            std::span<double>(norms));
+        rec.stepPrescored(proposalPtrs, norms);
+    }
     return rec.finish(name());
 }
 

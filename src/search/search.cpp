@@ -129,6 +129,39 @@ SearchRecorder::stepBatch(std::span<const Mapping> candidates)
     }
 }
 
+int64_t
+SearchRecorder::plannedSteps(int64_t maxBlock) const
+{
+    // Replay the step() accumulation bitwise: the virtual clock is a
+    // running double sum, so a closed-form division could disagree with
+    // it at the boundary; the loop cannot.
+    int64_t planned = 0;
+    int64_t steps = stepCount;
+    double clock = virtualClock;
+    while (planned < maxBlock && !budget.done(steps, clock)) {
+        ++steps;
+        clock += stepLatency;
+        ++planned;
+    }
+    return planned;
+}
+
+size_t
+SearchRecorder::stepPrescored(std::span<const Mapping *const> candidates,
+                              std::span<const double> norms)
+{
+    MM_ASSERT(candidates.size() == norms.size(),
+              "stepPrescored spans must have equal length");
+    size_t used = 0;
+    while (used < candidates.size() && !exhausted()) {
+        ++stepCount;
+        virtualClock += stepLatency;
+        recordProbe(*candidates[used], norms[used]);
+        ++used;
+    }
+    return used;
+}
+
 SearchResult
 SearchRecorder::finish(std::string method) const
 {

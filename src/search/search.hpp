@@ -247,6 +247,31 @@ class SearchRecorder
      */
     void stepBatch(std::span<const Mapping> candidates);
 
+    /**
+     * Largest block size <= @p maxBlock such that that many step()
+     * calls are guaranteed not to overrun the deterministic budgets
+     * (steps / virtual time), found by replaying the virtual clock's
+     * exact accumulation. Searchers use it to size a batch of proposals
+     * before evaluating them in one evaluateBatch call: drawing and
+     * charging plannedSteps() candidates consumes RNG and budget
+     * exactly as the same number of sequential step() calls would.
+     * Returns 0 when already exhausted; wall-clock/stop-token
+     * exhaustion may still end a run mid-block, exactly as it may
+     * between sequential steps.
+     */
+    int64_t plannedSteps(int64_t maxBlock) const;
+
+    /**
+     * step() over a block of candidates whose true normalized EDPs were
+     * precomputed by one batch evaluation: candidates are charged and
+     * recorded in order with per-candidate latency (unlike stepBatch's
+     * single shared latency) while the budget lasts, reproducing a
+     * sequential step() loop bitwise. Returns the number of candidates
+     * charged; the tail beyond an exhaustion point is dropped unseen.
+     */
+    size_t stepPrescored(std::span<const Mapping *const> candidates,
+                         std::span<const double> norms);
+
     int64_t steps() const { return stepCount; }
     double virtualSec() const { return virtualClock; }
     double bestNormEdp() const { return best; }

@@ -9,6 +9,7 @@
 #include "common/stats.hpp"
 #include "core/phase1.hpp"
 #include "mapping/codec.hpp"
+#include "mapping/moves.hpp"
 #include "search/annealing.hpp"
 #include "search/ddpg.hpp"
 #include "search/genetic.hpp"
@@ -181,6 +182,29 @@ TEST(GeneticSearcher, DeterministicAndImproves)
     // The final best beats the initial population's best (trace front is
     // the first improvement, i.e. the first individual).
     EXPECT_LE(r1.bestNormEdp, r1.trace.front().bestNormEdp);
+}
+
+TEST(GeneticSearcher, ChildInheritsFitnessOnlyWhenIdenticalAndEvaluated)
+{
+    SearchFixture fx;
+    Rng rng(23);
+    Mapping parent = fx.space.randomValid(rng);
+    Mapping same = parent;
+    EXPECT_TRUE(detail::childMayInheritFitness(same, parent, true));
+
+    // Regression: crossover/mutation may return the parent genome
+    // unchanged, but an UNevaluated parent's fitness is a placeholder
+    // and must never be inherited — the child has to be re-scored.
+    EXPECT_FALSE(detail::childMayInheritFitness(same, parent, false));
+
+    // A genuinely mutated child never inherits, evaluated or not.
+    Mapping child = randomNeighbor(fx.space, parent, rng);
+    int guard = 0;
+    while (child == parent && ++guard < 64)
+        child = randomNeighbor(fx.space, parent, rng);
+    ASSERT_FALSE(child == parent);
+    EXPECT_FALSE(detail::childMayInheritFitness(child, parent, true));
+    EXPECT_FALSE(detail::childMayInheritFitness(child, parent, false));
 }
 
 TEST(GeneticSearcher, RejectsDegenerateConfig)
