@@ -1,9 +1,136 @@
 #include "common/error.hpp"
 
+#include <cerrno>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 
+#include "common/string_util.hpp"
+
 namespace mm {
+
+namespace {
+
+/**
+ * strerror_r has two incompatible signatures (XSI returns int, GNU
+ * returns char*); these overloads normalize whichever the libc picked.
+ */
+[[maybe_unused]] const char *
+strerrorResult(const char *r, const char *)
+{
+    return r;
+}
+
+[[maybe_unused]] const char *
+strerrorResult(int r, const char *buf)
+{
+    return r == 0 ? buf : "Unknown error";
+}
+
+std::string
+ioMessage(const std::string &path, const std::string &sysCall,
+          int errnoValue, const std::string &detail)
+{
+    std::string msg = strCat("I/O error: ", sysCall, " '", path, "': ",
+                             errnoText(errnoValue));
+    if (!detail.empty())
+        msg += strCat(" (", detail, ")");
+    return msg;
+}
+
+const char *
+kindName(CorruptionError::Kind kind)
+{
+    switch (kind) {
+      case CorruptionError::Kind::ShortRead:
+        return "short read";
+      case CorruptionError::Kind::ChecksumMismatch:
+        return "checksum mismatch";
+      case CorruptionError::Kind::BadHeader:
+        return "bad header";
+    }
+    return "corruption";
+}
+
+std::string
+corruptionMessage(const std::string &path, CorruptionError::Kind kind,
+                  const std::string &detail, uint64_t expected,
+                  uint64_t actual)
+{
+    std::string msg =
+        strCat("corruption (", kindName(kind), ") in '", path, "'");
+    if (!detail.empty())
+        msg += strCat(": ", detail);
+    if (kind == CorruptionError::Kind::ChecksumMismatch
+        && (expected != 0 || actual != 0))
+        msg += strCat(" [expected checksum ", expected, ", got ", actual,
+                      "]");
+    return msg;
+}
+
+std::string
+resourceMessage(const std::string &resource, const std::string &detail,
+                int errnoValue)
+{
+    std::string msg = strCat("resource exhausted (", resource, ")");
+    if (!detail.empty())
+        msg += strCat(": ", detail);
+    if (errnoValue != 0)
+        msg += strCat(" [", errnoText(errnoValue), "]");
+    return msg;
+}
+
+} // namespace
+
+std::string
+errnoText(int errnoValue)
+{
+    if (errnoValue == 0)
+        return "Success";
+    char buf[256] = {0};
+    return strerrorResult(strerror_r(errnoValue, buf, sizeof(buf)), buf);
+}
+
+IoError::IoError(std::string path, std::string sysCall, int errnoValue,
+                 const std::string &detail)
+    : FatalError(ioMessage(path, sysCall, errnoValue, detail)),
+      path_(std::move(path)), sysCall_(std::move(sysCall)),
+      errno_(errnoValue)
+{}
+
+bool
+IoError::transient() const
+{
+    switch (errno_) {
+      case EINTR:
+      case EAGAIN:
+#if defined(EWOULDBLOCK) && EWOULDBLOCK != EAGAIN
+      case EWOULDBLOCK:
+#endif
+      case EIO:
+      case EBUSY:
+      case ETIMEDOUT:
+        return true;
+      default:
+        return false;
+    }
+}
+
+CorruptionError::CorruptionError(std::string path, Kind kind,
+                                 const std::string &detail,
+                                 uint64_t expectedChecksum,
+                                 uint64_t actualChecksum)
+    : FatalError(corruptionMessage(path, kind, detail, expectedChecksum,
+                                   actualChecksum)),
+      path_(std::move(path)), kind_(kind), expected_(expectedChecksum),
+      actual_(actualChecksum)
+{}
+
+ResourceError::ResourceError(std::string resource, const std::string &detail,
+                             int errnoValue)
+    : FatalError(resourceMessage(resource, detail, errnoValue)),
+      resource_(std::move(resource)), errno_(errnoValue)
+{}
 
 void
 fatal(const std::string &msg)

@@ -5,9 +5,28 @@
  * Follows the gem5 fatal/panic split: user-correctable errors (bad
  * configuration, invalid arguments) raise mm::FatalError via mm::fatal(),
  * while internal invariant violations abort the process via MM_ASSERT.
+ *
+ * Recoverable runtime failures carry types, not just text, so callers
+ * can choose a recovery strategy instead of dying:
+ *
+ *   - IoError: an OS-level I/O operation failed. Carries the path, the
+ *     syscall and the errno, and classifies itself as transient()
+ *     (worth retrying with backoff — see common/retry.hpp) or not.
+ *   - CorruptionError: verified on-disk state failed its integrity
+ *     check. Carries the path, a Kind that distinguishes a short read
+ *     (truncation / partial write) from a checksum mismatch (bit flip /
+ *     torn write) from a malformed header, and the expected/actual
+ *     checksum when known — the triage inputs shard quarantine needs.
+ *   - ResourceError: a resource budget is exhausted (ENOSPC, a cache
+ *     budget). Never transient; callers degrade or abort deliberately.
+ *
+ * All three derive from FatalError, so code that only knows "something
+ * user-visible went wrong" keeps working, while the storage and
+ * orchestration layers catch the precise types they can heal.
  */
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
@@ -18,6 +37,76 @@ class FatalError : public std::runtime_error
 {
   public:
     using std::runtime_error::runtime_error;
+};
+
+/** The strerror_r text of @p errnoValue ("Success" for 0). */
+std::string errnoText(int errnoValue);
+
+/** A failed OS-level I/O operation: path + syscall + errno. */
+class IoError : public FatalError
+{
+  public:
+    IoError(std::string path, std::string sysCall, int errnoValue,
+            const std::string &detail = "");
+
+    const std::string &path() const { return path_; }
+    const std::string &sysCall() const { return sysCall_; }
+    int errnoValue() const { return errno_; }
+
+    /**
+     * True when retrying the operation can plausibly succeed (EINTR,
+     * EAGAIN, EIO, EBUSY, ETIMEDOUT — the classic flaky-media and
+     * contention set). Missing files (ENOENT), permission problems and
+     * disk exhaustion are not transient.
+     */
+    bool transient() const;
+
+  private:
+    std::string path_;
+    std::string sysCall_;
+    int errno_;
+};
+
+/** Verified on-disk state failed its integrity check. */
+class CorruptionError : public FatalError
+{
+  public:
+    enum class Kind
+    {
+        ShortRead,        ///< file shorter than its declared contents
+        ChecksumMismatch, ///< body present but its checksum disagrees
+        BadHeader,        ///< magic/version/header fields malformed
+    };
+
+    CorruptionError(std::string path, Kind kind, const std::string &detail,
+                    uint64_t expectedChecksum = 0,
+                    uint64_t actualChecksum = 0);
+
+    const std::string &path() const { return path_; }
+    Kind kind() const { return kind_; }
+    uint64_t expectedChecksum() const { return expected_; }
+    uint64_t actualChecksum() const { return actual_; }
+
+  private:
+    std::string path_;
+    Kind kind_;
+    uint64_t expected_;
+    uint64_t actual_;
+};
+
+/** A resource budget is exhausted (ENOSPC, cache budget, ...). */
+class ResourceError : public FatalError
+{
+  public:
+    ResourceError(std::string resource, const std::string &detail,
+                  int errnoValue = 0);
+
+    const std::string &resource() const { return resource_; }
+    int errnoValue() const { return errno_; }
+
+  private:
+    std::string resource_;
+    int errno_;
 };
 
 /** Throw a FatalError with the given message. */

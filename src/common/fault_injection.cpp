@@ -1,0 +1,269 @@
+#include "common/fault_injection.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <mutex>
+
+#include "common/env.hpp"
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace mm {
+
+namespace {
+
+/** "key=value" of one clause body; FatalError on malformed text. */
+std::pair<std::string, std::string>
+splitKeyValue(const std::string &body, const std::string &clause)
+{
+    const size_t eq = body.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= body.size())
+        fatal("MM_FAULTS clause '" + clause
+              + "': expected <kind>:<key>=<value>");
+    return {body.substr(0, eq), body.substr(eq + 1)};
+}
+
+double
+parseProbability(const std::string &text, const std::string &clause)
+{
+    size_t used = 0;
+    double p = 0.0;
+    try {
+        p = std::stod(text, &used);
+    } catch (const std::exception &) {
+        used = 0;
+    }
+    if (used != text.size() || !(p >= 0.0) || !(p <= 1.0))
+        fatal("MM_FAULTS clause '" + clause + "': probability '" + text
+              + "' is not in [0, 1]");
+    return p;
+}
+
+} // namespace
+
+uint64_t
+parseByteSize(const std::string &text, const std::string &context)
+{
+    size_t used = 0;
+    unsigned long long value = 0;
+    try {
+        value = std::stoull(text, &used);
+    } catch (const std::exception &) {
+        used = 0;
+    }
+    if (used == 0)
+        fatal(context + ": byte size '" + text + "' is not a number");
+    std::string suffix = text.substr(used);
+    std::transform(suffix.begin(), suffix.end(), suffix.begin(),
+                   [](unsigned char c) { return char(std::toupper(c)); });
+    uint64_t mult = 1;
+    if (suffix.empty() || suffix == "B")
+        mult = 1;
+    else if (suffix == "KB" || suffix == "K")
+        mult = uint64_t(1) << 10;
+    else if (suffix == "MB" || suffix == "M")
+        mult = uint64_t(1) << 20;
+    else if (suffix == "GB" || suffix == "G")
+        mult = uint64_t(1) << 30;
+    else
+        fatal(context + ": unknown size suffix '" + suffix + "' in '"
+              + text + "'");
+    if (value != 0 && uint64_t(value) > FaultPlan::kNoLimit / mult)
+        fatal(context + ": byte size '" + text + "' overflows");
+    return uint64_t(value) * mult;
+}
+
+FaultPlan
+parseFaultPlan(const std::string &spec, uint64_t seed)
+{
+    FaultPlan plan;
+    plan.seed = seed;
+    for (const std::string &clause : split(spec, ',')) {
+        if (clause.empty())
+            continue;
+        const size_t colon = clause.find(':');
+        if (colon == std::string::npos)
+            fatal("MM_FAULTS clause '" + clause
+                  + "': expected <kind>:<key>=<value>");
+        const std::string kind = clause.substr(0, colon);
+        auto [key, value] = splitKeyValue(clause.substr(colon + 1), clause);
+        if (kind == "write" && key == "p") {
+            plan.writeP = parseProbability(value, clause);
+        } else if (kind == "read" && key == "p") {
+            plan.readP = parseProbability(value, clause);
+        } else if (kind == "enospc" && key == "after") {
+            plan.enospcAfterBytes =
+                parseByteSize(value, "MM_FAULTS clause '" + clause + "'");
+        } else if (kind == "flip" && key == "shard") {
+            size_t used = 0;
+            unsigned long long idx = 0;
+            try {
+                idx = std::stoull(value, &used);
+            } catch (const std::exception &) {
+                used = 0;
+            }
+            if (used != value.size())
+                fatal("MM_FAULTS clause '" + clause + "': shard index '"
+                      + value + "' is not an integer");
+            plan.flipShards.push_back(size_t(idx));
+        } else {
+            fatal("MM_FAULTS clause '" + clause + "': unknown fault '"
+                  + kind + ":" + key
+                  + "' (known: write:p, read:p, enospc:after, flip:shard)");
+        }
+    }
+    // One flip per listed shard; duplicates would make healing loop.
+    std::sort(plan.flipShards.begin(), plan.flipShards.end());
+    plan.flipShards.erase(
+        std::unique(plan.flipShards.begin(), plan.flipShards.end()),
+        plan.flipShards.end());
+    return plan;
+}
+
+std::optional<size_t>
+shardIndexOfPath(const std::string &path)
+{
+    // Match the tail "shard-NNNNNN.mms" (any NNNNNN width >= 1).
+    const size_t slash = path.find_last_of('/');
+    const std::string name =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+    const std::string prefix = "shard-";
+    const std::string suffix = ".mms";
+    if (name.size() <= prefix.size() + suffix.size()
+        || name.compare(0, prefix.size(), prefix) != 0
+        || name.compare(name.size() - suffix.size(), suffix.size(), suffix)
+               != 0)
+        return std::nullopt;
+    const std::string digits = name.substr(
+        prefix.size(), name.size() - prefix.size() - suffix.size());
+    size_t used = 0;
+    unsigned long long idx = 0;
+    try {
+        idx = std::stoull(digits, &used);
+    } catch (const std::exception &) {
+        return std::nullopt;
+    }
+    if (used != digits.size())
+        return std::nullopt;
+    return size_t(idx);
+}
+
+FaultInjector &
+FaultInjector::instance()
+{
+    static FaultInjector injector;
+    return injector;
+}
+
+void
+FaultInjector::ensureEnvInit()
+{
+    static std::once_flag once;
+    std::call_once(once, [] {
+        const std::string spec = envStr("MM_FAULTS", "");
+        if (spec.empty())
+            return;
+        instance().configure(
+            parseFaultPlan(spec, envSize("MM_FAULT_SEED", 1)));
+    });
+}
+
+void
+FaultInjector::configure(FaultPlan newPlan)
+{
+    std::lock_guard<std::mutex> lock(m);
+    plan = std::move(newPlan);
+    rng = Rng(plan.seed);
+    committedBytes = 0;
+    flipsPending = plan.flipShards;
+    writeFaults = readFaults = flips = 0;
+    armedFlag.store(!plan.empty(), std::memory_order_relaxed);
+}
+
+void
+FaultInjector::configureFromEnv()
+{
+    const std::string spec = envStr("MM_FAULTS", "");
+    configure(spec.empty()
+                  ? FaultPlan{}
+                  : parseFaultPlan(spec, envSize("MM_FAULT_SEED", 1)));
+}
+
+void
+FaultInjector::disarm()
+{
+    configure(FaultPlan{});
+}
+
+int
+FaultInjector::onWrite(const std::string &path, uint64_t bytes)
+{
+    (void)path;
+    std::lock_guard<std::mutex> lock(m);
+    if (plan.empty())
+        return 0;
+    // The byte budget models a filling disk: once crossed, every
+    // commit sees ENOSPC until the plan is reset — sticky, like the
+    // real condition.
+    if (plan.enospcAfterBytes != FaultPlan::kNoLimit) {
+        if (committedBytes + bytes > plan.enospcAfterBytes)
+            return ENOSPC;
+        committedBytes += bytes;
+    }
+    if (plan.writeP > 0.0 && rng.bernoulli(plan.writeP)) {
+        ++writeFaults;
+        return EIO;
+    }
+    return 0;
+}
+
+int
+FaultInjector::onRead(const std::string &path)
+{
+    (void)path;
+    std::lock_guard<std::mutex> lock(m);
+    if (plan.readP > 0.0 && rng.bernoulli(plan.readP)) {
+        ++readFaults;
+        return EIO;
+    }
+    return 0;
+}
+
+bool
+FaultInjector::shouldFlipCommittedByte(const std::string &path)
+{
+    const std::optional<size_t> idx = shardIndexOfPath(path);
+    if (!idx.has_value())
+        return false;
+    std::lock_guard<std::mutex> lock(m);
+    auto it = std::find(flipsPending.begin(), flipsPending.end(), *idx);
+    if (it == flipsPending.end())
+        return false;
+    flipsPending.erase(it);
+    ++flips;
+    return true;
+}
+
+uint64_t
+FaultInjector::injectedWriteFaults() const
+{
+    std::lock_guard<std::mutex> lock(m);
+    return writeFaults;
+}
+
+uint64_t
+FaultInjector::injectedReadFaults() const
+{
+    std::lock_guard<std::mutex> lock(m);
+    return readFaults;
+}
+
+uint64_t
+FaultInjector::injectedFlips() const
+{
+    std::lock_guard<std::mutex> lock(m);
+    return flips;
+}
+
+} // namespace mm

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Deterministic fault injection for the storage stack.
+ *
+ * A serving system's fault handling is only trustworthy if faults can
+ * be produced on demand, deterministically, in CI. This module turns a
+ * seeded fault plan into injection hooks threaded through the durable
+ * I/O paths (commitFileAtomic, MappedFile/shard reads, the surrogate
+ * cache), so the retry, quarantine and degradation machinery is driven
+ * by the exact same code paths real faults take.
+ *
+ * Plan grammar (MM_FAULTS, comma-separated clauses):
+ *
+ *   write:p=0.01       each atomic file commit fails (transient EIO)
+ *                      with probability p; retries redraw.
+ *   read:p=0.05        each file open for reading fails (transient EIO)
+ *                      with probability p; retries redraw.
+ *   enospc:after=200MB once this many bytes have been committed, every
+ *                      further commit fails with ENOSPC (sticky — the
+ *                      "disk" stays full). Sizes take B/KB/MB/GB
+ *                      suffixes (powers of 1024; bare numbers = bytes).
+ *   flip:shard=3       one byte of shard-000003's committed file is
+ *                      flipped (once), so its checksum verification
+ *                      fails at read time — the quarantine-and-
+ *                      regenerate trigger.
+ *
+ * Determinism: all probabilistic draws come from one seeded Rng
+ * (MM_FAULT_SEED, default 1). With a serial I/O schedule the faulted
+ * operation sequence is exactly reproducible; under concurrency the
+ * draw order follows the thread interleaving, but the recovery
+ * machinery guarantees byte-identical *outcomes* either way — that is
+ * what the chaos suite asserts.
+ *
+ * Cost when disabled: every hook starts with a single relaxed atomic
+ * load that is false unless a plan was armed, so un-faulted builds and
+ * runs pay one predictable branch per I/O operation and nothing on
+ * compute paths.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace mm {
+
+/** A parsed fault plan (empty = inject nothing). */
+struct FaultPlan
+{
+    /** Probability each file commit fails with a transient EIO. */
+    double writeP = 0.0;
+    /** Probability each file open-for-read fails with a transient EIO. */
+    double readP = 0.0;
+    /** Committed-byte budget after which commits fail with ENOSPC. */
+    uint64_t enospcAfterBytes = kNoLimit;
+    /** Shard indices whose committed file gets one byte flipped. */
+    std::vector<size_t> flipShards;
+    /** Seed of the fault RNG. */
+    uint64_t seed = 1;
+
+    static constexpr uint64_t kNoLimit = ~uint64_t(0);
+
+    bool
+    empty() const
+    {
+        return writeP <= 0.0 && readP <= 0.0
+               && enospcAfterBytes == kNoLimit && flipShards.empty();
+    }
+};
+
+/**
+ * Parse an MM_FAULTS-style spec ("write:p=0.01,enospc:after=200MB").
+ * Raises FatalError naming the offending clause on malformed input.
+ */
+FaultPlan parseFaultPlan(const std::string &spec, uint64_t seed = 1);
+
+/**
+ * Parse a byte size with optional B/KB/MB/GB suffix ("200MB", "4096").
+ * Raises FatalError (citing @p context) on malformed input.
+ */
+uint64_t parseByteSize(const std::string &text, const std::string &context);
+
+/**
+ * Process-wide fault injector the I/O hooks consult. Disarmed unless a
+ * plan was installed via configure() or the MM_FAULTS env var (read
+ * once, on the first hook evaluation).
+ */
+class FaultInjector
+{
+  public:
+    static FaultInjector &instance();
+
+    /**
+     * True when a non-empty plan is armed. The first call initializes
+     * from MM_FAULTS/MM_FAULT_SEED; afterwards it is one relaxed load.
+     */
+    static bool
+    armed()
+    {
+        ensureEnvInit();
+        return armedFlag.load(std::memory_order_relaxed);
+    }
+
+    /** Install @p plan (tests); an empty plan disarms. */
+    void configure(FaultPlan plan);
+
+    /** Re-read MM_FAULTS/MM_FAULT_SEED (tests). */
+    void configureFromEnv();
+
+    /** Drop any armed plan and reset counters/flip state. */
+    void disarm();
+
+    /**
+     * Write hook: called once per atomic file commit with the target
+     * path and the committed byte count. Returns the errno to inject
+     * (EIO for a transient write fault, ENOSPC past the byte budget)
+     * or 0 to let the commit proceed.
+     */
+    int onWrite(const std::string &path, uint64_t bytes);
+
+    /**
+     * Read hook: called once per file open on the verified read paths.
+     * Returns the errno to inject (EIO) or 0.
+     */
+    int onRead(const std::string &path);
+
+    /**
+     * Flip hook: true when @p path is a shard file named by a
+     * flip:shard clause that has not fired yet. The caller flips one
+     * byte of the committed bytes; each listed shard fires once.
+     */
+    bool shouldFlipCommittedByte(const std::string &path);
+
+    /** Total faults injected so far (tests/diagnostics). */
+    uint64_t injectedWriteFaults() const;
+    uint64_t injectedReadFaults() const;
+    uint64_t injectedFlips() const;
+
+  private:
+    FaultInjector() = default;
+    static void ensureEnvInit();
+
+    inline static std::atomic<bool> armedFlag{false};
+
+    mutable std::mutex m;
+    FaultPlan plan;
+    Rng rng{1};
+    uint64_t committedBytes = 0;
+    std::vector<size_t> flipsPending;
+    uint64_t writeFaults = 0;
+    uint64_t readFaults = 0;
+    uint64_t flips = 0;
+};
+
+/**
+ * The shard index encoded in a "shard-NNNNNN.mms" file name, if @p path
+ * names one (used to match flip:shard clauses; exposed for tests).
+ */
+std::optional<size_t> shardIndexOfPath(const std::string &path);
+
+} // namespace mm

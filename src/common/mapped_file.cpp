@@ -13,7 +13,10 @@
 #define MM_HAVE_MMAP 0
 #endif
 
+#include <cerrno>
+
 #include "common/env.hpp"
+#include "common/fault_injection.hpp"
 
 namespace mm {
 
@@ -34,6 +37,13 @@ slurp(const std::string &path, std::string &out)
     out.resize(size_t(size));
     is.read(out.data(), size);
     return bool(is) || size == 0;
+}
+
+void
+setErrno(int *errnoOut, int value)
+{
+    if (errnoOut != nullptr)
+        *errnoOut = value;
 }
 
 } // namespace
@@ -84,8 +94,16 @@ MappedFile::operator=(MappedFile &&other) noexcept
 }
 
 std::optional<MappedFile>
-MappedFile::open(const std::string &path)
+MappedFile::open(const std::string &path, int *errnoOut)
 {
+    setErrno(errnoOut, 0);
+    if (FaultInjector::armed()) {
+        const int injected = FaultInjector::instance().onRead(path);
+        if (injected != 0) {
+            setErrno(errnoOut, injected);
+            return std::nullopt;
+        }
+    }
     MappedFile mf;
 #if MM_HAVE_MMAP
     if (envInt("MM_NO_MMAP", 0) == 0) {
@@ -109,16 +127,21 @@ MappedFile::open(const std::string &path)
                 }
                 // mmap refused (exotic fs): fall through to the copy.
             } else {
+                setErrno(errnoOut, errno != 0 ? errno : ENOTSUP);
                 ::close(fd);
                 return std::nullopt; // not a regular file
             }
         } else {
+            setErrno(errnoOut, errno);
             return std::nullopt; // missing or unreadable
         }
     }
 #endif
-    if (!slurp(path, mf.fallback))
+    errno = 0;
+    if (!slurp(path, mf.fallback)) {
+        setErrno(errnoOut, errno != 0 ? errno : EIO);
         return std::nullopt;
+    }
     mf.data_ = mf.fallback.data();
     mf.size_ = mf.fallback.size();
     mf.mapped = false;

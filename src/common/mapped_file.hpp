@@ -42,9 +42,14 @@ class MappedFile
     /**
      * Open @p path read-only. Returns std::nullopt when the file is
      * missing or unreadable (never throws for I/O errors — callers
-     * treat that exactly like a missing file).
+     * treat that exactly like a missing file). When @p errnoOut is
+     * non-null it receives the errno of the failed syscall (0 on
+     * success), so callers can distinguish a genuinely missing file
+     * (ENOENT) from a flaky medium (EIO) and retry the latter.
+     * Injected read faults (fault_injection.hpp) surface here as EIO.
      */
-    static std::optional<MappedFile> open(const std::string &path);
+    static std::optional<MappedFile> open(const std::string &path,
+                                          int *errnoOut = nullptr);
 
     /** The file's bytes; valid for the lifetime of this object. */
     std::span<const char> bytes() const { return {data_, size_}; }

@@ -1,0 +1,32 @@
+#include "common/retry.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "common/env.hpp"
+
+namespace mm {
+
+RetryPolicy
+RetryPolicy::fromEnv()
+{
+    RetryPolicy policy;
+    const int64_t retries = envInt("MM_IO_RETRIES", policy.retries);
+    policy.retries = retries < 0 ? 0 : int(retries);
+    const int64_t backoff =
+        envInt("MM_IO_BACKOFF_MS", int64_t(policy.backoffMs));
+    policy.backoffMs = backoff < 0 ? 0.0 : double(backoff);
+    if (policy.backoffMs > policy.maxBackoffMs)
+        policy.maxBackoffMs = policy.backoffMs;
+    return policy;
+}
+
+void
+sleepMs(double ms)
+{
+    if (ms <= 0.0)
+        return;
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+} // namespace mm

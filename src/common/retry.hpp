@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Capped-exponential-backoff retry for transient I/O failures.
+ *
+ * Only IoError with transient() == true is retried; everything else
+ * (CorruptionError, ResourceError, non-transient IoError, logic errors)
+ * propagates immediately — retrying a checksum mismatch or a full disk
+ * just wastes the backoff budget.
+ *
+ * Knobs (read once per fromEnv() call):
+ *   MM_IO_RETRIES     extra attempts after the first failure (default 3)
+ *   MM_IO_BACKOFF_MS  initial backoff in ms, doubled per retry and
+ *                     capped at maxBackoffMs (default 1, cap 100)
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace mm {
+
+struct RetryPolicy
+{
+    /** Retries after the initial attempt (0 = try exactly once). */
+    int retries = 3;
+    /** Backoff before the first retry, in milliseconds. */
+    double backoffMs = 1.0;
+    /** Ceiling on the per-retry backoff, in milliseconds. */
+    double maxBackoffMs = 100.0;
+
+    /** Policy from MM_IO_RETRIES / MM_IO_BACKOFF_MS. */
+    static RetryPolicy fromEnv();
+
+    /** A policy that never retries (tests, fail-fast paths). */
+    static RetryPolicy
+    none()
+    {
+        return RetryPolicy{0, 0.0, 0.0};
+    }
+};
+
+/** Sleep for (approximately) @p ms milliseconds. */
+void sleepMs(double ms);
+
+/**
+ * Run @p fn, retrying up to policy.retries times when it throws a
+ * transient IoError, with capped exponential backoff between attempts.
+ * The last failure (or any non-retryable one) propagates to the caller.
+ */
+template <typename Fn>
+auto
+retryTransient(const RetryPolicy &policy, Fn &&fn) -> decltype(fn())
+{
+    double backoff = policy.backoffMs;
+    for (int attempt = 0;; ++attempt) {
+        try {
+            return fn();
+        } catch (const IoError &e) {
+            if (!e.transient() || attempt >= policy.retries)
+                throw;
+        }
+        if (backoff > 0.0)
+            sleepMs(backoff);
+        backoff = backoff * 2.0 > policy.maxBackoffMs ? policy.maxBackoffMs
+                                                      : backoff * 2.0;
+    }
+}
+
+} // namespace mm

@@ -78,8 +78,13 @@ class ThreadPool
  * Error contract: the first exception a task throws is captured, all
  * queued and subsequently submitted tasks are dropped, and the
  * exception is rethrown on the next submit()/throttle()/drain() — so a
- * failed background write cannot be silently lost. The destructor
- * drains quietly (errors already observed or unobservable there).
+ * failed background write cannot be silently lost. The exception
+ * object itself is preserved (exception_ptr), so typed errors
+ * (IoError, CorruptionError, ResourceError — common/error.hpp) from a
+ * background shard commit or prefetch reach the drain point with their
+ * path/errno/checksum payload intact, not flattened to text. The
+ * destructor drains quietly (errors already observed or unobservable
+ * there).
  */
 class SerialWorker
 {

@@ -1,14 +1,19 @@
 #include "core/cache.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cerrno>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <mutex>
 #include <vector>
 
 #include "common/env.hpp"
+#include "common/error.hpp"
 #include "common/mapped_file.hpp"
+#include "common/retry.hpp"
 #include "core/shard_store.hpp"
 
 namespace mm {
@@ -47,6 +52,14 @@ bool
 isEntry(const fs::path &p)
 {
     return p.extension() == kEntrySuffix;
+}
+
+/** Process-wide ENOSPC degradation latch (see SurrogateCache::bypassed). */
+std::atomic<bool> &
+bypassFlag()
+{
+    static std::atomic<bool> flag{false};
+    return flag;
 }
 
 /** All entries under @p root (error-swallowing: racing deletes are fine). */
@@ -133,11 +146,23 @@ SurrogateCache::load(const std::string &fingerprint) const
     return s;
 }
 
+bool
+SurrogateCache::bypassed()
+{
+    return bypassFlag().load(std::memory_order_relaxed);
+}
+
+void
+SurrogateCache::resetBypass()
+{
+    bypassFlag().store(false, std::memory_order_relaxed);
+}
+
 void
 SurrogateCache::store(const std::string &fingerprint,
                       const Surrogate &surrogate) const
 {
-    if (disabled())
+    if (disabled() || bypassed())
         return;
     const std::string path = pathFor(fingerprint);
     std::error_code ec;
@@ -146,11 +171,36 @@ SurrogateCache::store(const std::string &fingerprint,
         return; // best effort: caching failures never break training
 
     // Shared tmp-sibling + atomic-rename protocol: readers see old or
-    // new — never a torn file. Failure is a silent no-op here.
-    bool ok = commitFileAtomic(
-        path, [&](std::ostream &os) { surrogate.save(os); });
-    if (ok)
-        evictOverCap();
+    // new — never a torn file. Transient failures retry with backoff;
+    // a full disk degrades the cache to bypass for the rest of the
+    // process (with one warning) — training must never die for the
+    // sake of a cache write. Everything else stays a silent no-op.
+    try {
+        retryTransient(RetryPolicy::fromEnv(), [&] {
+            CommitFailure failure;
+            if (commitFileAtomic(
+                    path, [&](std::ostream &os) { surrogate.save(os); },
+                    &failure))
+                return;
+            if (failure.errnoValue == ENOSPC)
+                throw ResourceError("disk space",
+                                    "cannot store cache entry '" + path
+                                        + "'",
+                                    failure.errnoValue);
+            throw IoError(path,
+                          failure.sysCall.empty() ? "write"
+                                                  : failure.sysCall,
+                          failure.errnoValue, failure.detail);
+        });
+    } catch (const ResourceError &e) {
+        if (!bypassFlag().exchange(true))
+            std::cerr << "warning: surrogate cache degraded to bypass: "
+                      << e.what() << std::endl;
+        return;
+    } catch (const IoError &) {
+        return;
+    }
+    evictOverCap();
 }
 
 size_t

@@ -80,6 +80,17 @@ class SurrogateCache
     /** True when MM_NO_CACHE=1 disables caching. */
     static bool disabled();
 
+    /**
+     * True once a store ran out of disk space (ENOSPC) and the cache
+     * degraded to bypass for the rest of the process: training still
+     * works, it just stops persisting surrogates. A one-time warning
+     * goes to stderr when the degradation trips.
+     */
+    static bool bypassed();
+
+    /** Re-arm a bypassed cache (tests). */
+    static void resetBypass();
+
   private:
     std::string pathFor(const std::string &fingerprint) const;
     void evictOverCap() const;

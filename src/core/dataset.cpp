@@ -385,6 +385,11 @@ generateDatasetStreamed(const AcceleratorSpec &arch,
 
     Rng rng(cfg.seed);
     DatasetBuilder builder(arch, algo, cfg, rng);
+    // Snapshot the RNG right after builder construction: shard s's
+    // sample seeds are forkSeed() draws [s*shardSize, ...) from this
+    // state, so a corrupt shard can be re-derived later — O(1) memory,
+    // a forkSeed replay per skipped row — without keeping every seed.
+    const Rng rngAfterBuild = rng;
 
     ShardLayout layout;
     layout.rows = cfg.samples;
@@ -458,6 +463,57 @@ generateDatasetStreamed(const AcceleratorSpec &arch,
     if (shardWriter)
         shardWriter->drain();
 
+    // Re-derive and rewrite shard @p s from the post-build RNG
+    // snapshot — the crash-resume labeling, scoped to one shard.
+    // Deterministic, so the regenerated bytes equal the lost ones.
+    auto regenerateShard = [&](size_t s, Matrix &bx, Matrix &by) {
+        Rng replay = rngAfterBuild;
+        const size_t rowBegin = s * cfg.shardSize;
+        for (size_t i = 0; i < rowBegin; ++i)
+            replay.forkSeed();
+        const size_t count = size_t(layout.shardRows(s));
+        std::vector<uint64_t> shardSeeds;
+        shardSeeds.reserve(count);
+        for (size_t i = 0; i < count; ++i)
+            shardSeeds.push_back(replay.forkSeed());
+        bx.ensureShape(count, builder.features);
+        by.ensureShape(count, builder.outputs);
+        DatasetBuilder::LabelScratch scratch;
+        for (size_t start = 0; start < count; start += cfg.labelBlock) {
+            const size_t len = std::min(cfg.labelBlock, count - start);
+            builder.labelBlock(
+                std::span<const uint64_t>(shardSeeds).subspan(start, len),
+                bx, by, start, par, scratch);
+        }
+        writer.writeShard(s, bx, by);
+    };
+
+    // Verified (and self-healing) read-back of shard @p s: transient
+    // I/O faults retry with backoff; provably-bad bytes (short read,
+    // checksum mismatch — e.g. an injected bit flip) are quarantined
+    // and the shard is regenerated in place, capped so persistent
+    // corruption (a dying disk) still surfaces as a typed error.
+    const RetryPolicy readBackPolicy = RetryPolicy::fromEnv();
+    auto readShardHealed = [&](size_t s, Matrix &sx, Matrix &sy) {
+        for (int heals = 0;; ++heals) {
+            try {
+                retryTransient(readBackPolicy, [&] {
+                    ShardReadError err;
+                    if (!readShardFile(cfg.streamDir, s, layout, sx, sy,
+                                       &err))
+                        throwShardReadError(cfg.streamDir, s, err);
+                });
+                return;
+            } catch (const CorruptionError &e) {
+                if (e.kind() == CorruptionError::Kind::BadHeader
+                    || heals >= 2)
+                    throw;
+                quarantineShard(cfg.streamDir, s);
+            }
+            regenerateShard(s, sx, sy);
+        }
+    };
+
     // Single streaming-moments pass over the training rows — bitwise
     // the same normalizers Normalizer::fit computes on the in-RAM
     // split (each column's accumulator sees the same value sequence).
@@ -465,14 +521,13 @@ generateDatasetStreamed(const AcceleratorSpec &arch,
     // training shard's checksum before the store is committed.
     StreamingNormalizerFit xFit(builder.features);
     StreamingNormalizerFit yFit(builder.outputs);
+    size_t lastVerifiedShard = 0;
     {
         Matrix sx, sy;
-        std::string err;
         for (size_t row = 0; row < trainRows;) {
             const size_t s = row / cfg.shardSize;
-            bool ok = readShardFile(cfg.streamDir, s, layout, sx, sy, &err);
-            MM_ASSERT(ok, strCat("cannot read back ",
-                                 shardPath(cfg.streamDir, s), ": ", err));
+            readShardHealed(s, sx, sy);
+            lastVerifiedShard = s;
             const size_t shardBegin = s * cfg.shardSize;
             const size_t last = std::min(trainRows, shardBegin + sx.rows());
             for (; row < last; ++row) {
@@ -480,6 +535,12 @@ generateDatasetStreamed(const AcceleratorSpec &arch,
                 yFit.pushRow(sy.row(row - shardBegin));
             }
         }
+        // The test-split shards past the fit pass get the same verify-
+        // and-heal treatment: the manifest must never commit a store
+        // with a corrupt shard anywhere, train or test.
+        for (size_t s = lastVerifiedShard + 1;
+             s < size_t(layout.shardCount); ++s)
+            readShardHealed(s, sx, sy);
     }
 
     ShardManifest manifest;

@@ -1,6 +1,7 @@
 #include "core/shard_store.hpp"
 
 #include <atomic>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -11,6 +12,7 @@
 
 #include "common/env.hpp"
 #include "common/error.hpp"
+#include "common/fault_injection.hpp"
 #include "common/mapped_file.hpp"
 #include "common/string_util.hpp"
 
@@ -38,18 +40,32 @@ get(std::istream &is, T &v)
 }
 
 /**
- * commitFileAtomic for a checksummed blob; failures raise FatalError —
- * losing dataset shards silently would corrupt the run.
+ * commitFileAtomic for a checksummed blob; transient failures retry
+ * with capped backoff, persistent ones raise a typed error (IoError,
+ * or ResourceError for a full disk) — losing dataset shards silently
+ * would corrupt the run.
  */
 void
 commitBlobFile(const std::string &path, uint32_t magic, uint32_t version,
                const std::string &body)
 {
-    bool ok = commitFileAtomic(path, [&](std::ostream &os) {
-        writeChecksummedBlob(os, magic, version, body);
+    retryTransient(RetryPolicy::fromEnv(), [&] {
+        CommitFailure failure;
+        if (commitFileAtomic(path,
+                             [&](std::ostream &os) {
+                                 writeChecksummedBlob(os, magic, version,
+                                                      body);
+                             },
+                             &failure))
+            return;
+        if (failure.errnoValue == ENOSPC)
+            throw ResourceError("disk space",
+                                "cannot commit '" + path + "'",
+                                failure.errnoValue);
+        throw IoError(path, failure.sysCall.empty() ? "write"
+                                                    : failure.sysCall,
+                      failure.errnoValue, failure.detail);
     });
-    if (!ok)
-        fatal("cannot commit " + path);
 }
 
 /** Serialized fixed-width shard body header. */
@@ -147,8 +163,12 @@ readChecksummedBlob(std::istream &is, uint32_t magic, uint32_t version,
     is.seekg(bodyPos);
     const uint64_t remaining = uint64_t(endPos - bodyPos);
     const uint64_t footerBytes = sizeof(uint64_t) + sizeof(uint32_t);
-    if (remaining < footerBytes || size > remaining - footerBytes)
-        return fail("corrupt or truncated body size");
+    if (remaining < footerBytes)
+        return fail("truncated file (shorter than its footer)");
+    if (size > remaining - footerBytes)
+        return fail(strCat("truncated file (body declares ", size,
+                           " bytes, only ", remaining - footerBytes,
+                           " present)"));
     std::string body(size_t(size), '\0');
     is.read(body.data(), std::streamsize(size));
     if (size_t(is.gcount()) != size)
@@ -168,70 +188,167 @@ readChecksummedBlob(std::istream &is, uint32_t magic, uint32_t version,
 
 std::optional<std::span<const char>>
 readChecksummedBlobView(std::span<const char> file, uint32_t magic,
-                        uint32_t version, std::string *err)
+                        uint32_t version, BlobReadError *err)
 {
-    auto fail =
-        [&](const std::string &why) -> std::optional<std::span<const char>> {
-        if (err)
-            *err = why;
+    auto fail = [&](BlobReadError::Kind kind, const std::string &why)
+        -> std::optional<std::span<const char>> {
+        if (err) {
+            err->kind = kind;
+            err->message = why;
+        }
         return std::nullopt;
     };
+    using Kind = BlobReadError::Kind;
     // Envelope layout: [u32 magic][u32 version][u64 size][body]
     //                  [u64 fnv(body)][u32 ~magic].
     constexpr size_t kHeadBytes = 2 * sizeof(uint32_t) + sizeof(uint64_t);
     constexpr size_t kFootBytes = sizeof(uint64_t) + sizeof(uint32_t);
     if (file.size() < sizeof(uint32_t)
         || peek<uint32_t>(file, 0) != magic)
-        return fail("bad magic (not a recognized file)");
+        return fail(Kind::BadHeader, "bad magic (not a recognized file)");
     if (file.size() < 2 * sizeof(uint32_t))
-        return fail(strCat("unsupported format version 0 (expected ",
-                           version, ")"));
+        return fail(Kind::ShortRead, "truncated file (no format version)");
     if (uint32_t v = peek<uint32_t>(file, sizeof(uint32_t)); v != version)
-        return fail(strCat("unsupported format version ", v, " (expected ",
+        return fail(Kind::BadHeader,
+                    strCat("unsupported format version ", v, " (expected ",
                            version, ")"));
     if (file.size() < kHeadBytes)
-        return fail("truncated file (no body size)");
+        return fail(Kind::ShortRead, "truncated file (no body size)");
     const uint64_t size = peek<uint64_t>(file, 2 * sizeof(uint32_t));
     const uint64_t remaining = file.size() - kHeadBytes;
-    if (remaining < kFootBytes || size > remaining - kFootBytes)
-        return fail("corrupt or truncated body size");
+    if (remaining < kFootBytes)
+        return fail(Kind::ShortRead,
+                    "truncated file (shorter than its footer)");
+    if (size > remaining - kFootBytes)
+        return fail(Kind::ShortRead,
+                    strCat("truncated file (body declares ", size,
+                           " bytes, only ", remaining - kFootBytes,
+                           " present)"));
     const std::span<const char> body = file.subspan(kHeadBytes,
                                                     size_t(size));
     const size_t footAt = kHeadBytes + size_t(size);
     if (file.size() != footAt + kFootBytes)
-        return fail("trailing bytes after footer");
+        return fail(Kind::BadHeader, "trailing bytes after footer");
     if (peek<uint32_t>(file, footAt + sizeof(uint64_t)) != uint32_t(~magic))
-        return fail("bad footer magic");
-    if (peek<uint64_t>(file, footAt) != fnv1a64(body.data(), body.size()))
-        return fail("checksum mismatch (corrupt or torn write)");
+        return fail(Kind::BadHeader, "bad footer magic");
+    const uint64_t expected = peek<uint64_t>(file, footAt);
+    const uint64_t actual = fnv1a64(body.data(), body.size());
+    if (expected != actual) {
+        if (err) {
+            err->expectedChecksum = expected;
+            err->actualChecksum = actual;
+        }
+        return fail(Kind::Checksum,
+                    "checksum mismatch (corrupt or torn write)");
+    }
     return body;
 }
 
+std::optional<std::span<const char>>
+readChecksummedBlobView(std::span<const char> file, uint32_t magic,
+                        uint32_t version, std::string *err)
+{
+    BlobReadError classified;
+    auto body = readChecksummedBlobView(file, magic, version, &classified);
+    if (!body && err)
+        *err = classified.message;
+    return body;
+}
+
+namespace {
+
+void
+setFailure(CommitFailure *failure, const std::string &sysCall,
+           int errnoValue, const std::string &detail)
+{
+    if (failure == nullptr)
+        return;
+    failure->sysCall = sysCall;
+    failure->errnoValue = errnoValue;
+    failure->detail = detail;
+}
+
+/**
+ * Flip one committed byte of @p path, inside the blob body (past the
+ * envelope header, before the footer), so the next verified read sees
+ * a checksum mismatch — the deterministic stand-in for bit rot.
+ */
+void
+flipOneCommittedByte(const std::string &path)
+{
+    std::error_code ec;
+    const uint64_t size = std::filesystem::file_size(path, ec);
+    if (ec)
+        return;
+    constexpr uint64_t kHeadBytes = 2 * sizeof(uint32_t) + sizeof(uint64_t);
+    constexpr uint64_t kFootBytes = sizeof(uint64_t) + sizeof(uint32_t);
+    if (size <= kHeadBytes + kFootBytes)
+        return;
+    const uint64_t offset = kHeadBytes + (size - kHeadBytes - kFootBytes) / 2;
+    std::fstream fs(path, std::ios::binary | std::ios::in | std::ios::out);
+    if (!fs)
+        return;
+    fs.seekg(std::streamoff(offset));
+    char byte = 0;
+    fs.read(&byte, 1);
+    byte = char(byte ^ 0x40);
+    fs.seekp(std::streamoff(offset));
+    fs.write(&byte, 1);
+}
+
+} // namespace
+
 bool
 commitFileAtomic(const std::string &path,
-                 const std::function<void(std::ostream &)> &writeBody)
+                 const std::function<void(std::ostream &)> &writeBody,
+                 CommitFailure *failure)
 {
+    setFailure(failure, "", 0, "");
     // Unique tmp name: concurrent writers must never share one.
     static std::atomic<uint64_t> counter{0};
     std::string tmp = strCat(path, ".tmp.", uint64_t(::getpid()), ".",
                              counter.fetch_add(1));
     std::error_code ec;
+    uint64_t written = 0;
     {
+        errno = 0;
         std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-        if (!os)
+        if (!os) {
+            setFailure(failure, "open", errno != 0 ? errno : EIO,
+                       "cannot create tmp file '" + tmp + "'");
             return false;
+        }
+        errno = 0;
         writeBody(os);
         os.flush();
+        if (const auto pos = os.tellp(); os && pos >= 0)
+            written = uint64_t(pos);
         if (!os) {
+            setFailure(failure, "write", errno != 0 ? errno : EIO,
+                       "short write to tmp file '" + tmp + "'");
             std::filesystem::remove(tmp, ec);
             return false;
         }
     }
+    if (FaultInjector::armed()) {
+        if (int injected = FaultInjector::instance().onWrite(path, written);
+            injected != 0) {
+            setFailure(failure, "write", injected, "injected fault");
+            std::filesystem::remove(tmp, ec);
+            return false;
+        }
+    }
+    errno = 0;
     std::filesystem::rename(tmp, path, ec);
     if (ec) {
+        setFailure(failure, "rename", ec.value(),
+                   "cannot rename tmp file '" + tmp + "' into place");
         std::filesystem::remove(tmp, ec);
         return false;
     }
+    if (FaultInjector::armed()
+        && FaultInjector::instance().shouldFlipCommittedByte(path))
+        flipOneCommittedByte(path);
     return true;
 }
 
@@ -251,37 +368,62 @@ manifestPath(const std::string &dir)
 
 bool
 readShardFile(const std::string &dir, size_t idx, const ShardLayout &expect,
-              Matrix &x, Matrix &y, std::string *err)
+              Matrix &x, Matrix &y, ShardReadError *err)
 {
-    auto fail = [&](const std::string &why) {
-        if (err)
-            *err = why;
+    using Cls = ShardReadError::Cls;
+    auto fail = [&](Cls cls, const std::string &why, int errnoValue = 0) {
+        if (err) {
+            err->cls = cls;
+            err->message = why;
+            err->errnoValue = errnoValue;
+        }
         return false;
     };
+    if (err)
+        *err = ShardReadError{};
     // Warm-load: the checksum pass runs over the mapped bytes and the
     // payload memcpys straight into the matrices — the stream path's
     // buffer and body-string copies are gone.
-    auto mf = MappedFile::open(shardPath(dir, idx));
-    if (!mf)
-        return fail("missing file");
+    int openErrno = 0;
+    auto mf = MappedFile::open(shardPath(dir, idx), &openErrno);
+    if (!mf) {
+        if (openErrno == ENOENT)
+            return fail(Cls::Missing, "missing file", openErrno);
+        return fail(Cls::IoFault,
+                    strCat("cannot open: ", errnoText(openErrno)),
+                    openErrno);
+    }
+    BlobReadError blobErr;
     auto body = readChecksummedBlobView(mf->bytes(), kShardMagic,
-                                        kStoreVersion, err);
-    if (!body)
-        return false;
+                                        kStoreVersion, &blobErr);
+    if (!body) {
+        Cls cls = Cls::Header;
+        if (blobErr.kind == BlobReadError::Kind::ShortRead)
+            cls = Cls::ShortRead;
+        else if (blobErr.kind == BlobReadError::Kind::Checksum)
+            cls = Cls::Corrupt;
+        if (err) {
+            err->expectedChecksum = blobErr.expectedChecksum;
+            err->actualChecksum = blobErr.actualChecksum;
+        }
+        return fail(cls, blobErr.message);
+    }
 
     if (body->size() < sizeof(ShardHeader))
-        return fail("truncated shard header");
+        return fail(Cls::ShortRead, "truncated shard header");
     ShardHeader h{};
     std::memcpy(&h, body->data(), sizeof(h));
     if (h.shardIndex != idx)
-        return fail(strCat("shard index mismatch (header says ",
+        return fail(Cls::Mismatch,
+                    strCat("shard index mismatch (header says ",
                            h.shardIndex, ")"));
     if (h.features != expect.features || h.outputs != expect.outputs)
-        return fail("shard arity mismatch");
+        return fail(Cls::Mismatch, "shard arity mismatch");
     if (h.configHash != expect.configHash)
-        return fail("shard belongs to a different dataset config");
+        return fail(Cls::Mismatch,
+                    "shard belongs to a different dataset config");
     if (h.rowCount != expect.shardRows(idx))
-        return fail("shard row count mismatch");
+        return fail(Cls::Mismatch, "shard row count mismatch");
 
     const size_t rows = size_t(h.rowCount);
     const size_t xFloats = rows * size_t(h.features);
@@ -289,7 +431,7 @@ readShardFile(const std::string &dir, size_t idx, const ShardLayout &expect,
     const size_t expectBytes =
         sizeof(ShardHeader) + (xFloats + yFloats) * sizeof(float);
     if (body->size() != expectBytes)
-        return fail("shard payload size mismatch");
+        return fail(Cls::Mismatch, "shard payload size mismatch");
 
     x.ensureShape(rows, size_t(h.features));
     y.ensureShape(rows, size_t(h.outputs));
@@ -300,6 +442,42 @@ readShardFile(const std::string &dir, size_t idx, const ShardLayout &expect,
                     + xFloats * sizeof(float),
                 yFloats * sizeof(float));
     return true;
+}
+
+void
+throwShardReadError(const std::string &dir, size_t idx,
+                    const ShardReadError &err)
+{
+    const std::string path = shardPath(dir, idx);
+    switch (err.cls) {
+      case ShardReadError::Cls::Missing:
+      case ShardReadError::Cls::IoFault:
+        throw IoError(path, "open",
+                      err.errnoValue != 0 ? err.errnoValue : EIO,
+                      err.message);
+      case ShardReadError::Cls::ShortRead:
+        throw CorruptionError(path, CorruptionError::Kind::ShortRead,
+                              err.message);
+      case ShardReadError::Cls::Corrupt:
+        throw CorruptionError(path, CorruptionError::Kind::ChecksumMismatch,
+                              err.message, err.expectedChecksum,
+                              err.actualChecksum);
+      case ShardReadError::Cls::Header:
+        throw CorruptionError(path, CorruptionError::Kind::BadHeader,
+                              err.message);
+      default:
+        throw FatalError(strCat("cannot read ", path, ": ", err.message));
+    }
+}
+
+std::string
+quarantineShard(const std::string &dir, size_t idx)
+{
+    const std::string path = shardPath(dir, idx);
+    const std::string target = path + ".quarantine";
+    std::error_code ec;
+    std::filesystem::rename(path, target, ec);
+    return ec ? std::string() : target;
 }
 
 std::optional<uint64_t>
@@ -341,7 +519,8 @@ ShardStoreWriter::ShardStoreWriter(std::string dir, ShardLayout layout)
     std::error_code ec;
     std::filesystem::create_directories(root, ec);
     if (ec)
-        fatal("cannot create stream directory " + root);
+        throw IoError(root, "mkdir", ec.value(),
+                      "cannot create stream directory");
 }
 
 bool
@@ -434,13 +613,22 @@ ShardedDatasetReader::ShardedDatasetReader(std::string dir,
     : root(std::move(dir))
 {
     auto m = tryReadManifest(root);
-    MM_ASSERT(m.has_value(),
-              strCat("no valid shard-store manifest in '", root,
-                     "' (partial or corrupt dataset run)"));
+    if (!m.has_value()) {
+        const std::string path = manifestPath(root);
+        std::error_code ec;
+        if (!std::filesystem::exists(path, ec))
+            throw IoError(path, "open", ENOENT,
+                          "no shard-store manifest (partial or foreign "
+                          "dataset run)");
+        throw CorruptionError(
+            path, CorruptionError::Kind::BadHeader,
+            "invalid shard-store manifest (partial or corrupt dataset run)");
+    }
     manifest = std::move(*m);
     for (size_t s = 0; s < manifest.layout.shardCount; ++s) {
-        MM_ASSERT(std::filesystem::exists(shardPath(root, s)),
-                  strCat("missing shard file ", shardPath(root, s)));
+        if (!std::filesystem::exists(shardPath(root, s)))
+            throw IoError(shardPath(root, s), "open", ENOENT,
+                          "missing shard file");
     }
     if (cacheShards == 0)
         cacheShards = envSize("MM_SHARD_CACHE", 8);
@@ -468,9 +656,31 @@ void
 ShardedDatasetReader::readShard(size_t idx, Matrix &x, Matrix &y) const
 {
     MM_ASSERT(idx < manifest.layout.shardCount, "shard index out of range");
-    std::string err;
-    bool ok = readShardFile(root, idx, manifest.layout, x, y, &err);
-    MM_ASSERT(ok, strCat("cannot read ", shardPath(root, idx), ": ", err));
+    auto attemptRead = [&] {
+        ShardReadError err;
+        if (!readShardFile(root, idx, manifest.layout, x, y, &err))
+            throwShardReadError(root, idx, err);
+    };
+    try {
+        retryTransient(retryPolicy, attemptRead);
+        return;
+    } catch (const CorruptionError &e) {
+        // ShortRead/ChecksumMismatch prove the bytes are bad: move them
+        // aside so even a crash right here resumes cleanly. A BadHeader
+        // may be a foreign file — never destroy it.
+        if (e.kind() == CorruptionError::Kind::BadHeader)
+            throw;
+        quarantineShard(root, idx);
+        quarantined.fetch_add(1);
+        if (!healShard)
+            throw;
+    }
+    // Heal: the callback re-labels just this shard through the dataset
+    // crash-resume machinery, then the verified read runs again. A
+    // still-bad result after healing propagates — no retry loop against
+    // persistent corruption.
+    healShard(idx);
+    retryTransient(retryPolicy, attemptRead);
 }
 
 void

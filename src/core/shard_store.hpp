@@ -57,6 +57,7 @@
 #include <string>
 #include <vector>
 
+#include "common/retry.hpp"
 #include "common/thread_pool.hpp"
 #include "core/normalizer.hpp"
 #include "nn/trainer.hpp"
@@ -98,6 +99,29 @@ std::optional<std::string> readChecksummedBlob(std::istream &is,
                                                bool expectEof = true);
 
 /**
+ * Classified failure of a checksummed-blob read — the triage input
+ * quarantine decisions need. A ShortRead (file shorter than its
+ * declared contents: truncation or a lost final write) and a Checksum
+ * failure (bytes all present but disagreeing: bit flip or torn write)
+ * both prove the content is bad; a BadHeader may simply be a foreign
+ * or future-version file and must not be destroyed.
+ */
+struct BlobReadError
+{
+    enum class Kind
+    {
+        None,
+        BadHeader, ///< magic/version/footer malformed or trailing bytes
+        ShortRead, ///< file shorter than its declared contents
+        Checksum,  ///< body present but its checksum disagrees
+    };
+    Kind kind = Kind::None;
+    std::string message;
+    uint64_t expectedChecksum = 0; ///< set for Kind::Checksum
+    uint64_t actualChecksum = 0;   ///< set for Kind::Checksum
+};
+
+/**
  * Zero-copy variant over an in-memory file image (e.g. a MappedFile):
  * verifies the same envelope with the same diagnostics and returns a
  * view of the body *inside* @p file — nothing is copied, so the
@@ -107,18 +131,35 @@ std::optional<std::string> readChecksummedBlob(std::istream &is,
  */
 std::optional<std::span<const char>>
 readChecksummedBlobView(std::span<const char> file, uint32_t magic,
+                        uint32_t version, BlobReadError *err);
+
+/** Convenience overload keeping the old message-only contract. */
+std::optional<std::span<const char>>
+readChecksummedBlobView(std::span<const char> file, uint32_t magic,
                         uint32_t version, std::string *err);
+
+/** Why a commitFileAtomic call failed (valid when it returned false). */
+struct CommitFailure
+{
+    std::string sysCall; ///< "open", "write", "rename"
+    int errnoValue = 0;
+    std::string detail;
+};
 
 /**
  * The shared commit protocol for every durable file in this codebase:
  * stream @p writeBody into a unique ".tmp" sibling of @p path, then
  * atomically rename into place, so concurrent writers never share a
  * tmp file and readers never observe a torn write. Returns false
- * (after removing the tmp) on any failure — callers choose whether
- * that is fatal (dataset shards) or best-effort (the surrogate cache).
+ * (after removing the tmp) on any failure, with the failed syscall and
+ * errno in @p failure when provided — callers choose whether that is
+ * fatal (dataset shards) or best-effort (the surrogate cache).
+ * Injected write faults (fault_injection.hpp) surface here exactly
+ * like real ones.
  */
 bool commitFileAtomic(const std::string &path,
-                      const std::function<void(std::ostream &)> &writeBody);
+                      const std::function<void(std::ostream &)> &writeBody,
+                      CommitFailure *failure = nullptr);
 
 // ---------------------------------------------------------------------------
 // Shard store
@@ -154,14 +195,63 @@ std::string shardPath(const std::string &dir, size_t idx);
 std::string manifestPath(const std::string &dir);
 
 /**
+ * Classified failure of a shard read; drives retry (IoFault is worth
+ * another attempt), quarantine (ShortRead/Corrupt prove the bytes are
+ * bad) and fail-fast (Header/Mismatch: not this store's data).
+ */
+struct ShardReadError
+{
+    enum class Cls
+    {
+        None,
+        Missing,   ///< file does not exist (ENOENT)
+        IoFault,   ///< OS-level read failure (EIO, EACCES, ...)
+        ShortRead, ///< file shorter than its declared contents
+        Corrupt,   ///< checksum mismatch: bit flip or torn write
+        Header,    ///< not a shard file / wrong format version
+        Mismatch,  ///< valid shard, wrong identity (index/arity/config)
+    };
+    Cls cls = Cls::None;
+    std::string message;
+    int errnoValue = 0;            ///< set for Missing/IoFault
+    uint64_t expectedChecksum = 0; ///< set for Corrupt
+    uint64_t actualChecksum = 0;   ///< set for Corrupt
+
+    /** True when the shard's content is provably bad (quarantinable). */
+    bool
+    contentBad() const
+    {
+        return cls == Cls::ShortRead || cls == Cls::Corrupt;
+    }
+};
+
+/**
  * Verified read of one shard file into @p x / @p y. Returns false with
- * a reason in @p err when the file is missing, truncated, corrupt, a
- * different format version, or disagrees with @p expect (arity, index,
- * config hash).
+ * a classified reason in @p err when the file is missing, unreadable,
+ * truncated, corrupt, a different format version, or disagrees with
+ * @p expect (arity, index, config hash).
  */
 bool readShardFile(const std::string &dir, size_t idx,
                    const ShardLayout &expect, Matrix &x, Matrix &y,
-                   std::string *err);
+                   ShardReadError *err);
+
+/**
+ * Throw the typed exception matching @p err for shard @p idx of @p dir:
+ * IoError for Missing/IoFault, CorruptionError for ShortRead/Corrupt/
+ * Header, FatalError for Mismatch.
+ */
+[[noreturn]] void throwShardReadError(const std::string &dir, size_t idx,
+                                      const ShardReadError &err);
+
+/**
+ * Move shard @p idx of @p dir aside to "<shard>.quarantine" (replacing
+ * any previous quarantine of the same shard), so the crash-resume
+ * machinery sees a missing shard and regenerates it while the bad
+ * bytes stay available for offline forensics. Returns the quarantine
+ * path, or empty when the rename failed (e.g. the file is already
+ * gone).
+ */
+std::string quarantineShard(const std::string &dir, size_t idx);
 
 /**
  * Cheap header peek: the config hash shard @p idx was generated under,
@@ -269,7 +359,31 @@ class ShardedDatasetReader
     const Normalizer &inputNorm() const { return manifest.inputNorm; }
     const Normalizer &outputNorm() const { return manifest.outputNorm; }
 
-    /** Verified load of shard @p idx (checksum checked every read). */
+    /**
+     * Install a regeneration callback for corrupt shards. When a read
+     * hits a ShortRead/Checksum corruption, the reader quarantines the
+     * bad file (rename to "*.quarantine"), invokes the healer with the
+     * shard index — which is expected to rewrite a valid shard file,
+     * typically by re-labeling just that shard through the dataset
+     * crash-resume machinery — and retries the read. Without a healer
+     * the corruption is still quarantined but then thrown as a typed
+     * CorruptionError, so a process restart resumes cleanly.
+     */
+    void
+    setShardHealer(std::function<void(size_t)> healer)
+    {
+        healShard = std::move(healer);
+    }
+
+    /** Shards quarantined by this reader so far (tests/diagnostics). */
+    uint64_t quarantinedShards() const { return quarantined.load(); }
+
+    /**
+     * Verified load of shard @p idx (checksum checked every read).
+     * Transient I/O faults are retried with capped backoff; corruption
+     * is quarantined (and healed, when a healer is installed); the
+     * remaining failures throw IoError/CorruptionError/FatalError.
+     */
     void readShard(size_t idx, Matrix &x, Matrix &y) const;
 
     /**
@@ -329,6 +443,9 @@ class ShardedDatasetReader
 
     std::string root;
     ShardManifest manifest;
+    RetryPolicy retryPolicy = RetryPolicy::fromEnv();
+    std::function<void(size_t)> healShard;
+    mutable std::atomic<uint64_t> quarantined{0};
     mutable std::vector<CacheWay> ways;
     ShardPtr rowMemo;            ///< xRow/yRow pin (single-threaded)
     size_t rowMemoIdx = size_t(-1);

@@ -219,8 +219,9 @@ Surrogate::tryLoad(std::istream &is)
 std::optional<Surrogate>
 Surrogate::tryLoad(std::span<const char> bytes)
 {
-    auto body = readChecksummedBlobView(bytes, kMagic, kFormatVersion,
-                                        nullptr);
+    auto body = readChecksummedBlobView(
+        bytes, kMagic, kFormatVersion,
+        static_cast<BlobReadError *>(nullptr));
     if (!body)
         return std::nullopt;
     // MemoryIStream reads straight out of the (mapped) image: the only

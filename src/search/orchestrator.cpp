@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/error.hpp"
 #include "common/stats.hpp"
+#include "common/string_util.hpp"
 #include "common/thread_pool.hpp"
 
 namespace mm {
@@ -12,10 +14,15 @@ const SearchResult &
 MultiRunResult::bestRun() const
 {
     MM_ASSERT(!runs.empty(), "bestRun() on an empty result");
-    size_t bestIdx = 0;
-    for (size_t i = 1; i < runs.size(); ++i)
-        if (runs[i].bestNormEdp < runs[bestIdx].bestNormEdp)
+    size_t bestIdx = size_t(-1);
+    for (size_t i = 0; i < runs.size(); ++i) {
+        if (runs[i].failed())
+            continue;
+        if (bestIdx == size_t(-1)
+            || runs[i].bestNormEdp < runs[bestIdx].bestNormEdp)
             bestIdx = i;
+    }
+    MM_ASSERT(bestIdx != size_t(-1), "bestRun() with every repetition failed");
     return runs[bestIdx];
 }
 
@@ -33,18 +40,32 @@ runMany(const SearcherFactory &factory, const SearchBudget &budget,
         // Each repetition owns its searcher and its RNG stream: the
         // fan-out schedule cannot perturb any draw, so a fixed base
         // seed is bitwise reproducible at any thread count.
-        std::unique_ptr<Searcher> searcher = factory();
-        uint64_t seed = opts.seedFor
-                            ? opts.seedFor(int(r))
-                            : repetitionSeed(opts.baseSeed, int(r));
-        Rng rng(seed);
-        SearchContext ctx;
-        ctx.budget = budget;
-        ctx.rng = &rng;
-        ctx.observer = opts.observerFor ? opts.observerFor(int(r)) : nullptr;
-        ctx.stop = opts.stop;
-        ctx.progressEvery = opts.progressEvery;
-        out.runs[r] = searcher->run(ctx);
+        //
+        // Failure isolation: a throwing repetition is captured into its
+        // own result slot — ThreadPool::parallelFor rethrows the first
+        // exception it sees, which would abort every sibling run, so
+        // nothing may escape this lambda.
+        std::unique_ptr<Searcher> searcher;
+        try {
+            searcher = factory();
+            uint64_t seed = opts.seedFor
+                                ? opts.seedFor(int(r))
+                                : repetitionSeed(opts.baseSeed, int(r));
+            Rng rng(seed);
+            SearchContext ctx;
+            ctx.budget = budget;
+            ctx.rng = &rng;
+            ctx.observer =
+                opts.observerFor ? opts.observerFor(int(r)) : nullptr;
+            ctx.stop = opts.stop;
+            ctx.progressEvery = opts.progressEvery;
+            out.runs[r] = searcher->run(ctx);
+        } catch (const std::exception &e) {
+            out.runs[r] = SearchResult{};
+            if (searcher != nullptr)
+                out.runs[r].method = searcher->name();
+            out.runs[r].error = e.what();
+        }
     };
 
     size_t lanes = opts.threads == 0 ? std::thread::hardware_concurrency()
@@ -59,13 +80,24 @@ runMany(const SearcherFactory &factory, const SearchBudget &budget,
         pool.parallelFor(out.runs.size(), oneRun);
     }
 
-    out.method = out.runs.front().method;
+    // Aggregate over the survivors; failed repetitions contribute only
+    // their failedRuns count. A fleet with zero survivors has nothing
+    // to report and raises (with the first captured error).
     std::vector<double> finals;
     for (const SearchResult &r : out.runs) {
+        if (r.failed()) {
+            ++out.failedRuns;
+            continue;
+        }
+        if (out.method.empty())
+            out.method = r.method;
         out.totalWallSec += r.wallSec;
         if (std::isfinite(r.bestNormEdp))
             finals.push_back(r.bestNormEdp);
     }
+    if (out.failedRuns == opts.runs)
+        fatal(strCat("all ", opts.runs, " repetitions failed; first error: ",
+                     out.runs.front().error));
     if (!finals.empty()) {
         auto [lo, hi] = std::minmax_element(finals.begin(), finals.end());
         out.bestNormEdp = *lo;

@@ -58,11 +58,19 @@ struct MultiRunOptions
     std::function<uint64_t(int run)> seedFor;
 };
 
-/** Aggregate of one method's repetitions. */
+/**
+ * Aggregate of one method's repetitions. A repetition that throws is
+ * captured in its SearchResult.error slot instead of unwinding the
+ * fleet; every aggregate below is computed over the surviving runs
+ * only. All repetitions failing raises FatalError from runMany — there
+ * is nothing to aggregate.
+ */
 struct MultiRunResult
 {
     std::string method;
     std::vector<SearchResult> runs;
+    /** Repetitions that failed (runs[i].failed() count). */
+    int failedRuns = 0;
     /** Final best-so-far normalized EDP: best / median / max-min. */
     double bestNormEdp = std::numeric_limits<double>::infinity();
     double medianNormEdp = std::numeric_limits<double>::infinity();
@@ -70,7 +78,7 @@ struct MultiRunResult
     /** Summed real seconds across repetitions. */
     double totalWallSec = 0.0;
 
-    /** The repetition that achieved bestNormEdp. */
+    /** The repetition that achieved bestNormEdp (never a failed one). */
     const SearchResult &bestRun() const;
 };
 

@@ -115,6 +115,16 @@ struct SearchResult
     double wallSec = 0.0;
     /** True when a StopToken ended the run before the budget did. */
     bool cancelled = false;
+    /**
+     * Non-empty when the repetition died with an exception instead of
+     * finishing: the what() of the error, captured by runMany so one
+     * failing run never takes the fleet down. A failed result carries
+     * no best mapping and is skipped by every aggregate.
+     */
+    std::string error;
+
+    /** True when this repetition failed (see error). */
+    bool failed() const { return !error.empty(); }
 
     /** Best-so-far value at step @p s (step-function interpolation). */
     double bestAtStep(int64_t s) const;

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdlib>
 #include <filesystem>
@@ -18,6 +19,7 @@
 
 #include <unistd.h>
 
+#include "common/error.hpp"
 #include "common/mapped_file.hpp"
 #include "common/parallel_context.hpp"
 #include "core/cache.hpp"
@@ -202,12 +204,15 @@ TEST(ShardStore, ManifestSurvivesReopen)
 }
 
 // ---------------------------------------------------------------------------
-// Shard format: corruption rejection (never UB, never garbage)
+// Shard format: corruption rejection (never UB, never garbage).
+// Formerly death tests: corruption now surfaces as typed exceptions
+// (common/error.hpp) so callers can quarantine and heal instead of
+// dying — these assert the exact type, its triage payload, and the
+// quarantine side effect.
 // ---------------------------------------------------------------------------
 
-TEST(ShardStoreDeathTest, RejectsTruncatedShard)
+TEST(ShardStoreTypedErrors, TruncatedShardThrowsShortRead)
 {
-    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
     TempDir dir("truncated");
     Matrix xAll, yAll;
     writeRandomStore(dir.path, 40, 5, 3, 16, xAll, yAll);
@@ -217,12 +222,23 @@ TEST(ShardStoreDeathTest, RejectsTruncatedShard)
 
     ShardedDatasetReader reader(dir.path, 2);
     Matrix x, y;
-    EXPECT_DEATH(reader.readShard(1, x, y), "truncated");
+    try {
+        reader.readShard(1, x, y);
+        FAIL() << "truncated shard read did not throw";
+    } catch (const CorruptionError &e) {
+        EXPECT_EQ(e.kind(), CorruptionError::Kind::ShortRead);
+        EXPECT_EQ(e.path(), victim);
+        EXPECT_NE(std::string(e.what()).find("truncated"),
+                  std::string::npos);
+    }
+    // Provably-bad bytes are moved aside so a restart regenerates them.
+    EXPECT_FALSE(fs::exists(victim));
+    EXPECT_TRUE(fs::exists(victim + ".quarantine"));
+    EXPECT_EQ(reader.quarantinedShards(), 1u);
 }
 
-TEST(ShardStoreDeathTest, RejectsFlippedPayloadByte)
+TEST(ShardStoreTypedErrors, FlippedPayloadByteThrowsChecksumMismatch)
 {
-    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
     TempDir dir("flipped");
     Matrix xAll, yAll;
     writeRandomStore(dir.path, 40, 5, 3, 16, xAll, yAll);
@@ -233,33 +249,59 @@ TEST(ShardStoreDeathTest, RejectsFlippedPayloadByte)
 
     ShardedDatasetReader reader(dir.path, 2);
     Matrix x, y;
-    EXPECT_DEATH(reader.readShard(0, x, y), "checksum mismatch");
+    try {
+        reader.readShard(0, x, y);
+        FAIL() << "flipped shard read did not throw";
+    } catch (const CorruptionError &e) {
+        EXPECT_EQ(e.kind(), CorruptionError::Kind::ChecksumMismatch);
+        EXPECT_NE(e.expectedChecksum(), e.actualChecksum());
+        EXPECT_NE(std::string(e.what()).find("checksum mismatch"),
+                  std::string::npos);
+    }
+    EXPECT_TRUE(fs::exists(victim + ".quarantine"));
 }
 
-TEST(ShardStoreDeathTest, RejectsWrongVersionHeader)
+TEST(ShardStoreTypedErrors, WrongVersionHeaderThrowsWithoutQuarantine)
 {
-    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
     TempDir dir("version");
     Matrix xAll, yAll;
     writeRandomStore(dir.path, 40, 5, 3, 16, xAll, yAll);
 
     // Byte 4 is the low byte of the little-endian version field.
-    flipByte(shardPath(dir.path, 0), 4);
+    std::string victim = shardPath(dir.path, 0);
+    flipByte(victim, 4);
 
     ShardedDatasetReader reader(dir.path, 2);
     Matrix x, y;
-    EXPECT_DEATH(reader.readShard(0, x, y), "version");
+    try {
+        reader.readShard(0, x, y);
+        FAIL() << "wrong-version shard read did not throw";
+    } catch (const CorruptionError &e) {
+        EXPECT_EQ(e.kind(), CorruptionError::Kind::BadHeader);
+        EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+    }
+    // A bad header may be a foreign or future-version file: never
+    // destroyed, never quarantined.
+    EXPECT_TRUE(fs::exists(victim));
+    EXPECT_FALSE(fs::exists(victim + ".quarantine"));
+    EXPECT_EQ(reader.quarantinedShards(), 0u);
 }
 
-TEST(ShardStoreDeathTest, RejectsMissingMiddleShard)
+TEST(ShardStoreTypedErrors, MissingMiddleShardThrowsIoError)
 {
-    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
     TempDir dir("missing");
     Matrix xAll, yAll;
     writeRandomStore(dir.path, 60, 5, 3, 16, xAll, yAll);
 
     fs::remove(shardPath(dir.path, 2));
-    EXPECT_DEATH(ShardedDatasetReader(dir.path, 2), "missing shard");
+    try {
+        ShardedDatasetReader reader(dir.path, 2);
+        FAIL() << "reader opened a store with a missing shard";
+    } catch (const IoError &e) {
+        EXPECT_EQ(e.errnoValue(), ENOENT);
+        EXPECT_EQ(e.path(), shardPath(dir.path, 2));
+        EXPECT_FALSE(e.transient());
+    }
 }
 
 TEST(ShardStore, UncommittedStoreIsNotAManifest)
@@ -295,20 +337,31 @@ TEST(ChecksummedBlob, RejectsCorruptSizeFieldWithoutAllocating)
     std::istringstream is(bytes);
     std::string err;
     EXPECT_FALSE(readChecksummedBlob(is, 0xAB12CD34u, 1, &err).has_value());
-    EXPECT_NE(err.find("body size"), std::string::npos);
+    EXPECT_NE(err.find("body declares"), std::string::npos);
 }
 
-TEST(ShardStoreDeathTest, RejectsCorruptShardSizeField)
+TEST(ShardStoreTypedErrors, CorruptShardSizeFieldThrowsShortRead)
 {
-    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
     TempDir dir("badsize");
     Matrix xAll, yAll;
     writeRandomStore(dir.path, 40, 5, 3, 16, xAll, yAll);
-    flipByte(shardPath(dir.path, 0), 12); // high-ish byte of body size
+    // A flipped high byte of the size field declares far more body
+    // than the file holds — indistinguishable from truncation, and
+    // must never turn into a giant allocation.
+    std::string victim = shardPath(dir.path, 0);
+    flipByte(victim, 12); // high-ish byte of body size
 
     ShardedDatasetReader reader(dir.path, 2);
     Matrix x, y;
-    EXPECT_DEATH(reader.readShard(0, x, y), "body size");
+    try {
+        reader.readShard(0, x, y);
+        FAIL() << "corrupt-size shard read did not throw";
+    } catch (const CorruptionError &e) {
+        EXPECT_EQ(e.kind(), CorruptionError::Kind::ShortRead);
+        EXPECT_NE(std::string(e.what()).find("body declares"),
+                  std::string::npos);
+    }
+    EXPECT_TRUE(fs::exists(victim + ".quarantine"));
 }
 
 TEST(ChecksummedBlob, RejectsTrailingBytes)
