@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tiny client for mm_serve: send one search request, stream the
+ * progress lines, print the final result.
+ *
+ *   ./mm_client [port] [method] [steps]
+ *
+ * Defaults: port MM_SERVE_PORT (or 7533), method "Random", 200 steps
+ * of a small conv1d problem — deliberately surrogate-free so a smoke
+ * run needs no Phase-1 training. Point it at a paper-scale server and
+ * ask for "MM-P:chains=4" to exercise the pooled surrogate path.
+ */
+#include <cstdlib>
+#include <iostream>
+
+#include "common/env.hpp"
+#include "serve/client.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mm;
+    using namespace mm::serve;
+
+    const int port = argc > 1 ? std::atoi(argv[1])
+                              : int(envInt("MM_SERVE_PORT", 7533));
+    ServeRequest req;
+    req.id = "mm-client";
+    req.arch = "tiny";
+    req.algo = "conv1d";
+    req.problemName = "smoke";
+    req.bounds = {256, 5};
+    req.method = argc > 2 ? argv[2] : "Random";
+    req.steps = argc > 3 ? std::atoll(argv[3]) : 200;
+    req.runs = 1;
+    req.seed = 42;
+    req.progressEvery = 50;
+
+    ServeClient client;
+    std::string err;
+    if (!client.connectTo(port, &err)) {
+        std::cerr << "mm_client: " << err << "\n";
+        return 1;
+    }
+    if (!client.sendRequest(req)) {
+        std::cerr << "mm_client: send failed\n";
+        return 1;
+    }
+
+    for (;;) {
+        std::optional<JsonValue> event = client.readEvent();
+        if (!event.has_value()) {
+            std::cerr << "mm_client: server closed the connection\n";
+            return 1;
+        }
+        const std::string type = event->getStr("type", "?");
+        if (type == "accepted") {
+            std::cout << "accepted\n";
+        } else if (type == "rejected") {
+            std::cerr << "rejected: " << event->getStr("reason", "?")
+                      << "\n";
+            return 1;
+        } else if (type == "progress") {
+            std::optional<double> best =
+                parseHexDouble(event->getStr("bestNormEdp", ""));
+            std::cout << "  " << event->getStr("event", "?") << " run "
+                      << event->getInt("run", 0) << " step "
+                      << event->getInt("step", 0) << " best "
+                      << (best.has_value() ? *best : 0.0) << "\n";
+        } else if (type == "error") {
+            std::cerr << "error: " << event->getStr("message", "?")
+                      << "\n";
+            return 1;
+        } else if (type == "result") {
+            std::optional<double> best =
+                parseHexDouble(event->getStr("bestNormEdp", ""));
+            std::cout << "result: method "
+                      << event->getStr("method", "?") << ", best "
+                      << (best.has_value() ? *best : 0.0)
+                      << " normalized EDP over "
+                      << (event->find("runs") != nullptr
+                              ? event->find("runs")->array.size()
+                              : 0)
+                      << " run(s)\n";
+            return 0;
+        }
+    }
+}

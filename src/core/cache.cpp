@@ -54,14 +54,6 @@ isEntry(const fs::path &p)
     return p.extension() == kEntrySuffix;
 }
 
-/** Process-wide ENOSPC degradation latch (see SurrogateCache::bypassed). */
-std::atomic<bool> &
-bypassFlag()
-{
-    static std::atomic<bool> flag{false};
-    return flag;
-}
-
 /** All entries under @p root (error-swallowing: racing deletes are fine). */
 std::vector<fs::path>
 listEntries(const std::string &root)
@@ -146,18 +138,6 @@ SurrogateCache::load(const std::string &fingerprint) const
     return s;
 }
 
-bool
-SurrogateCache::bypassed()
-{
-    return bypassFlag().load(std::memory_order_relaxed);
-}
-
-void
-SurrogateCache::resetBypass()
-{
-    bypassFlag().store(false, std::memory_order_relaxed);
-}
-
 void
 SurrogateCache::store(const std::string &fingerprint,
                       const Surrogate &surrogate) const
@@ -172,9 +152,11 @@ SurrogateCache::store(const std::string &fingerprint,
 
     // Shared tmp-sibling + atomic-rename protocol: readers see old or
     // new — never a torn file. Transient failures retry with backoff;
-    // a full disk degrades the cache to bypass for the rest of the
-    // process (with one warning) — training must never die for the
-    // sake of a cache write. Everything else stays a silent no-op.
+    // a full disk degrades *this instance* to bypass for the rest of
+    // its lifetime (with one warning) — training must never die for
+    // the sake of a cache write, and other instances with their own
+    // directories keep persisting. Everything else stays a silent
+    // no-op.
     try {
         retryTransient(RetryPolicy::fromEnv(), [&] {
             CommitFailure failure;
@@ -193,7 +175,7 @@ SurrogateCache::store(const std::string &fingerprint,
                           failure.errnoValue, failure.detail);
         });
     } catch (const ResourceError &e) {
-        if (!bypassFlag().exchange(true))
+        if (!bypass.exchange(true))
             std::cerr << "warning: surrogate cache degraded to bypass: "
                       << e.what() << std::endl;
         return;

@@ -32,6 +32,7 @@
  */
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -81,15 +82,24 @@ class SurrogateCache
     static bool disabled();
 
     /**
-     * True once a store ran out of disk space (ENOSPC) and the cache
-     * degraded to bypass for the rest of the process: training still
-     * works, it just stops persisting surrogates. A one-time warning
-     * goes to stderr when the degradation trips.
+     * True once a store through *this instance* ran out of disk space
+     * (ENOSPC) and the instance degraded to bypass for the rest of its
+     * lifetime: training still works, it just stops persisting
+     * surrogates. A one-time warning goes to stderr when the
+     * degradation trips. The latch is per instance — a multi-tenant
+     * process with per-pool cache directories degrades only the pool
+     * whose disk actually filled, never its siblings.
      */
-    static bool bypassed();
+    bool bypassed() const
+    {
+        return bypass.load(std::memory_order_relaxed);
+    }
 
-    /** Re-arm a bypassed cache (tests). */
-    static void resetBypass();
+    /** Re-arm a bypassed instance (tests). */
+    void resetBypass() const
+    {
+        bypass.store(false, std::memory_order_relaxed);
+    }
 
   private:
     std::string pathFor(const std::string &fingerprint) const;
@@ -97,6 +107,8 @@ class SurrogateCache
 
     std::string root;
     int64_t cap = 0;
+    /** ENOSPC degradation latch; mutable so store() stays const. */
+    mutable std::atomic<bool> bypass{false};
 };
 
 } // namespace mm

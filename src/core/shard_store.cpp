@@ -743,35 +743,99 @@ ShardedDatasetReader::pinShard(size_t idx) const
     return victim->shard;
 }
 
+namespace {
+
+/**
+ * Pending prefetch requests held at most. Deep enough that a gather
+ * burst (one request per gather call) survives a slow decode without
+ * losing its look-ahead, small enough that a stale backlog cannot grow
+ * unboundedly — overflow drops the *oldest* request, whose rows the
+ * training loop has most likely already consumed synchronously.
+ */
+constexpr size_t kPrefetchQueueCap = 8;
+
+} // namespace
+
 void
 ShardedDatasetReader::prefetch(std::vector<size_t> shards) const
 {
     if (shards.empty() || prefetcher == nullptr)
         return;
-    // One warm-up request in flight at a time: if the worker is still
-    // chewing on the last one, drop this one rather than queue behind.
-    if (prefetchBusy.exchange(true))
+    // Bounded FIFO instead of a drop-while-busy single slot: every
+    // request queues behind the one being warmed (so back-to-back
+    // gathers under epoch-steady load all get their look-ahead), with
+    // exact duplicates coalesced and drop-oldest on overflow.
+    bool startPump = false;
+    {
+        std::lock_guard<std::mutex> lock(prefetchMtx);
+        bool duplicate = false;
+        for (const std::vector<size_t> &pending : prefetchQueue) {
+            if (pending == shards) {
+                duplicate = true;
+                break;
+            }
+        }
+        if (!duplicate) {
+            prefetchQueue.push_back(std::move(shards));
+            if (prefetchQueue.size() > kPrefetchQueueCap) {
+                prefetchQueue.pop_front();
+                prefetchDropCount.fetch_add(1, std::memory_order_relaxed);
+            }
+        }
+        if (!prefetchPumpActive) {
+            prefetchPumpActive = true;
+            startPump = true;
+        }
+    }
+    if (!startPump)
         return;
     try {
-        prefetcher->submit([this, s = std::move(shards)] {
-            // Scope guard, not a trailing store: an unwinding pinShard
-            // must not leave the busy flag latched (prefetch would be
-            // silently dead for the rest of the run).
-            struct ClearBusy
-            {
-                std::atomic<bool> &flag;
-                ~ClearBusy() { flag.store(false); }
-            } clear{prefetchBusy};
-            for (size_t idx : s)
-                (void)pinShard(idx);
-        });
+        prefetcher->submit([this] { pumpPrefetchQueue(); });
     } catch (...) {
-        // Best effort end to end: a failed background read must not
-        // escape into the training loop or latch the busy flag — the
-        // synchronous path surfaces the real error (with the shard
-        // named) if and when the shard is actually needed.
-        prefetchBusy.store(false);
+        // Best effort end to end: a failed submission must not escape
+        // into the training loop or leave the pump flag latched
+        // (prefetch would be silently dead for the rest of the run).
+        std::lock_guard<std::mutex> lock(prefetchMtx);
+        prefetchPumpActive = false;
     }
+}
+
+void
+ShardedDatasetReader::pumpPrefetchQueue() const
+{
+    // Drain the FIFO one request at a time on the warm-up thread. The
+    // pump flag is cleared only under the lock with the queue observed
+    // empty, so a request enqueued while the last one was draining is
+    // either seen by this loop or starts a fresh pump — never lost.
+    for (;;) {
+        std::vector<size_t> next;
+        {
+            std::lock_guard<std::mutex> lock(prefetchMtx);
+            if (prefetchQueue.empty()) {
+                prefetchPumpActive = false;
+                return;
+            }
+            next = std::move(prefetchQueue.front());
+            prefetchQueue.pop_front();
+        }
+        try {
+            for (size_t idx : next) {
+                (void)pinShard(idx);
+                prefetchedCount.fetch_add(1, std::memory_order_relaxed);
+            }
+        } catch (...) {
+            // A failed background read is dropped: the synchronous
+            // path surfaces the real error (with the shard named) if
+            // and when the shard is actually needed.
+        }
+    }
+}
+
+size_t
+ShardedDatasetReader::pendingPrefetches() const
+{
+    std::lock_guard<std::mutex> lock(prefetchMtx);
+    return prefetchQueue.size();
 }
 
 const ShardedDatasetReader::DecodedShard &

@@ -48,6 +48,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <iosfwd>
 #include <memory>
@@ -408,15 +409,27 @@ class ShardedDatasetReader
 
     /**
      * Queue a background warm-up of @p shards into the cache (dedup
-     * against cached shards is implicit). Best effort: when the warm-up
-     * thread is still busy with the previous request, the new one is
-     * dropped — prefetching never blocks the training loop. No effect
-     * on results, only on wall time.
+     * against cached shards is implicit). Requests land in a small
+     * bounded FIFO the warm-up thread drains in order, so back-to-back
+     * calls under epoch-steady load all eventually warm the cache; a
+     * request identical to one already waiting is coalesced, and on
+     * overflow the *oldest* request is dropped (its rows are the ones
+     * the training loop has most likely already consumed). Best effort
+     * and never blocking: no effect on results, only on wall time.
      */
     void prefetch(std::vector<size_t> shards) const;
 
     /** Prefetch look-ahead depth (0 = disabled). */
     size_t prefetchDepth() const { return prefetchCount; }
+
+    /** Shards pinned by the background prefetcher so far (tests). */
+    uint64_t prefetchedShards() const { return prefetchedCount.load(); }
+
+    /** Requests dropped by the bounded prefetch FIFO (tests). */
+    uint64_t droppedPrefetches() const { return prefetchDropCount.load(); }
+
+    /** Queued prefetch requests not yet started (racy; tests). */
+    size_t pendingPrefetches() const;
 
     /** Raw feature row @p row (single-threaded convenience). */
     std::span<const float> xRow(size_t row);
@@ -440,6 +453,7 @@ class ShardedDatasetReader
     };
 
     const DecodedShard &pinnedRowShard(size_t row);
+    void pumpPrefetchQueue() const;
 
     std::string root;
     ShardManifest manifest;
@@ -450,7 +464,13 @@ class ShardedDatasetReader
     ShardPtr rowMemo;            ///< xRow/yRow pin (single-threaded)
     size_t rowMemoIdx = size_t(-1);
     size_t prefetchCount = 0;
-    mutable std::atomic<bool> prefetchBusy{false};
+    /** Bounded FIFO of pending warm-up requests (see prefetch()). */
+    mutable std::mutex prefetchMtx;
+    mutable std::deque<std::vector<size_t>> prefetchQueue;
+    /** True while a queue-draining task is submitted or running. */
+    mutable bool prefetchPumpActive = false;
+    mutable std::atomic<uint64_t> prefetchedCount{0};
+    mutable std::atomic<uint64_t> prefetchDropCount{0};
     /** Declared last: destroyed (drained) before the cache it touches. */
     mutable std::unique_ptr<SerialWorker> prefetcher;
 };

@@ -164,10 +164,12 @@ DdpgSearcher::run(SearchContext &ctx)
     int episodeStep = 0;
 
     Matrix actorIn(1, sDim);
-    while (!rec.exhausted()) {
-        // --- Act.
-        std::vector<double> action(aDim, 0.0);
-        if (rec.steps() < cfg.warmupSteps) {
+
+    // One environment action for `state`, where @p stepIdx is the
+    // pre-step charged-query count (warmup exploration is counted in
+    // charged steps, not episodes).
+    auto drawAction = [&](int64_t stepIdx, std::vector<double> &action) {
+        if (stepIdx < cfg.warmupSteps) {
             for (auto &a : action)
                 a = rng.uniformReal(-1.0, 1.0);
         } else {
@@ -180,47 +182,25 @@ DdpgSearcher::run(SearchContext &ctx)
                     1.0);
             noise = std::max(noise * cfg.noiseDecay, cfg.noiseMin);
         }
+    };
 
-        // --- Environment transition.
-        std::vector<double> nextStateRaw(sDim);
-        for (size_t i = 0; i < sDim; ++i)
-            nextStateRaw[i] = std::clamp(
-                state[i] + cfg.actionScale * action[i], 0.0, 1.0);
-        Mapping next = codec.decode(scaler.unscale(nextStateRaw));
-        double normEdp = rec.step(next);
-        float reward = float(-std::log10(std::max(normEdp, 1e-12)));
-
-        // Re-encode the *projected* mapping so the stored next state is
-        // consistent with where the environment actually landed.
-        std::vector<double> nextState = scaler.scale(codec.encode(next));
-        ++episodeStep;
-        bool terminal = episodeStep >= cfg.episodeLength;
-
-        Transition tr{toFloat(state), toFloat(action), reward,
-                      toFloat(nextState), terminal};
+    auto pushTransition = [&](Transition tr) {
         if (replay.size() < cfg.replayCapacity) {
             replay.push_back(std::move(tr));
         } else {
             replay[replayHead] = std::move(tr);
             replayHead = (replayHead + 1) % cfg.replayCapacity;
         }
+    };
 
-        if (terminal) {
-            current = space.randomValid(rng);
-            state = scaler.scale(codec.encode(current));
-            episodeStep = 0;
-        } else {
-            current = std::move(next);
-            state = std::move(nextState);
-        }
+    // Learn predicate against the *post-step* charged-query count.
+    auto canLearnNow = [&] {
+        return replay.size() >= cfg.batchSize
+               && rec.steps() >= cfg.warmupSteps
+               && rec.steps() % cfg.updateEvery == 0;
+    };
 
-        // --- Learn.
-        bool canLearn = replay.size() >= cfg.batchSize
-                        && rec.steps() >= cfg.warmupSteps
-                        && rec.steps() % cfg.updateEvery == 0;
-        if (!canLearn)
-            continue;
-
+    auto learn = [&] {
         const size_t b = cfg.batchSize;
         Matrix s(b, sDim), a(b, aDim), s2(b, sDim);
         std::vector<float> r(b);
@@ -292,6 +272,143 @@ DdpgSearcher::run(SearchContext &ctx)
 
         actorTarget.softUpdateFrom(actor, float(cfg.tau));
         criticTarget.softUpdateFrom(critic, float(cfg.tau));
+    };
+
+    if (cfg.stepBlock <= 1) {
+        // Reference per-step loop: one scalar cost query per
+        // environment step. Kept selectable (RL:block=1) so the
+        // batched path below can be pinned bitwise against it.
+        while (!rec.exhausted()) {
+            std::vector<double> action(aDim, 0.0);
+            drawAction(rec.steps(), action);
+
+            // --- Environment transition.
+            std::vector<double> nextStateRaw(sDim);
+            for (size_t i = 0; i < sDim; ++i)
+                nextStateRaw[i] = std::clamp(
+                    state[i] + cfg.actionScale * action[i], 0.0, 1.0);
+            Mapping next = codec.decode(scaler.unscale(nextStateRaw));
+            double normEdp = rec.step(next);
+            float reward = float(-std::log10(std::max(normEdp, 1e-12)));
+
+            // Re-encode the *projected* mapping so the stored next
+            // state is consistent with where the environment actually
+            // landed.
+            std::vector<double> nextState =
+                scaler.scale(codec.encode(next));
+            ++episodeStep;
+            bool terminal = episodeStep >= cfg.episodeLength;
+
+            pushTransition({toFloat(state), toFloat(action), reward,
+                            toFloat(nextState), terminal});
+
+            if (terminal) {
+                current = space.randomValid(rng);
+                state = scaler.scale(codec.encode(current));
+                episodeStep = 0;
+            } else {
+                current = std::move(next);
+                state = std::move(nextState);
+            }
+
+            if (canLearnNow())
+                learn();
+        }
+        return rec.finish(name());
+    }
+
+    // Batched loop. Action drawing is the only RNG consumer between
+    // cost queries, and the next state is a pure function of the
+    // current one, so a run of steps can be rolled forward and scored
+    // with a single normalizedEdpBatch call — as long as the block
+    // never crosses a point where the sequential loop would have drawn
+    // RNG out of order (an episode-terminal reset) or changed the
+    // actor's weights (a learn step). nextBoundary() caps blocks at
+    // exactly those points, which keeps the stream bitwise identical
+    // to the per-step loop above.
+    auto nextBoundary = [&]() -> int64_t {
+        int64_t bound = std::min<int64_t>(
+            cfg.stepBlock, int64_t(cfg.episodeLength) - episodeStep);
+        const int64_t s0 = rec.steps();
+        for (int64_t k = 1; k < bound; ++k) {
+            const size_t replayAt = std::min(replay.size() + size_t(k),
+                                             cfg.replayCapacity);
+            const int64_t post = s0 + k;
+            if (replayAt >= cfg.batchSize && post >= cfg.warmupSteps
+                && post % cfg.updateEvery == 0) {
+                bound = k;
+                break;
+            }
+        }
+        return bound;
+    };
+
+    std::vector<Mapping> block;
+    std::vector<const Mapping *> blockPtrs;
+    std::vector<double> norms;
+    std::vector<std::vector<float>> blockStates;
+    std::vector<std::vector<float>> blockActions;
+    std::vector<std::vector<float>> blockNextStates;
+    std::vector<double> action(aDim, 0.0);
+    while (!rec.exhausted()) {
+        const int64_t plan = rec.plannedSteps(nextBoundary());
+        if (plan == 0)
+            break;
+
+        // --- Roll the environment forward without scoring.
+        block.clear();
+        blockStates.clear();
+        blockActions.clear();
+        blockNextStates.clear();
+        for (int64_t k = 0; k < plan; ++k) {
+            drawAction(rec.steps() + k, action);
+            std::vector<double> nextStateRaw(sDim);
+            for (size_t i = 0; i < sDim; ++i)
+                nextStateRaw[i] = std::clamp(
+                    state[i] + cfg.actionScale * action[i], 0.0, 1.0);
+            Mapping next = codec.decode(scaler.unscale(nextStateRaw));
+            std::vector<double> nextState =
+                scaler.scale(codec.encode(next));
+            blockStates.push_back(toFloat(state));
+            blockActions.push_back(toFloat(action));
+            blockNextStates.push_back(toFloat(nextState));
+            block.push_back(std::move(next));
+            // Mid-block steps are never terminal (blocks end at
+            // episode boundaries), so the projected state simply
+            // becomes the current state.
+            state = std::move(nextState);
+        }
+
+        // --- Score the whole block with one batched query.
+        blockPtrs.clear();
+        for (const Mapping &m : block)
+            blockPtrs.push_back(&m);
+        norms.resize(block.size());
+        model->normalizedEdpBatch(
+            std::span<const Mapping *const>(blockPtrs),
+            std::span<double>(norms));
+        const size_t charged = rec.stepPrescored(blockPtrs, norms);
+
+        // --- Replay bookkeeping for the charged prefix. A wall-clock
+        // budget or stop token may cut the block short; the dropped
+        // tail matches the steps the sequential loop would never have
+        // taken, and the run ends right after.
+        for (size_t k = 0; k < charged; ++k) {
+            const float reward =
+                float(-std::log10(std::max(norms[k], 1e-12)));
+            ++episodeStep;
+            const bool terminal = episodeStep >= cfg.episodeLength;
+            pushTransition({std::move(blockStates[k]),
+                            std::move(blockActions[k]), reward,
+                            std::move(blockNextStates[k]), terminal});
+            if (terminal) {
+                current = space.randomValid(rng);
+                state = scaler.scale(codec.encode(current));
+                episodeStep = 0;
+            }
+        }
+        if (charged > 0 && canLearnNow())
+            learn();
     }
 
     return rec.finish(name());
@@ -310,6 +427,8 @@ const SearcherRegistrar registrar({
         {"batch", "replay minibatch size"},
         {"warmup", "random-exploration steps before learning"},
         {"updateEvery", "environment steps per gradient update"},
+        {"block", "environment steps scored per batched cost-model "
+                  "query (<= 1 = per-step reference loop)"},
     },
     [](const SearcherBuildContext &ctx, SearcherOptions &opt) {
         DdpgConfig cfg;
@@ -321,6 +440,7 @@ const SearcherRegistrar registrar({
         int64_t batch = opt.getInt("batch", int64_t(cfg.batchSize));
         cfg.warmupSteps = int(opt.getInt("warmup", cfg.warmupSteps));
         cfg.updateEvery = int(opt.getInt("updateEvery", cfg.updateEvery));
+        cfg.stepBlock = opt.getInt("block", cfg.stepBlock);
         if (cfg.hiddenWidth < 1 || cfg.episodeLength < 1 || batch < 1
             || replay < batch || cfg.warmupSteps < 0
             || cfg.updateEvery < 1)

@@ -39,6 +39,14 @@ struct DdpgConfig
     double noiseStd = 0.3;
     double noiseDecay = 0.999;
     double noiseMin = 0.02;
+    /**
+     * Environment steps drawn and scored per normalizedEdpBatch call.
+     * Blocks always end at episode terminals and learn steps, so the
+     * RNG stream and the learning schedule are bitwise identical to
+     * the per-step loop at any value; <= 1 selects that per-step
+     * reference loop itself.
+     */
+    int64_t stepBlock = 64;
 };
 
 /** Actor-critic search over the map space. */

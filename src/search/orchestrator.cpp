@@ -59,6 +59,7 @@ runMany(const SearcherFactory &factory, const SearchBudget &budget,
                 opts.observerFor ? opts.observerFor(int(r)) : nullptr;
             ctx.stop = opts.stop;
             ctx.progressEvery = opts.progressEvery;
+            ctx.collectTrace = opts.collectTrace;
             out.runs[r] = searcher->run(ctx);
         } catch (const std::exception &e) {
             out.runs[r] = SearchResult{};

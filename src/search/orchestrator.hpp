@@ -51,6 +51,8 @@ struct MultiRunOptions
     std::function<SearchObserver *(int run)> observerFor;
     /** Cooperative cancellation across every repetition. */
     StopToken *stop = nullptr;
+    /** Forwarded to SearchContext::collectTrace for every repetition. */
+    bool collectTrace = true;
     /**
      * Override of the per-run seed (e.g. a bench preserving historical
      * ad-hoc seeding); defaults to repetitionSeed(baseSeed, run).

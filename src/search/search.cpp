@@ -42,7 +42,7 @@ SearchRecorder::SearchRecorder(const CostModel &model_,
                                double stepLatencySec)
     : model(&model_), budget(ctx.budget), observer(ctx.observer),
       stop(ctx.stop), progressEvery(ctx.progressEvery),
-      stepLatency(stepLatencySec)
+      collectTrace(ctx.collectTrace), stepLatency(stepLatencySec)
 {
     MM_ASSERT(stepLatency >= 0.0, "negative step latency");
 }
@@ -77,7 +77,9 @@ SearchRecorder::progressNow() const
     p.virtualSec = virtualClock;
     p.wallSec = timer.elapsedSec();
     p.bestNormEdp = best;
-    p.best = trace.empty() ? nullptr : &bestMapping;
+    // Infinity means no improvement was recorded yet; the trace cannot
+    // stand in for that test because streaming runs never collect one.
+    p.best = std::isfinite(best) ? &bestMapping : nullptr;
     return p;
 }
 
@@ -87,7 +89,8 @@ SearchRecorder::recordProbe(const Mapping &candidate, double norm)
     if (norm < best) {
         best = norm;
         bestMapping = candidate;
-        trace.push_back({stepCount, virtualClock, best});
+        if (collectTrace)
+            trace.push_back({stepCount, virtualClock, best});
         if (observer != nullptr)
             observer->onImprovement(progressNow());
     }
@@ -175,7 +178,9 @@ SearchRecorder::finish(std::string method) const
     result.wallSec = timer.elapsedSec();
     result.cancelled = stop != nullptr && stop->stopRequested();
     // Guarantee a terminal point so time/step interpolation saturates.
-    if (result.trace.empty() || result.trace.back().step != stepCount)
+    // Streaming (collectTrace == false) results stay trace-free.
+    if (collectTrace
+        && (result.trace.empty() || result.trace.back().step != stepCount))
         result.trace.push_back({stepCount, virtualClock, best});
     return result;
 }

@@ -211,6 +211,13 @@ struct SearchContext
     StopToken *stop = nullptr;
     /** Steps between SearchObserver::onProgress calls (0 = off). */
     int64_t progressEvery = 0;
+    /**
+     * Materialize the best-so-far trace vector in the result. Streaming
+     * consumers (the serve frontend) take improvements through the
+     * observer instead and switch this off so long runs hold no
+     * per-improvement state; bestNormEdp/best are unaffected.
+     */
+    bool collectTrace = true;
 };
 
 /**
@@ -299,6 +306,7 @@ class SearchRecorder
     SearchObserver *observer = nullptr;
     StopToken *stop = nullptr;
     int64_t progressEvery = 0;
+    bool collectTrace = true;
     double stepLatency;
     WallTimer timer;
     int64_t stepCount = 0;

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Request-level counters of the serve frontend. Plain relaxed atomics —
+ * the counters are monitoring signals, not synchronization — bumped on
+ * the admission/worker paths and dumped as one human-readable block on
+ * SIGUSR1 (see SearchServer) or on demand in tests.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+
+namespace mm::serve {
+
+/** Monotonic counters plus two gauges; value reads are racy-but-sane. */
+struct ServeMetrics
+{
+    std::atomic<uint64_t> accepted{0};   ///< admitted to the queue
+    std::atomic<uint64_t> rejected{0};   ///< refused (queue full/bad req)
+    std::atomic<uint64_t> cancelled{0};  ///< ended by client disconnect
+    std::atomic<uint64_t> completed{0};  ///< result line written
+    std::atomic<uint64_t> failed{0};     ///< error line written
+    std::atomic<uint64_t> progressEvents{0}; ///< progress lines written
+    std::atomic<int64_t> queueDepth{0};  ///< gauge: jobs waiting
+    std::atomic<int64_t> activeWorkers{0}; ///< gauge: jobs running
+    /** Surrogate pool: process-memory hits / disk-cache hits / trains. */
+    std::atomic<uint64_t> poolWarmHits{0};
+    std::atomic<uint64_t> poolDiskHits{0};
+    std::atomic<uint64_t> poolTrainings{0};
+
+    void
+    dump(std::ostream &os) const
+    {
+        const uint64_t warm = poolWarmHits.load();
+        const uint64_t disk = poolDiskHits.load();
+        const uint64_t cold = poolTrainings.load();
+        const uint64_t lookups = warm + disk + cold;
+        os << "serve metrics:\n"
+           << "  accepted        " << accepted.load() << "\n"
+           << "  rejected        " << rejected.load() << "\n"
+           << "  cancelled       " << cancelled.load() << "\n"
+           << "  completed       " << completed.load() << "\n"
+           << "  failed          " << failed.load() << "\n"
+           << "  progress events " << progressEvents.load() << "\n"
+           << "  queue depth     " << queueDepth.load() << "\n"
+           << "  active workers  " << activeWorkers.load() << "\n"
+           << "  surrogate pool  " << warm << " warm + " << disk
+           << " disk hits, " << cold << " trainings";
+        if (lookups > 0)
+            os << " (hit rate "
+               << (100.0 * double(warm + disk) / double(lookups)) << "%)";
+        os << "\n";
+    }
+};
+
+} // namespace mm::serve

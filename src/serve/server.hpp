@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Mapping-as-a-service: a multi-tenant TCP frontend over the search
+ * stack (the "serving frontend" seam ROADMAP item 1 reserved).
+ *
+ * One SearchServer binds a port and accepts newline-delimited JSON
+ * requests (serve/protocol.hpp). Admission control is a bounded job
+ * queue over a fixed worker pool: a request whose arrival would
+ * overflow the queue is rejected immediately, an admitted one is
+ * answered with an accepted line, streamed progress lines while it
+ * runs, and one terminal result or error line.
+ *
+ * Each job runs through the ordinary offline machinery — registry
+ * searcher specs, runMany with the request's seed, a per-request
+ * StopToken — so a served search is bitwise identical to the same
+ * spec/seed run offline. Surrogate-backed methods draw their model
+ * from the process-level SurrogatePool (memory -> disk cache ->
+ * single-flight train) and evaluate a private copy.
+ *
+ * Cancellation: a client disconnect flips its connection dead and
+ * requests a stop on every job it owns; in-flight searches observe the
+ * token at their next step and the worker frees up. A failed
+ * repetition degrades into its result slot (runMany failure isolation)
+ * — request failures never take the server down.
+ *
+ * Observability: request-level counters (serve/metrics.hpp) dump to
+ * stderr on SIGUSR1 (after installSigusr1()) and are readable in
+ * process for tests.
+ */
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "serve/surrogate_pool.hpp"
+
+namespace mm::serve {
+
+/** Server knobs; fromEnv() reads the MM_SERVE_* environment. */
+struct ServeConfig
+{
+    /** TCP port; 0 picks an ephemeral port (tests). [MM_SERVE_PORT] */
+    int port = 0;
+    /** Concurrent search workers. [MM_SERVE_WORKERS] */
+    int workers = 2;
+    /** Bounded admission queue capacity. [MM_SERVE_QUEUE] */
+    size_t queueCap = 8;
+    /** Per-request wall-clock cap in seconds (0 = none); intersects
+     * the request's own budget. [MM_SERVE_MAX_WALL_SEC] */
+    double maxWallSec = 0.0;
+    /** Phase-1 config behind the surrogate pool. */
+    Phase1Config phase1;
+    bool useCache = true;
+    /** Disk-tier directory ("" = SurrogateCache default). */
+    std::string cacheDir;
+    /** Injectable Phase-1 trainer (tests). */
+    SurrogatePool::Trainer trainer;
+
+    static ServeConfig fromEnv();
+};
+
+/** The multi-tenant search server. */
+class SearchServer
+{
+  public:
+    explicit SearchServer(ServeConfig cfg);
+    ~SearchServer();
+
+    SearchServer(const SearchServer &) = delete;
+    SearchServer &operator=(const SearchServer &) = delete;
+
+    /** Bind, listen and spawn the accept loop + workers. Throws on
+     * bind/listen failure. Idempotent once started. */
+    void start();
+
+    /** Graceful shutdown: stop accepting, cancel in-flight searches,
+     * drain and join everything. Idempotent. */
+    void stop();
+
+    /** Bound port (resolved after start(), useful with port 0). */
+    int port() const { return boundPort; }
+
+    const ServeMetrics &metrics() const { return counters; }
+    SurrogatePool &pool() { return *surrogates; }
+
+    /** One-shot metrics block to @p os. */
+    void dumpMetrics(std::ostream &os) const;
+
+    /** Ask the accept loop to dump metrics to stderr (async-safe). */
+    void requestMetricsDump() { dumpFlag.store(true); }
+
+    /** Route SIGUSR1 to requestMetricsDump() of the running server. */
+    static void installSigusr1(SearchServer *server);
+
+  private:
+    struct Connection;
+    struct Job;
+
+    void acceptLoop();
+    void readerLoop(std::shared_ptr<Connection> conn);
+    void handleLine(const std::shared_ptr<Connection> &conn,
+                    const std::string &line);
+    void workerLoop();
+    void runJob(Job &job);
+    void reapFinishedReaders();
+
+    ServeConfig cfg;
+    ServeMetrics counters;
+    std::unique_ptr<SurrogatePool> surrogates;
+
+    int listenFd = -1;
+    int boundPort = 0;
+    int wakePipe[2] = {-1, -1};
+    std::atomic<bool> running{false};
+    std::atomic<bool> stopping{false};
+    std::atomic<bool> dumpFlag{false};
+
+    std::thread acceptThread;
+    std::vector<std::thread> workers;
+
+    std::mutex jobMtx;
+    std::condition_variable jobCv;
+    std::deque<std::shared_ptr<Job>> queue;
+
+    std::mutex connMtx;
+    struct ReaderSlot
+    {
+        std::shared_ptr<Connection> conn;
+        std::thread thread;
+    };
+    std::list<ReaderSlot> readers;
+};
+
+} // namespace mm::serve

@@ -1,0 +1,114 @@
+#include "serve/surrogate_pool.hpp"
+
+namespace mm::serve {
+
+SurrogatePool::SurrogatePool(Phase1Config phase1, std::string cacheDir,
+                             bool useCache_, ServeMetrics *metrics_,
+                             Trainer trainer_)
+    : cfg(std::move(phase1)), cache(std::move(cacheDir)),
+      useCache(useCache_), metrics(metrics_), trainer(std::move(trainer_))
+{
+    cfg.resolve();
+    if (!trainer) {
+        trainer = [](const AcceleratorSpec &arch, const AlgorithmSpec &algo,
+                     const Phase1Config &c) {
+            return trainSurrogate(arch, algo, c).surrogate;
+        };
+    }
+}
+
+std::shared_ptr<Surrogate>
+SurrogatePool::acquire(const AcceleratorSpec &arch,
+                       const AlgorithmSpec &algo)
+{
+    const std::string key = cfg.fingerprint(arch, algo);
+
+    std::shared_ptr<Flight> flight;
+    bool leader = false;
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        auto hit = resident.find(key);
+        if (hit != resident.end()) {
+            if (metrics != nullptr)
+                metrics->poolWarmHits.fetch_add(1,
+                                                std::memory_order_relaxed);
+            return hit->second;
+        }
+        auto [it, inserted] =
+            inFlight.try_emplace(key, std::make_shared<Flight>());
+        flight = it->second;
+        leader = inserted;
+    }
+
+    if (!leader) {
+        // Single-flight follower: wait for the leader's outcome.
+        std::unique_lock<std::mutex> lock(flight->m);
+        flight->cv.wait(lock, [&] { return flight->done; });
+        if (flight->error != nullptr)
+            std::rethrow_exception(flight->error);
+        return flight->model;
+    }
+
+    // Leader: disk tier first, then train. Publication order matters —
+    // the memory tier and the flight are filled before the key is
+    // released, so no concurrent acquire can start a duplicate train.
+    std::shared_ptr<Surrogate> model;
+    std::exception_ptr error;
+    try {
+        if (useCache && !SurrogateCache::disabled()) {
+            if (auto cached = cache.load(key)) {
+                model = std::make_shared<Surrogate>(std::move(*cached));
+                if (metrics != nullptr)
+                    metrics->poolDiskHits.fetch_add(
+                        1, std::memory_order_relaxed);
+            }
+        }
+        if (model == nullptr) {
+            model = std::make_shared<Surrogate>(trainer(arch, algo, cfg));
+            if (metrics != nullptr)
+                metrics->poolTrainings.fetch_add(
+                    1, std::memory_order_relaxed);
+            {
+                std::lock_guard<std::mutex> lock(mtx);
+                ++trainCount;
+            }
+            if (useCache)
+                cache.store(key, *model);
+        }
+    } catch (...) {
+        error = std::current_exception();
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        if (model != nullptr)
+            resident.emplace(key, model);
+        inFlight.erase(key);
+    }
+    {
+        std::lock_guard<std::mutex> lock(flight->m);
+        flight->model = model;
+        flight->error = error;
+        flight->done = true;
+    }
+    flight->cv.notify_all();
+    if (error != nullptr)
+        std::rethrow_exception(error);
+    return model;
+}
+
+size_t
+SurrogatePool::residentCount() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return resident.size();
+}
+
+uint64_t
+SurrogatePool::trainings() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return trainCount;
+}
+
+} // namespace mm::serve

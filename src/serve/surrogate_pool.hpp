@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Process-level surrogate pool behind the serve frontend.
+ *
+ * Requests are keyed by the Phase-1 algorithm-config fingerprint
+ * (Phase1Config::fingerprint over arch + algo). Three tiers:
+ *
+ *   1. memory — a master copy already resident in this process;
+ *   2. disk   — the shared SurrogateCache (warm tier across processes);
+ *   3. train  — Phase-1 train-once on a genuine cold miss.
+ *
+ * Cold misses are single-flight: concurrent requests for the same key
+ * block on the one in-progress training instead of training N times.
+ * A failed training releases the key so a later request can retry.
+ *
+ * acquire() hands back the shared master; Surrogate's predict methods
+ * mutate internal MLP scratch buffers, so a caller that evaluates
+ * concurrently with anyone else must take its own copy (the serve
+ * workers each copy per request).
+ */
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/cache.hpp"
+#include "core/phase1.hpp"
+#include "serve/metrics.hpp"
+
+namespace mm::serve {
+
+/** Keyed, single-flight surrogate provider. */
+class SurrogatePool
+{
+  public:
+    /** Injectable Phase-1 trainer (tests substitute a stub). */
+    using Trainer = std::function<Surrogate(const AcceleratorSpec &,
+                                            const AlgorithmSpec &,
+                                            const Phase1Config &)>;
+
+    /**
+     * @param phase1   Base Phase-1 config (resolved internally); its
+     *                 fingerprint over (arch, algo) is the pool key.
+     * @param cacheDir Disk tier directory ("" = SurrogateCache default).
+     * @param useCache Disk tier switch (memory tier always applies).
+     * @param metrics  Optional counter sink for hit/miss accounting.
+     * @param trainer  Phase-1 override; default runs trainSurrogate.
+     */
+    SurrogatePool(Phase1Config phase1, std::string cacheDir = "",
+                  bool useCache = true, ServeMetrics *metrics = nullptr,
+                  Trainer trainer = {});
+
+    /**
+     * The master surrogate for (arch, algo): memory tier, else disk
+     * tier, else a single-flight training. Throws what the trainer
+     * threw on a failed cold miss.
+     */
+    std::shared_ptr<Surrogate> acquire(const AcceleratorSpec &arch,
+                                       const AlgorithmSpec &algo);
+
+    /** Resident master copies (memory tier size). */
+    size_t residentCount() const;
+
+    /** Phase-1 trainings this pool actually ran. */
+    uint64_t trainings() const;
+
+  private:
+    struct Flight
+    {
+        std::mutex m;
+        std::condition_variable cv;
+        bool done = false;
+        std::shared_ptr<Surrogate> model;
+        std::exception_ptr error;
+    };
+
+    Phase1Config cfg;
+    SurrogateCache cache;
+    bool useCache;
+    ServeMetrics *metrics;
+    Trainer trainer;
+
+    mutable std::mutex mtx;
+    std::map<std::string, std::shared_ptr<Surrogate>> resident;
+    std::map<std::string, std::shared_ptr<Flight>> inFlight;
+    uint64_t trainCount = 0;
+};
+
+} // namespace mm::serve

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Observer-only streaming trace sink: forwards a run's improvement and
+ * heartbeat snapshots to a callback without materializing any trace
+ * vector. Paired with SearchContext::collectTrace == false, a served
+ * search holds O(1) trace state no matter how long it runs — the PR-4
+ * follow-on that unblocks long-lived serving.
+ *
+ * Callbacks fire synchronously on the searching thread; the emit
+ * function owns whatever locking its destination (a connection write
+ * mutex) needs.
+ */
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "search/search.hpp"
+
+namespace mm::serve {
+
+/** Streams one run's progress through a callback. */
+class StreamingTraceSink : public SearchObserver
+{
+  public:
+    /** @p event is "improvement" or "heartbeat". */
+    using Emit = std::function<void(const char *event, int run,
+                                    const SearchProgress &)>;
+
+    StreamingTraceSink(int run, Emit emit)
+        : runIndex(run), emit(std::move(emit))
+    {}
+
+    void
+    onImprovement(const SearchProgress &p) override
+    {
+        if (emit)
+            emit("improvement", runIndex, p);
+    }
+
+    void
+    onProgress(const SearchProgress &p) override
+    {
+        if (emit)
+            emit("heartbeat", runIndex, p);
+    }
+
+  private:
+    int runIndex;
+    Emit emit;
+};
+
+} // namespace mm::serve

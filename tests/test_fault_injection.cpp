@@ -604,33 +604,77 @@ TEST(ChaosStore, GatherTimeCorruptionQuarantinesAndHealsViaTheCallback)
 // Cache degradation
 // ---------------------------------------------------------------------------
 
-TEST(CacheDegradation, EnospcDegradesToBypassInsteadOfThrowing)
-{
-    SurrogateCache::resetBypass();
-    TempDir dir("cache");
-    SurrogateCache cache(dir.path);
+namespace {
 
-    Rng rng(3);
+/** A tiny surrogate to feed the cache-degradation tests. */
+Surrogate
+tinySurrogate(uint64_t seed)
+{
+    Rng rng(seed);
     Mlp net(4, {{8, Activation::ReLU}, {1, Activation::Identity}}, rng);
     std::vector<double> zeros(4, 0.0), ones(4, 1.0);
-    Surrogate surrogate(std::move(net), FeatureTransform{2},
-                        Normalizer::fromMoments(zeros, ones),
-                        Normalizer::fromMoments({0.0}, {1.0}), 0);
+    return Surrogate(std::move(net), FeatureTransform{2},
+                     Normalizer::fromMoments(zeros, ones),
+                     Normalizer::fromMoments({0.0}, {1.0}), 0);
+}
+
+} // namespace
+
+TEST(CacheDegradation, EnospcDegradesToBypassInsteadOfThrowing)
+{
+    TempDir dir("cache");
+    SurrogateCache cache(dir.path);
+    Surrogate surrogate = tinySurrogate(3);
 
     {
         ScopedFaults faults("enospc:after=0");
         EXPECT_NO_THROW(cache.store("fp", surrogate));
-        EXPECT_TRUE(SurrogateCache::bypassed());
+        EXPECT_TRUE(cache.bypassed());
         // Degraded: stores are silent no-ops now.
         EXPECT_NO_THROW(cache.store("fp2", surrogate));
         EXPECT_EQ(cache.entryCount(), 0u);
     }
 
-    SurrogateCache::resetBypass();
-    EXPECT_FALSE(SurrogateCache::bypassed());
+    cache.resetBypass();
+    EXPECT_FALSE(cache.bypassed());
     cache.store("fp", surrogate);
     EXPECT_EQ(cache.entryCount(), 1u);
     EXPECT_TRUE(cache.load("fp").has_value());
+}
+
+TEST(CacheDegradation, BypassLatchIsPerInstanceNotProcessWide)
+{
+    // Regression: the ENOSPC latch used to be a process-wide static —
+    // one full cache directory silently bypassed *every* cache instance
+    // in the process, which is wrong for a multi-tenant server with
+    // per-pool directories. A degraded instance must leave siblings
+    // (and later instances over other directories) fully operational.
+    TempDir full("cache_full");
+    TempDir healthy("cache_ok");
+    SurrogateCache sick(full.path);
+    SurrogateCache sibling(healthy.path);
+    Surrogate surrogate = tinySurrogate(5);
+
+    {
+        ScopedFaults faults("enospc:after=0");
+        sick.store("fp", surrogate);
+        EXPECT_TRUE(sick.bypassed());
+    }
+    // The sibling never saw ENOSPC: it must not have been poisoned and
+    // must still persist entries while the sick instance stays latched.
+    EXPECT_FALSE(sibling.bypassed());
+    sibling.store("fp", surrogate);
+    EXPECT_EQ(sibling.entryCount(), 1u);
+    EXPECT_TRUE(sibling.load("fp").has_value());
+    EXPECT_TRUE(sick.bypassed());
+    EXPECT_EQ(sick.entryCount(), 0u);
+
+    // A brand-new instance over the degraded directory starts re-armed:
+    // warn-once semantics are per instance, not per path.
+    SurrogateCache fresh(full.path);
+    EXPECT_FALSE(fresh.bypassed());
+    fresh.store("fp", surrogate);
+    EXPECT_EQ(fresh.entryCount(), 1u);
 }
 
 // ---------------------------------------------------------------------------

@@ -244,6 +244,36 @@ TEST(DdpgSearcher, Deterministic)
                      s2.run(SearchBudget::bySteps(80), b).bestNormEdp);
 }
 
+TEST(DdpgSearcher, BatchedPathIsBitwiseIdenticalToPerStepLoop)
+{
+    SearchFixture fx;
+    DdpgConfig perStep;
+    perStep.hiddenWidth = 24;
+    perStep.batchSize = 8;
+    perStep.warmupSteps = 8;
+    perStep.episodeLength = 7;
+    perStep.updateEvery = 3;
+    perStep.stepBlock = 1;
+    DdpgConfig batched = perStep;
+    batched.stepBlock = 16;
+    // Budgets straddle episode terminals, the warmup->actor hand-off,
+    // and off-phase learn steps so every block-boundary case is hit.
+    for (int64_t steps : {5, 40, 96}) {
+        Rng a(29), b(29);
+        DdpgSearcher s1(fx.model, perStep), s2(fx.model, batched);
+        SearchResult r1 = s1.run(SearchBudget::bySteps(steps), a);
+        SearchResult r2 = s2.run(SearchBudget::bySteps(steps), b);
+        EXPECT_EQ(r1.steps, r2.steps) << "budget " << steps;
+        EXPECT_EQ(r1.bestNormEdp, r2.bestNormEdp) << "budget " << steps;
+        EXPECT_TRUE(r1.best == r2.best) << "budget " << steps;
+        ASSERT_EQ(r1.trace.size(), r2.trace.size()) << "budget " << steps;
+        for (size_t i = 0; i < r1.trace.size(); ++i) {
+            EXPECT_EQ(r1.trace[i].step, r2.trace[i].step);
+            EXPECT_EQ(r1.trace[i].bestNormEdp, r2.trace[i].bestNormEdp);
+        }
+    }
+}
+
 /** Shares one small trained surrogate across the parallel-driver tests. */
 class ParallelDriverFixture : public ::testing::Test
 {
