@@ -100,6 +100,12 @@ ServeClient::readLine()
             buf.erase(0, nl + 1);
             return line;
         }
+        if (buf.size() > kMaxLineBytes) {
+            // A peer streaming a newline-free flood must not grow our
+            // memory without bound; treat it as a broken connection.
+            close();
+            return std::nullopt;
+        }
         char chunk[4096];
         ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
         if (n <= 0)

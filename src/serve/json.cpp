@@ -68,10 +68,22 @@ class Parser
         if (pos >= in.size())
             return fail("unexpected end of input");
         switch (in[pos]) {
-        case '{':
-            return object(out);
-        case '[':
-            return array(out);
+        case '{': {
+            if (depth >= kMaxDepth)
+                return fail("nesting too deep");
+            ++depth;
+            const bool ok = object(out);
+            --depth;
+            return ok;
+        }
+        case '[': {
+            if (depth >= kMaxDepth)
+                return fail("nesting too deep");
+            ++depth;
+            const bool ok = array(out);
+            --depth;
+            return ok;
+        }
         case '"':
             out.kind = JsonValue::Kind::String;
             return string(out.str);
@@ -262,8 +274,13 @@ class Parser
         return true;
     }
 
+    /** Containers may nest this deep; the protocol needs ~4 levels,
+     * and bounding it keeps hostile '[[[[…' input off the stack. */
+    static constexpr int kMaxDepth = 64;
+
     std::string_view in;
     size_t pos = 0;
+    int depth = 0;
     std::string err;
 };
 

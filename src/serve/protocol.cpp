@@ -60,7 +60,16 @@ parseRequest(const std::string &line, std::string *error)
     req.steps = doc->getInt("steps", req.steps);
     req.virtualSec = doc->getDouble("virtualSec", req.virtualSec);
     req.wallSec = doc->getDouble("wallSec", req.wallSec);
-    req.runs = int(doc->getInt("runs", req.runs));
+    // Validate at full width BEFORE narrowing: int(2^32 + 1) would
+    // silently truncate to 1 and sail past the range check.
+    const int64_t runsRaw = doc->getInt("runs", req.runs);
+    if (runsRaw < 1 || runsRaw > kMaxRuns) {
+        if (error != nullptr)
+            *error = "\"runs\" must be in [1, " + std::to_string(kMaxRuns)
+                     + "]";
+        return std::nullopt;
+    }
+    req.runs = int(runsRaw);
     req.seed = uint64_t(doc->getInt("seed", int64_t(req.seed)));
     req.progressEvery = doc->getInt("progressEvery", req.progressEvery);
     req.trace = doc->getBool("trace", req.trace);
@@ -97,11 +106,6 @@ parseRequest(const std::string &line, std::string *error)
             *error = "algo '" + req.algo + "' needs "
                      + std::to_string(algo->rank()) + " bounds, got "
                      + std::to_string(req.bounds.size());
-        return std::nullopt;
-    }
-    if (req.runs < 1) {
-        if (error != nullptr)
-            *error = "\"runs\" must be >= 1";
         return std::nullopt;
     }
     if (req.steps < 0 || req.virtualSec < 0.0 || req.wallSec < 0.0

@@ -35,6 +35,15 @@
 
 namespace mm::serve {
 
+/** Hard cap on one wire line in either direction. A peer that streams
+ * past this without a newline is dropped rather than buffered — no
+ * legitimate request or event comes close. */
+inline constexpr size_t kMaxLineBytes = size_t(1) << 20;
+
+/** Most repetitions one request may ask for (each run pre-allocates a
+ * streaming sink and a result slot). */
+inline constexpr int64_t kMaxRuns = 1024;
+
 /** One parsed, validated search request. */
 struct ServeRequest
 {

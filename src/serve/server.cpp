@@ -4,8 +4,11 @@
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cerrno>
 #include <csignal>
 #include <cstring>
 #include <iostream>
@@ -61,8 +64,14 @@ struct SearchServer::Connection
         while (sent < framed.size()) {
             ssize_t n = ::send(fd, framed.data() + sent,
                                framed.size() - sent, MSG_NOSIGNAL);
+            if (n < 0 && errno == EINTR)
+                continue;
             if (n <= 0) {
+                // Includes EAGAIN from SO_SNDTIMEO: a client that
+                // stopped reading must not wedge a worker, so the
+                // connection is declared dead and its jobs cancelled.
                 alive.store(false, std::memory_order_relaxed);
+                cancelJobs();
                 return false;
             }
             sent += size_t(n);
@@ -74,6 +83,14 @@ struct SearchServer::Connection
     registerJob(const std::shared_ptr<Job> &job)
     {
         std::lock_guard<std::mutex> lock(jobsMtx);
+        // Finished jobs leave expired weak_ptrs behind; prune here so
+        // a long-lived connection's list stays proportional to its
+        // in-flight work, not its lifetime request count.
+        jobs.erase(std::remove_if(jobs.begin(), jobs.end(),
+                                  [](const std::weak_ptr<Job> &w) {
+                                      return w.expired();
+                                  }),
+                   jobs.end());
         jobs.push_back(job);
     }
 
@@ -202,10 +219,17 @@ SearchServer::stop()
         queue.clear();
         counters.queueDepth.store(0, std::memory_order_relaxed);
     }
+    // Kill the connections BEFORE joining workers: shutdown() makes a
+    // worker blocked in send() (slow client) and a reader blocked in
+    // recv() return immediately — joining first could deadlock on a
+    // worker wedged inside a progress write.
     {
         std::lock_guard<std::mutex> lock(connMtx);
-        for (ReaderSlot &slot : readers)
+        for (ReaderSlot &slot : readers) {
+            slot.conn->alive.store(false, std::memory_order_relaxed);
             slot.conn->cancelJobs();
+            ::shutdown(slot.conn->fd, SHUT_RDWR);
+        }
     }
     jobCv.notify_all();
     for (std::thread &w : workers)
@@ -213,14 +237,7 @@ SearchServer::stop()
             w.join();
     workers.clear();
 
-    // Unblock and join the readers, then drop the connections.
-    {
-        std::lock_guard<std::mutex> lock(connMtx);
-        for (ReaderSlot &slot : readers) {
-            slot.conn->alive.store(false, std::memory_order_relaxed);
-            ::shutdown(slot.conn->fd, SHUT_RDWR);
-        }
-    }
+    // Join the readers, then drop the connections.
     for (;;) {
         ReaderSlot slot;
         {
@@ -281,6 +298,13 @@ SearchServer::acceptLoop()
         int fd = ::accept(listenFd, nullptr, nullptr);
         if (fd < 0)
             continue;
+        // Bound every send so a client that stops reading turns into a
+        // dead connection instead of a wedged worker (see
+        // writeLineLocked).
+        timeval sendTimeout{};
+        sendTimeout.tv_sec = 5;
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &sendTimeout,
+                     sizeof(sendTimeout));
         reapFinishedReaders();
         auto conn = std::make_shared<Connection>(fd);
         std::lock_guard<std::mutex> lock(connMtx);
@@ -308,6 +332,13 @@ SearchServer::readerLoop(std::shared_ptr<Connection> conn)
             if (line.find_first_not_of(" \t") == std::string::npos)
                 continue;
             handleLine(conn, line);
+        }
+        if (buf.size() > kMaxLineBytes) {
+            // Newline-free flood: reject and drop instead of growing
+            // server memory with the client's buffer.
+            counters.rejected.fetch_add(1, std::memory_order_relaxed);
+            conn->writeLine(makeRejected("", "request line too long"));
+            break;
         }
     }
     // EOF or error: the client is gone. Cancel everything it owns so

@@ -126,6 +126,23 @@ TEST(ServeJson, RejectsMalformedInput)
     EXPECT_FALSE(parseJson("", &err).has_value());
 }
 
+TEST(ServeJson, RejectsPathologicalNesting)
+{
+    // Regression: '[[[[…' with ~100k open brackets used to recurse once
+    // per bracket and overflow the stack; the depth cap must turn it
+    // into an ordinary parse error.
+    std::string err;
+    EXPECT_FALSE(parseJson(std::string(100'000, '['), &err).has_value());
+    EXPECT_FALSE(err.empty());
+
+    // A well-formed document deeper than the cap is rejected too...
+    std::string deep = std::string(65, '[') + std::string(65, ']');
+    EXPECT_FALSE(parseJson(deep).has_value());
+    // ...while nesting at the cap still parses.
+    std::string atCap = std::string(64, '[') + std::string(64, ']');
+    EXPECT_TRUE(parseJson(atCap).has_value());
+}
+
 TEST(ServeJson, HexfloatRoundTripIsBitExact)
 {
     const double values[] = {0.0,
@@ -177,6 +194,13 @@ TEST(ServeProtocol, ParsesAndValidatesRequests)
         R"({"id":"x","arch":"nope","algo":"conv1d","bounds":[64,3],"steps":1})",
         R"({"id":"x","algo":"conv1d","bounds":[64,0],"steps":1})",
         R"({"id":"x","algo":"conv1d","bounds":[],"steps":1})",
+        // Regression: 2^32+1 used to truncate to int 1 and slip past
+        // the runs >= 1 check; large-but-representable values must
+        // bounce off the cap instead of pre-allocating a sink per run.
+        R"({"id":"x","algo":"conv1d","bounds":[64,3],"steps":1,"runs":4294967297})",
+        R"({"id":"x","algo":"conv1d","bounds":[64,3],"steps":1,"runs":1000000000})",
+        R"({"id":"x","algo":"conv1d","bounds":[64,3],"steps":1,"runs":0})",
+        R"({"id":"x","algo":"conv1d","bounds":[64,3],"steps":1,"runs":-1})",
         R"(not json at all)",
     };
     for (const char *line : bad) {
@@ -184,6 +208,14 @@ TEST(ServeProtocol, ParsesAndValidatesRequests)
         EXPECT_FALSE(parseRequest(line, &err).has_value()) << line;
         EXPECT_FALSE(err.empty()) << line;
     }
+
+    // The cap itself is admissible.
+    std::optional<ServeRequest> atCap = parseRequest(
+        R"({"id":"x","algo":"conv1d","bounds":[64,3],"steps":1,"runs":)"
+            + std::to_string(kMaxRuns) + "}",
+        &err);
+    ASSERT_TRUE(atCap.has_value()) << err;
+    EXPECT_EQ(atCap->runs, int(kMaxRuns));
 }
 
 TEST(ServeProtocol, BudgetIntersectsServerWallCap)
@@ -605,6 +637,45 @@ TEST_F(ServeFixture, BadLinesAndBadMethodsAreIsolated)
     ASSERT_TRUE(c.sendRequest(ok));
     EXPECT_TRUE(c.waitFor("result", "still-up").has_value());
     server.stop();
+}
+
+TEST_F(ServeFixture, OversizedLineIsRejectedAndConnectionDropped)
+{
+    ServeConfig cfg = baseConfig();
+    SearchServer server(cfg);
+    server.start();
+
+    ServeClient c;
+    ASSERT_TRUE(c.connectTo(server.port()));
+
+    // A newline-free flood just past the cap: the reader must reject
+    // and stop serving this connection instead of buffering it. (Kept
+    // only slightly above the cap so the tail fits in kernel socket
+    // buffers — the server stops recv'ing once it decides to drop.)
+    std::string flood(kMaxLineBytes + 8 * 1024, 'x');
+    ASSERT_TRUE(c.sendLine(flood));
+    std::optional<JsonValue> event = c.readEvent();
+    ASSERT_TRUE(event.has_value());
+    EXPECT_EQ(event->getStr("type", ""), "rejected");
+    EXPECT_EQ(event->getStr("reason", ""), "request line too long");
+    EXPECT_GE(server.metrics().rejected.load(), 1u);
+
+    // The dropped connection's input is ignored from here on; a send
+    // may fail once the server closes the fd, which is fine.
+    (void)c.sendRequest(longRandomRequest("ghost"));
+
+    // Other tenants are unaffected.
+    ServeClient d;
+    ASSERT_TRUE(d.connectTo(server.port()));
+    ServeRequest ok = longRandomRequest("healthy");
+    ok.steps = 64;
+    ok.progressEvery = 0;
+    ASSERT_TRUE(d.sendRequest(ok));
+    EXPECT_TRUE(d.waitFor("result", "healthy").has_value());
+
+    server.stop();
+    // EOF, with no accepted line ever emitted for the ghost request.
+    EXPECT_FALSE(c.readEvent().has_value());
 }
 
 TEST_F(ServeFixture, StopWithBusyClientsShutsDownCleanly)
