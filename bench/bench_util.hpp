@@ -49,6 +49,10 @@
  *   MM_EVAL_N         mappings per shape in costmodel_perf (def. 4096)
  *   MM_EVAL_SECS      target seconds per costmodel_perf measurement
  *                     (def. 0.2)
+ *   MM_BB_NODES       branch-and-bound node cap for the optimality
+ *                     certificates in fig5/fig6 and for bound_perf
+ *                     (def. 2000; the certificate stays valid at any
+ *                     cap, it is just looser when the run is cut short)
  *
  * Searchers are constructed through the library's SearcherRegistry
  * (search/registry.hpp) and repeated through runMany
@@ -99,6 +103,8 @@ struct BenchEnv
     bool paperPreset = envStr("MM_PRESET", "fast") == "paper";
     /** Non-empty runs Phase 1 out-of-core through this directory. */
     std::string streamDir = envStr("MM_STREAM_DIR", "");
+    /** Node cap of the certificate branch-and-bound runs. */
+    int64_t bbNodes = envInt("MM_BB_NODES", 2000);
 };
 
 /** Peak resident set size of this process so far, in MiB. */

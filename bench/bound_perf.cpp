@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Branch-and-bound certification throughput (ISSUE 9).
+ *
+ * Runs certifyOptimum on a spread of problems — a map space small
+ * enough to solve exactly, plus full-size CNN-Layer and MTTKRP shapes
+ * where the node cap cuts the run short — and reports the node
+ * expansion rate, prune rate, and time-to-certificate. Writes
+ * BENCH_bound.json so the perf trajectory is tracked across PRs.
+ *
+ * Knobs: MM_BB_NODES (node cap, default 2000).
+ */
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "bound/bb_search.hpp"
+#include "common/clock.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mm;
+    using namespace mm::bench;
+
+    if (handleBenchArgs(argc, argv))
+        return 0;
+
+    BenchEnv env;
+    banner("Bound engine: branch-and-bound certification throughput",
+           strCat("ISSUE 9; nodes<=", env.bbNodes, " per problem"));
+
+    AcceleratorSpec arch = AcceleratorSpec::paperDefault();
+    std::vector<Problem> problems = {
+        makeProblem(conv1dAlgo(), "conv1d_tiny", {16, 4}),
+        cnnProblem("ResNet_Conv_4", 16, 256, 256, 14, 14, 3, 3),
+        mttkrpProblem("MTTKRP_small", 128, 256, 512, 128),
+    };
+
+    Table table({"problem", "certNormEDP", "bestNormEDP", "exact",
+                 "nodes", "pruned", "prune_rate", "leaves", "sec"});
+    JsonArray perProblem;
+    for (const Problem &p : problems) {
+        MapSpace space(arch, p);
+        CostModel model(space);
+
+        WallTimer timer;
+        const BBOutcome out = certifyOptimum(model, env.bbNodes);
+        const double sec = timer.elapsedSec();
+
+        const double visited = double(out.nodesExpanded + out.nodesPruned);
+        const double pruneRate =
+            visited > 0.0 ? double(out.nodesPruned) / visited : 0.0;
+        table.addRow({p.name, fmtDouble(out.certifiedNormEdp, 5),
+                      fmtDouble(out.bestNormEdp, 5),
+                      out.exact ? "yes" : "no",
+                      strCat(out.nodesExpanded), strCat(out.nodesPruned),
+                      fmtDouble(pruneRate, 4),
+                      strCat(out.leavesEvaluated), fmtDouble(sec, 4)});
+        std::cerr << "[bound] " << p.name << " certified >= "
+                  << fmtDouble(out.certifiedNormEdp, 5) << " in "
+                  << fmtDouble(sec, 4) << " s"
+                  << (out.exact ? " (exact optimum)" : "") << std::endl;
+
+        JsonObject po;
+        po.set("problem", p.name)
+            .set("certified_norm_edp", out.certifiedNormEdp)
+            .set("best_norm_edp", out.bestNormEdp)
+            .set("exact", int64_t(out.exact))
+            .set("nodes_expanded", out.nodesExpanded)
+            .set("nodes_pruned", out.nodesPruned)
+            .set("prune_rate", pruneRate)
+            .set("leaves_evaluated", out.leavesEvaluated)
+            .set("time_to_certificate_sec", sec);
+        perProblem.add(po);
+    }
+    table.print(std::cout);
+
+    JsonObject json = benchJsonHeader("bound", env);
+    json.set("bb_nodes", env.bbNodes);
+    json.setRaw("problems", perProblem.str());
+    writeBenchJson("bound", json);
+    return 0;
+}

@@ -15,6 +15,7 @@
 #include <map>
 
 #include "bench/bench_util.hpp"
+#include "bound/bb_search.hpp"
 
 int
 main(int argc, char **argv)
@@ -44,10 +45,14 @@ main(int argc, char **argv)
     std::vector<std::string> cols = {"problem", "method"};
     for (int64_t c : checkpoints)
         cols.push_back(strCat("@", c));
+    cols.push_back("gap");
     Table table(cols);
 
-    // Per-method geomean across problems of the final quality.
+    // Per-method geomean across problems of the final quality and of
+    // the optimality gap (best-found EDP over the certified bound).
     std::map<std::string, std::vector<double>> finals;
+    std::map<std::string, std::vector<double>> gaps;
+    JsonArray certJson;
 
     AcceleratorSpec arch = AcceleratorSpec::paperDefault();
     auto budget = SearchBudget::bySteps(env.iters);
@@ -59,19 +64,41 @@ main(int argc, char **argv)
         MapSpace space(arch, p);
         CostModel model(space);
 
+        // Per-problem optimality certificate: any method's normalized
+        // EDP divided by certifiedNormEdp is a *proven* gap to the best
+        // achievable mapping (exact optimum when BB terminates).
+        const BBOutcome cert = certifyOptimum(model, env.bbNodes);
+        std::cerr << "[fig5] " << p.name << " certified >= "
+                  << fmtDouble(cert.certifiedNormEdp, 5)
+                  << (cert.exact ? " (exact optimum)" : "") << std::endl;
+        JsonObject co;
+        co.set("problem", p.name)
+            .set("certified_norm_edp", cert.certifiedNormEdp)
+            .set("exact", int64_t(cert.exact))
+            .set("nodes_expanded", cert.nodesExpanded);
+        certJson.add(co);
+
         for (const auto &method : methods) {
             auto runs =
                 runMethod(method, model, &sur, budget, env, problemSeed);
             std::vector<std::string> row = {p.name, method};
             for (int64_t c : checkpoints)
                 row.push_back(fmtDouble(geomeanAtStep(runs, c), 5));
+            const double gap =
+                geomeanFinal(runs) / cert.certifiedNormEdp;
+            row.push_back(strCat(fmtDouble(gap, 4),
+                                 cert.exact ? "*" : ""));
             table.addRow(row);
             finals[method].push_back(geomeanFinal(runs));
+            gaps[method].push_back(gap);
             std::cerr << "[fig5] " << p.name << " " << method << " -> "
                       << fmtDouble(geomeanFinal(runs), 5) << std::endl;
         }
         ++problemSeed;
     }
+    std::cout << "gap: best-found EDP over the certified lower bound "
+                 "(BB, maxNodes=" << env.bbNodes
+              << "); * marks a proven exact optimum.\n\n";
     table.print(std::cout);
 
     // Headline ratios (paper: 1.40x / 1.76x / 1.29x over SA / GA / RL),
@@ -97,11 +124,15 @@ main(int argc, char **argv)
     JsonArray perMethod;
     for (const auto &[method, vals] : finals) {
         JsonObject mo;
-        mo.set("method", method).set("geomean_edp", geomean(vals));
+        mo.set("method", method)
+            .set("geomean_edp", geomean(vals))
+            .set("geomean_gap", geomean(gaps[method]));
         perMethod.add(mo);
     }
     JsonObject json = benchJsonHeader("fig5_iso_iteration", env);
+    json.set("bb_nodes", env.bbNodes);
     json.setRaw("methods", perMethod.str());
+    json.setRaw("certificates", certJson.str());
     writeBenchJson("fig5_iso_iteration", json);
     return 0;
 }

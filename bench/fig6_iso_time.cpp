@@ -18,6 +18,7 @@
 #include <map>
 
 #include "bench/bench_util.hpp"
+#include "bound/bb_search.hpp"
 
 int
 main(int argc, char **argv)
@@ -52,12 +53,18 @@ main(int argc, char **argv)
     std::vector<std::string> cols = {"problem", "method"};
     for (double c : checkpoints)
         cols.push_back(strCat("@", fmtDouble(c, 3), "s"));
+    cols.push_back("gap");
     cols.push_back("steps");
     cols.push_back("real_s");
     Table table(cols);
 
     std::map<std::string, std::vector<double>> finals;
+    std::map<std::string, std::vector<double>> gaps;
     std::map<std::string, double> wallByMethod;
+    // One certificate per problem, shared between the virtual-time and
+    // the iso-wall-clock tables below.
+    std::map<std::string, BBOutcome> certs;
+    JsonArray certJson;
     AcceleratorSpec arch = AcceleratorSpec::paperDefault();
     auto budget = SearchBudget::byVirtualTime(env.vtime);
     uint64_t problemSeed = 101;
@@ -67,6 +74,18 @@ main(int argc, char **argv)
             (isCnn ? *cnnMapper : *mttMapper).surrogate();
         MapSpace space(arch, p);
         CostModel model(space);
+
+        const BBOutcome cert = certifyOptimum(model, env.bbNodes);
+        certs[p.name] = cert;
+        std::cerr << "[fig6] " << p.name << " certified >= "
+                  << fmtDouble(cert.certifiedNormEdp, 5)
+                  << (cert.exact ? " (exact optimum)" : "") << std::endl;
+        JsonObject co;
+        co.set("problem", p.name)
+            .set("certified_norm_edp", cert.certifiedNormEdp)
+            .set("exact", int64_t(cert.exact))
+            .set("nodes_expanded", cert.nodesExpanded);
+        certJson.add(co);
 
         for (const auto &method : methods) {
             auto runs =
@@ -79,16 +98,24 @@ main(int argc, char **argv)
                 steps += double(r.steps);
                 wall += r.wallSec;
             }
+            const double gap =
+                geomeanFinal(runs) / cert.certifiedNormEdp;
+            row.push_back(strCat(fmtDouble(gap, 4),
+                                 cert.exact ? "*" : ""));
             row.push_back(fmtDouble(steps / double(runs.size()), 5));
             row.push_back(fmtDouble(wall / double(runs.size()), 3));
             table.addRow(row);
             finals[method].push_back(geomeanFinal(runs));
+            gaps[method].push_back(gap);
             wallByMethod[method] += wall / double(runs.size());
             std::cerr << "[fig6] " << p.name << " " << method << " -> "
                       << fmtDouble(geomeanFinal(runs), 5) << std::endl;
         }
         ++problemSeed;
     }
+    std::cout << "gap: best-found EDP over the certified lower bound "
+                 "(BB, maxNodes=" << env.bbNodes
+              << "); * marks a proven exact optimum.\n\n";
     table.print(std::cout);
 
     auto have = [&](const char *m) { return finals.count(m) > 0; };
@@ -132,11 +159,14 @@ main(int argc, char **argv)
         JsonObject mo;
         mo.set("method", method)
             .set("geomean_edp", geomean(vals))
+            .set("geomean_gap", geomean(gaps[method]))
             .set("wall_sec", wallByMethod[method]);
         perMethod.add(mo);
     }
     JsonObject json = benchJsonHeader("fig6_iso_time", env);
+    json.set("bb_nodes", env.bbNodes);
     json.setRaw("methods", perMethod.str());
+    json.setRaw("certificates", certJson.str());
     writeBenchJson("fig6_iso_time", json);
 
     // --- Iso-wall-clock mode: budget *real* seconds per run. Unlike
@@ -156,8 +186,9 @@ main(int argc, char **argv)
         BenchEnv wallEnv = env;
         wallEnv.runThreads = 1;
         Table wallTable({"problem", "method", "normEDP", "median",
-                        "steps", "real_s"});
+                        "gap", "steps", "real_s"});
         std::map<std::string, std::vector<double>> wallFinals;
+        std::map<std::string, std::vector<double>> wallGaps;
         std::map<std::string, double> wallSteps, wallSecs;
         uint64_t wallSeed = 9001;
         for (const Problem &p : table1All()) {
@@ -182,12 +213,18 @@ main(int argc, char **argv)
                     bests.empty()
                         ? std::numeric_limits<double>::infinity()
                         : bests[bests.size() / 2];
+                const BBOutcome &cert = certs[p.name];
+                const double gap =
+                    geomeanFinal(runs) / cert.certifiedNormEdp;
                 wallTable.addRow({p.name, method,
                                   fmtDouble(geomeanFinal(runs), 5),
                                   fmtDouble(median, 5),
+                                  strCat(fmtDouble(gap, 4),
+                                         cert.exact ? "*" : ""),
                                   fmtDouble(steps, 5),
                                   fmtDouble(wall, 3)});
                 wallFinals[method].push_back(geomeanFinal(runs));
+                wallGaps[method].push_back(gap);
                 wallSteps[method] += steps;
                 wallSecs[method] += wall;
                 std::cerr << "[fig6-wall] " << p.name << " " << method
@@ -212,6 +249,7 @@ main(int argc, char **argv)
             JsonObject mo;
             mo.set("method", method)
                 .set("geomean_edp", geomean(vals))
+                .set("geomean_gap", geomean(wallGaps[method]))
                 .set("mean_steps", wallSteps[method] / double(vals.size()))
                 .set("wall_sec", wallSecs[method]);
             wallPerMethod.add(mo);

@@ -1,0 +1,454 @@
+#include "bound/bb_search.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/error.hpp"
+#include "search/registry.hpp"
+
+namespace mm {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/** One open subtree: dimensions branchOrder[0..depth) fixed to the
+ * tuple indices in choice, everything else free. */
+struct Node
+{
+    double bound = 0.0;
+    uint64_t seq = 0;
+    uint32_t depth = 0;
+    std::array<uint32_t, kMaxCostRank> choice{};
+};
+
+/** Min-bound first; deeper then older nodes win ties, so the queue
+ * plunges toward leaves instead of hovering at one frontier. */
+struct WorseThan
+{
+    bool
+    operator()(const Node &a, const Node &b) const
+    {
+        if (a.bound != b.bound)
+            return a.bound > b.bound;
+        if (a.depth != b.depth)
+            return a.depth < b.depth;
+        return a.seq > b.seq;
+    }
+};
+
+class BBRun
+{
+  public:
+    BBRun(const CostModel &model_, const BoundTables &tables_,
+          SearchRecorder &rec_, const BBOptions &opt_)
+        : model(&model_), tables(&tables_), rec(&rec_), opt(opt_),
+          rank(model_.space().rank()), lbEdp(model_.lowerBound().edp())
+    {
+        MM_ASSERT(&tables_.space() == &model_.space(),
+                  "bound tables wrap a different map space");
+        branchOrder.resize(rank);
+        for (size_t d = 0; d < rank; ++d)
+            branchOrder[d] = d;
+        // Cheap decisions near the root: ascending tuple count.
+        std::sort(branchOrder.begin(), branchOrder.end(),
+                  [&](size_t a, size_t b) {
+                      const size_t ca = tables_.tuples(a).size();
+                      const size_t cb = tables_.tuples(b).size();
+                      return ca != cb ? ca < cb : a < b;
+                  });
+        // Relevance class per dimension: dims with identical classes
+        // are interchangeable under *adjacent* loop swaps.
+        classOf.assign(rank, 0);
+        const AlgorithmSpec &algo = *model_.space().problem().algo;
+        for (size_t d = 0; d < rank; ++d)
+            for (size_t t = 0; t < algo.tensorCount(); ++t)
+                if (algo.tensors[t].usesDim(int(d)))
+                    classOf[d] |= uint32_t(1) << t;
+    }
+
+    BBOutcome
+    run()
+    {
+        dive();
+        loop();
+        return finishOutcome();
+    }
+
+  private:
+    /** Incumbent in absolute EDP (the recorder may carry a better best
+     * from the caller — pruning against it is equally sound). */
+    double
+    incumbentEdp() const
+    {
+        return std::min(myBestNorm, rec->bestNormEdp()) * lbEdp;
+    }
+
+    PartialAssignment
+    assignmentOf(const Node &n) const
+    {
+        PartialAssignment pa(rank);
+        for (uint32_t k = 0; k < n.depth; ++k) {
+            const size_t d = branchOrder[k];
+            pa.fixDim(d, tables->tuples(d)[n.choice[k]]);
+        }
+        return pa;
+    }
+
+    /**
+     * Greedy bound-guided descent to one complete factorization. Gives
+     * the main loop an incumbent to prune against from node one; the
+     * best-first queue alone would evaluate nothing until it first
+     * reaches depth == rank.
+     */
+    void
+    dive()
+    {
+        Node n;
+        PartialAssignment pa(rank);
+        for (size_t k = 0; k < rank; ++k) {
+            if (rec->exhausted() || nodesExpanded >= opt.maxNodes)
+                return;
+            ++nodesExpanded;
+            const auto &tup = tables->tuples(branchOrder[k]);
+            double bestB = kInf;
+            uint32_t bestI = 0;
+            bool found = false;
+            for (uint32_t i = 0; i < tup.size(); ++i) {
+                PartialAssignment child = pa;
+                child.fixDim(branchOrder[k], tup[i]);
+                const PartialBound pb = tables->bound(child);
+                if (pb.feasible && pb.edp() < bestB) {
+                    bestB = pb.edp();
+                    bestI = i;
+                    found = true;
+                }
+            }
+            if (!found)
+                return;
+            pa.fixDim(branchOrder[k], tup[bestI]);
+            n.choice[k] = bestI;
+        }
+        n.depth = uint32_t(rank);
+        n.bound = tables->bound(pa).edp();
+        evaluateLeaf(n);
+    }
+
+    void
+    loop()
+    {
+        const PartialBound rootB = tables->bound(PartialAssignment(rank));
+        if (!rootB.feasible)
+            return; // empty map space; MapSpace construction forbids it
+        Node root;
+        root.bound = rootB.edp();
+        open.push(root);
+        while (!open.empty() && nodesExpanded < opt.maxNodes
+               && !rec->exhausted()) {
+            const Node n = open.top();
+            open.pop();
+            // Re-check against the (possibly improved) incumbent.
+            if (n.bound * (1.0 + opt.gap) >= incumbentEdp()) {
+                ++nodesPruned;
+                prunedMin = std::min(prunedMin, n.bound);
+                continue;
+            }
+            if (size_t(n.depth) == rank) {
+                ++nodesExpanded;
+                evaluateLeaf(n);
+            } else {
+                expand(n);
+            }
+        }
+    }
+
+    void
+    expand(const Node &n)
+    {
+        ++nodesExpanded;
+        const size_t d = branchOrder[n.depth];
+        const auto &tup = tables->tuples(d);
+        const PartialAssignment base = assignmentOf(n);
+        for (uint32_t i = 0; i < tup.size(); ++i) {
+            PartialAssignment pa = base;
+            pa.fixDim(d, tup[i]);
+            const PartialBound pb = tables->bound(pa);
+            const double b = pb.edp();
+            if (!pb.feasible || b * (1.0 + opt.gap) >= incumbentEdp()) {
+                ++nodesPruned;
+                if (pb.feasible)
+                    prunedMin = std::min(prunedMin, b);
+                continue;
+            }
+            Node child;
+            child.bound = b;
+            child.seq = ++seqCounter;
+            child.depth = n.depth + 1;
+            child.choice = n.choice;
+            child.choice[n.depth] = i;
+            if (int64_t(open.size()) >= opt.maxOpen)
+                residualMin = std::min(residualMin, b);
+            else
+                open.push(child);
+        }
+    }
+
+    /**
+     * Canonical orders of @p active (generation stops one past @p cap
+     * so the caller can detect truncation), each completed into a full
+     * permutation by appending the inactive dimensions.
+     */
+    std::vector<std::vector<int>>
+    canonicalOrders(const std::vector<int> &active, int64_t cap) const
+    {
+        std::vector<std::vector<int>> out;
+        std::vector<int> cur;
+        std::vector<char> used(active.size(), 0);
+        canonicalRec(active, used, cur, cap + 1, out);
+        for (auto &ord : out) {
+            std::vector<char> inOrd(rank, 0);
+            for (int d : ord)
+                inOrd[size_t(d)] = 1;
+            for (size_t d = 0; d < rank; ++d)
+                if (!inOrd[d])
+                    ord.push_back(int(d));
+        }
+        return out;
+    }
+
+    void
+    canonicalRec(const std::vector<int> &active, std::vector<char> &used,
+                 std::vector<int> &cur, int64_t cap,
+                 std::vector<std::vector<int>> &out) const
+    {
+        if (int64_t(out.size()) >= cap)
+            return;
+        if (cur.size() == active.size()) {
+            out.push_back(cur);
+            return;
+        }
+        for (size_t i = 0; i < active.size(); ++i) {
+            if (used[i])
+                continue;
+            // Adjacent same-class loops commute bitwise; keep only the
+            // ascending representative of each such pair.
+            if (!cur.empty()
+                && classOf[size_t(cur.back())] == classOf[size_t(active[i])]
+                && active[i] < cur.back())
+                continue;
+            used[i] = 1;
+            cur.push_back(active[i]);
+            canonicalRec(active, used, cur, cap, out);
+            cur.pop_back();
+            used[i] = 0;
+        }
+    }
+
+    void
+    evaluateLeaf(const Node &n)
+    {
+        Mapping base;
+        base.spatial.assign(rank, 1);
+        for (auto &t : base.tiling)
+            t.assign(rank, 1);
+        for (size_t k = 0; k < rank; ++k) {
+            const size_t d = branchOrder[k];
+            const auto &f = tables->tuples(d)[n.choice[k]];
+            base.tiling[size_t(MemLevel::L1)][d] = f[size_t(FactorSlot::L1)];
+            base.spatial[d] = f[size_t(FactorSlot::Spatial)];
+            base.tiling[size_t(MemLevel::L2)][d] = f[size_t(FactorSlot::L2)];
+            base.tiling[size_t(MemLevel::DRAM)][d] =
+                f[size_t(FactorSlot::DRAM)];
+        }
+        if (!tables->assignMinimalBanks(base))
+            return; // bound() already proved this cannot happen
+
+        // Canonical per-level orders of the trip > 1 loops (order of
+        // trip == 1 loops never reaches the flattened nest).
+        std::array<std::vector<std::vector<int>>, kNumMemLevels> orders;
+        for (size_t lvl = 0; lvl < kNumMemLevels; ++lvl) {
+            std::vector<int> active;
+            for (size_t d = 0; d < rank; ++d)
+                if (base.tiling[lvl][d] > 1)
+                    active.push_back(int(d));
+            orders[lvl] = canonicalOrders(active, opt.leafOrders);
+        }
+
+        bool truncated = false;
+        leafMaps.clear();
+        for (size_t i0 = 0; i0 < orders[0].size() && !truncated; ++i0) {
+            for (size_t i1 = 0; i1 < orders[1].size() && !truncated; ++i1) {
+                for (size_t i2 = 0; i2 < orders[2].size(); ++i2) {
+                    if (int64_t(leafMaps.size()) >= opt.leafOrders) {
+                        truncated = true;
+                        break;
+                    }
+                    Mapping m = base;
+                    m.loopOrder[0] = orders[0][i0];
+                    m.loopOrder[1] = orders[1][i1];
+                    m.loopOrder[2] = orders[2][i2];
+                    leafMaps.push_back(std::move(m));
+                }
+            }
+        }
+
+        const int64_t planned = rec->plannedSteps(int64_t(leafMaps.size()));
+        if (truncated || planned < int64_t(leafMaps.size()))
+            residualMin = std::min(residualMin, n.bound);
+        if (planned == 0)
+            return;
+        leafPtrs.clear();
+        for (int64_t i = 0; i < planned; ++i)
+            leafPtrs.push_back(&leafMaps[size_t(i)]);
+        norms.resize(size_t(planned));
+        model->normalizedEdpBatch(
+            std::span<const Mapping *const>(leafPtrs),
+            std::span<double>(norms));
+        const size_t used = rec->stepPrescored(leafPtrs, norms);
+        if (int64_t(used) < planned)
+            residualMin = std::min(residualMin, n.bound);
+        leavesEvaluated += int64_t(used);
+        for (size_t i = 0; i < used; ++i) {
+            if (norms[i] < myBestNorm) {
+                myBestNorm = norms[i];
+                myBest = leafMaps[i];
+            }
+        }
+    }
+
+    BBOutcome
+    finishOutcome()
+    {
+        BBOutcome out;
+        out.nodesExpanded = nodesExpanded;
+        out.nodesPruned = nodesPruned;
+        out.leavesEvaluated = leavesEvaluated;
+        out.bestNormEdp = myBestNorm;
+        const double bestEdp =
+            std::isfinite(myBestNorm) ? myBestNorm * lbEdp : kInf;
+        if (std::isfinite(myBestNorm))
+            out.best = myBest;
+        // Every mapping sits under an evaluated leaf, a pruned node, a
+        // still-open node, or a truncation residual.
+        const double openMin = open.empty() ? kInf : open.top().bound;
+        out.certifiedEdp =
+            std::min(std::min(bestEdp, prunedMin),
+                     std::min(openMin, residualMin));
+        out.certifiedNormEdp =
+            lbEdp > 0.0 ? out.certifiedEdp / lbEdp : out.certifiedEdp;
+        out.exact =
+            std::isfinite(bestEdp) && out.certifiedEdp == bestEdp;
+        return out;
+    }
+
+    const CostModel *model;
+    const BoundTables *tables;
+    SearchRecorder *rec;
+    BBOptions opt;
+    size_t rank;
+    double lbEdp;
+
+    std::vector<size_t> branchOrder;
+    std::vector<uint32_t> classOf;
+    std::priority_queue<Node, std::vector<Node>, WorseThan> open;
+    uint64_t seqCounter = 0;
+
+    int64_t nodesExpanded = 0;
+    int64_t nodesPruned = 0;
+    int64_t leavesEvaluated = 0;
+    double prunedMin = kInf;
+    double residualMin = kInf;
+    double myBestNorm = kInf;
+    Mapping myBest;
+
+    // Reused leaf-evaluation scratch.
+    std::vector<Mapping> leafMaps;
+    std::vector<const Mapping *> leafPtrs;
+    std::vector<double> norms;
+};
+
+} // namespace
+
+BBOutcome
+branchAndBound(const CostModel &model, const BoundTables &tables,
+               SearchRecorder &rec, const BBOptions &opt)
+{
+    BBRun run(model, tables, rec, opt);
+    return run.run();
+}
+
+BBOutcome
+certifyOptimum(const CostModel &model, int64_t maxNodes, double gap)
+{
+    SearchRecorder rec(model, SearchBudget{},
+                       TimingModel::paperCalibrated().randomStepSec);
+    BoundTables tables(model.space());
+    BBOptions opt;
+    opt.maxNodes = maxNodes;
+    opt.gap = gap;
+    return branchAndBound(model, tables, rec, opt);
+}
+
+std::optional<Mapping>
+seedIncumbent(const CostModel &model, SearchRecorder &rec,
+              int64_t seedNodes)
+{
+    BoundTables tables(model.space());
+    BBOptions opt;
+    opt.maxNodes = seedNodes;
+    // Seeding wants a good factorization fast, not an order sweep.
+    opt.leafOrders = 64;
+    BBOutcome out = branchAndBound(model, tables, rec, opt);
+    if (!std::isfinite(out.bestNormEdp))
+        return std::nullopt;
+    return std::move(out.best);
+}
+
+BBSearcher::BBSearcher(const CostModel &model_, BBOptions opt_,
+                       const TimingModel &timing)
+    : model(&model_), opt(opt_), stepLatency(timing.randomStepSec)
+{}
+
+SearchResult
+BBSearcher::run(SearchContext &ctx)
+{
+    SearchRecorder rec(*model, ctx, stepLatency);
+    BoundTables tables(model->space());
+    branchAndBound(*model, tables, rec, opt);
+    return rec.finish(name());
+}
+
+namespace {
+const SearcherRegistrar registrar({
+    "BB",
+    "best-first branch-and-bound with analytic partial-assignment "
+    "bounds; prunes to a certified (optionally exact) optimum",
+    /*needsSurrogate=*/false,
+    {
+        {"maxNodes", "nodes expanded before giving up"},
+        {"gap", "relative optimality gap pruning tolerates (0 = exact)"},
+        {"leafOrders", "loop-order combinations evaluated per leaf"},
+    },
+    [](const SearcherBuildContext &ctx, SearcherOptions &opt) {
+        BBOptions cfg;
+        cfg.maxNodes = opt.getInt("maxNodes", cfg.maxNodes);
+        cfg.gap = opt.getDouble("gap", cfg.gap);
+        cfg.leafOrders = opt.getInt("leafOrders", cfg.leafOrders);
+        if (cfg.maxNodes < 1)
+            fatal("searcher 'BB': maxNodes must be >= 1");
+        if (cfg.gap < 0.0)
+            fatal("searcher 'BB': gap must be >= 0");
+        if (cfg.leafOrders < 1)
+            fatal("searcher 'BB': leafOrders must be >= 1");
+        return std::make_unique<BBSearcher>(ctx.model, cfg, ctx.timing);
+    },
+});
+} // namespace
+
+namespace detail {
+extern const int boundSearcherRegistered;
+const int boundSearcherRegistered = 1;
+} // namespace detail
+
+} // namespace mm

@@ -26,6 +26,13 @@ GradientChain::encodeZ(const Mapping &m) const
 }
 
 void
+GradientChain::restartFrom(const Mapping &m)
+{
+    cur = m;
+    z = encodeZ(cur);
+}
+
+void
 GradientChain::applyGradient(std::span<const float> gradRow)
 {
     MM_ASSERT(gradRow.size() == z.size(), "gradient arity mismatch");

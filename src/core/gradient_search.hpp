@@ -50,6 +50,16 @@ struct GradientSearchConfig
     int decayEveryInjections = 50;
     /** Disable random injection entirely (ablation switch). */
     bool enableInjection = true;
+    /**
+     * Warm-start source, consumed by the batched driver (the chain
+     * itself always starts random): "" starts all chains random, "BB"
+     * restarts chain 0 from a bound-guided branch-and-bound incumbent
+     * (src/bound/bb_search.hpp). The seeding leaf evaluations are
+     * charged cost-function queries like any other step.
+     */
+    std::string seedFrom;
+    /** Node cap of the seeding branch-and-bound run. */
+    int64_t seedNodes = 256;
 };
 
 /**
@@ -84,6 +94,10 @@ class GradientChain
 
     /** The mapping the chain currently sits on. */
     const Mapping &current() const { return cur; }
+
+    /** Restart the chain from @p m (must be valid): the next gradient
+     * step descends from there. Consumes no randomness. */
+    void restartFrom(const Mapping &m);
 
     /**
      * Consume this step's surrogate gradient row (steps 4-5 of Section

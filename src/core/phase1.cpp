@@ -50,11 +50,13 @@ Phase1Config::fingerprint(const AcceleratorSpec &arch,
     std::string probs;
     for (const Problem &p : r.data.problems)
         probs += join(p.bounds, "x") + ";";
-    // fmt=4: surrogate files gained a checksummed envelope and training
-    // gained the windowed shuffle (win=), invalidating fmt=3 caches.
+    // fmt=5: the bounds engine tightened computeLowerBound, which moves
+    // every normalized-EDP label and meta-stat normalization —
+    // fmt=4-era datasets and surrogates are stale. (fmt=4: checksummed
+    // envelope + windowed shuffle.)
     // streamDir/shardSize are deliberately absent: the streamed path is
     // bitwise identical to the in-RAM path, so both share one entry.
-    return strCat("fmt=4|", algo.name, "|", arch.name, "|lin=", r.linear,
+    return strCat("fmt=5|", algo.name, "|", arch.name, "|lin=", r.linear,
                   "|h=", join(r.hidden, "-"),
                   "|n=", r.data.samples, "|p=", r.data.problemCount,
                   "|probs=", probs, "|meta=", r.data.metaStatOutputs, "|elite=",

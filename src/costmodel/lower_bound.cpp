@@ -1,22 +1,25 @@
 #include "costmodel/lower_bound.hpp"
 
+#include "bound/bounds.hpp"
+#include "mapping/map_space.hpp"
+
 namespace mm {
 
 LowerBound
 computeLowerBound(const AcceleratorSpec &arch, const Problem &problem)
 {
-    double perWordPj = 0.0;
-    for (const auto &level : arch.levels)
-        perWordPj += level.energyPerWordPj;
-
-    double words = 0.0;
-    for (size_t t = 0; t < problem.algo->tensorCount(); ++t)
-        words += double(problem.tensorWords(t));
+    // The whole-problem minimum is the empty partial assignment of the
+    // bounds engine — per-tensor per-level reuse limits instead of the
+    // historical "every word through every level once" sum, which both
+    // undercounted reuse-limited levels (L1 refills scale with the
+    // relevant iteration space, not the tensor size) and ignored the
+    // factorization padding window.
+    const MapSpace space(arch, problem);
+    const PartialBound whole = BoundTables(space).wholeProblem();
 
     LowerBound lb;
-    lb.energyPj = words * perWordPj
-                  + problem.totalMacs() * arch.macEnergyPj;
-    lb.cycles = problem.totalMacs() / arch.peakMacsPerCycle();
+    lb.energyPj = whole.energyPj;
+    lb.cycles = whole.cycles;
     return lb;
 }
 

@@ -4,11 +4,13 @@
  * unachievable lower bound used to normalize EDP and the surrogate's
  * output meta-statistics.
  *
- * Minimum energy assumes perfect reuse — every tensor word is touched
- * exactly once at each level of the inclusive hierarchy — plus the
- * unavoidable MAC energy of the unpadded iteration space. Minimum
- * cycles assume 100 % PE utilization. The bound intentionally combines both
- * optima even though real mappings trade one for the other.
+ * Since the bounds engine landed this is a thin wrapper over
+ * BoundTables::wholeProblem() (src/bound/bounds.hpp): per-tensor
+ * per-level data-reuse limits, evaluated at the empty partial
+ * assignment. It dominates the historical stub (which charged every
+ * tensor word through every level exactly once and assumed peak-PE
+ * cycles) while remaining admissible — the minimum still combines
+ * per-component optima no single mapping attains simultaneously.
  */
 #pragma once
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "bound/bb_search.hpp"
 #include "common/stats.hpp"
 #include "mapping/moves.hpp"
 #include "search/registry.hpp"
@@ -62,7 +63,13 @@ AnnealingSearcher::run(SearchContext &ctx)
     }
     const double decay = std::log(tMin / tMax);
 
+    // The random draw stays even when seeding replaces it, so the RNG
+    // stream (and every unseeded run) is bitwise unchanged.
     Mapping current = space.randomValid(rng);
+    if (!cfg.seedFrom.empty()) {
+        if (auto seeded = seedIncumbent(*model, rec, cfg.seedNodes))
+            current = *seeded;
+    }
     double currentEnergy = rec.exhausted() ? 0.0 : rec.step(current);
 
     while (!rec.exhausted()) {
@@ -93,6 +100,9 @@ const SearcherRegistrar registrar({
         {"tMin", "end temperature (<= 0 auto-tunes from a pilot)"},
         {"pilot", "pilot draws used by temperature auto-tuning"},
         {"horizon", "schedule horizon in steps (<= 0 derives from budget)"},
+        {"seedFrom", "warm-start source: BB starts from a "
+                     "branch-and-bound incumbent (default: random)"},
+        {"seedNodes", "node cap of the seedFrom=BB run"},
     },
     [](const SearcherBuildContext &ctx, SearcherOptions &opt) {
         AnnealingConfig cfg;
@@ -100,8 +110,14 @@ const SearcherRegistrar registrar({
         cfg.tMin = opt.getDouble("tMin", cfg.tMin);
         cfg.pilotSamples = int(opt.getInt("pilot", cfg.pilotSamples));
         cfg.scheduleSteps = opt.getInt("horizon", cfg.scheduleSteps);
+        cfg.seedFrom = opt.getStr("seedFrom", cfg.seedFrom);
+        cfg.seedNodes = opt.getInt("seedNodes", cfg.seedNodes);
         if (cfg.pilotSamples < 0)
             fatal("searcher 'SA': pilot must be >= 0");
+        if (!cfg.seedFrom.empty() && cfg.seedFrom != "BB")
+            fatal("searcher 'SA': seedFrom must be \"\" or \"BB\"");
+        if (cfg.seedNodes < 1)
+            fatal("searcher 'SA': seedNodes must be >= 1");
         return std::make_unique<AnnealingSearcher>(ctx.model, cfg,
                                                    ctx.timing);
     },

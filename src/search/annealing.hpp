@@ -28,6 +28,11 @@ struct AnnealingConfig
      * budget (maxSteps, or maxVirtualSec / step latency).
      */
     int64_t scheduleSteps = -1;
+    /** "" starts random; "BB" starts from a bound-guided
+     * branch-and-bound incumbent (src/bound/bb_search.hpp). */
+    std::string seedFrom;
+    /** Node cap of the seeding branch-and-bound run. */
+    int64_t seedNodes = 256;
 };
 
 /** Single-chain exponential-schedule simulated annealing. */

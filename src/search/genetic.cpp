@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "bound/bb_search.hpp"
 #include "mapping/moves.hpp"
 #include "search/registry.hpp"
 
@@ -86,6 +87,12 @@ GeneticSearcher::run(SearchContext &ctx)
     std::vector<Individual> pop(size_t(cfg.populationSize));
     for (auto &ind : pop)
         ind.mapping = space.randomValid(rng);
+    // Optional warm start after the full random init, so the RNG stream
+    // (and every unseeded run) is bitwise unchanged.
+    if (!cfg.seedFrom.empty()) {
+        if (auto seeded = seedIncumbent(*model, rec, cfg.seedNodes))
+            pop[0].mapping = *seeded;
+    }
     evaluatePending(pop);
 
     auto tournament = [&]() -> const Individual & {
@@ -157,6 +164,9 @@ const SearcherRegistrar registrar({
         {"mut", "per-attribute mutation probability (paper: 0.05)"},
         {"tourn", "tournament size"},
         {"elites", "elites carried forward unchanged"},
+        {"seedFrom", "warm-start source: BB replaces individual 0 with "
+                     "a branch-and-bound incumbent (default: random)"},
+        {"seedNodes", "node cap of the seedFrom=BB run"},
     },
     [](const SearcherBuildContext &ctx, SearcherOptions &opt) {
         GeneticConfig cfg;
@@ -165,6 +175,12 @@ const SearcherRegistrar registrar({
         cfg.mutationProb = opt.getDouble("mut", cfg.mutationProb);
         cfg.tournamentSize = int(opt.getInt("tourn", cfg.tournamentSize));
         cfg.elites = int(opt.getInt("elites", cfg.elites));
+        cfg.seedFrom = opt.getStr("seedFrom", cfg.seedFrom);
+        cfg.seedNodes = opt.getInt("seedNodes", cfg.seedNodes);
+        if (!cfg.seedFrom.empty() && cfg.seedFrom != "BB")
+            fatal("searcher 'GA': seedFrom must be \"\" or \"BB\"");
+        if (cfg.seedNodes < 1)
+            fatal("searcher 'GA': seedNodes must be >= 1");
         if (cfg.populationSize < 2)
             fatal("searcher 'GA': pop must be >= 2");
         if (cfg.tournamentSize < 1)

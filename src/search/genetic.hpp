@@ -21,6 +21,11 @@ struct GeneticConfig
     double mutationProb = 0.05;
     int tournamentSize = 3;
     int elites = 2;
+    /** "" initializes the population randomly; "BB" replaces individual
+     * 0 with a branch-and-bound incumbent (src/bound/bb_search.hpp). */
+    std::string seedFrom;
+    /** Node cap of the seeding branch-and-bound run. */
+    int64_t seedNodes = 256;
 };
 
 namespace detail {

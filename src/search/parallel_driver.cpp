@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "bound/bb_search.hpp"
 #include "common/string_util.hpp"
 #include "common/thread_pool.hpp"
 #include "search/registry.hpp"
@@ -36,6 +37,16 @@ runBatchedGradientSearch(const CostModel &model, Surrogate &surrogate,
     chains.reserve(size_t(chainCount));
     for (int i = 0; i < chainCount; ++i)
         chains.emplace_back(space, codec, surrogate, chainCfg, rng.fork());
+
+    // Optional warm start: chain 0 descends from a branch-and-bound
+    // incumbent instead of its random draw. The chains' RNG streams are
+    // already forked, so seeding perturbs no randomness, and the
+    // seeding run's leaf evaluations are charged like any other
+    // cost-function query.
+    if (!chainCfg.seedFrom.empty()) {
+        if (auto seeded = seedIncumbent(model, rec, chainCfg.seedNodes))
+            chains[0].restartFrom(*seeded);
+    }
 
     const size_t P = chains.size();
     const size_t F = codec.featureCount();
@@ -140,6 +151,14 @@ chainConfigFromOptions(SearcherOptions &opt, const char *key)
     cfg.decayEveryInjections =
         int(opt.getInt("decayEvery", cfg.decayEveryInjections));
     cfg.enableInjection = opt.getBool("inject", cfg.enableInjection);
+    cfg.seedFrom = opt.getStr("seedFrom", cfg.seedFrom);
+    cfg.seedNodes = opt.getInt("seedNodes", cfg.seedNodes);
+    if (!cfg.seedFrom.empty() && cfg.seedFrom != "BB")
+        fatal(std::string("searcher '") + key
+              + "': seedFrom must be \"\" or \"BB\"");
+    if (cfg.seedNodes < 1)
+        fatal(std::string("searcher '") + key
+              + "': seedNodes must be >= 1");
     if (cfg.learningRate <= 0.0)
         fatal(std::string("searcher '") + key + "': lr must be > 0");
     if (cfg.injectEvery <= 0)
@@ -158,6 +177,9 @@ const std::vector<SearcherOptionSpec> kChainOptionSpecs = {
     {"tempDecay", "temperature decay factor (paper: 0.75)"},
     {"decayEvery", "injections between temperature decays (paper: 50)"},
     {"inject", "enable random injection (0 disables; ablation switch)"},
+    {"seedFrom", "warm-start source: BB seeds chain 0 from a "
+                 "branch-and-bound incumbent (default: random start)"},
+    {"seedNodes", "node cap of the seedFrom=BB run"},
 };
 
 const SearcherRegistrar sequentialRegistrar([] {

@@ -23,6 +23,7 @@ extern const int annealingSearcherRegistered;
 extern const int geneticSearcherRegistered;
 extern const int ddpgSearcherRegistered;
 extern const int parallelGradientSearcherRegistered; ///< MM and MM-P
+extern const int boundSearcherRegistered;            ///< BB
 
 /**
  * Never called; its external linkage keeps the references below alive
@@ -36,7 +37,7 @@ builtinSearcherAnchors()
 {
     return randomSearcherRegistered + annealingSearcherRegistered
            + geneticSearcherRegistered + ddpgSearcherRegistered
-           + parallelGradientSearcherRegistered;
+           + parallelGradientSearcherRegistered + boundSearcherRegistered;
 }
 } // namespace detail
 

@@ -447,6 +447,37 @@ TEST_F(ParallelDriverFixture, IsoTimeExploresChainsTimesMoreSteps)
     EXPECT_GE(rp.virtualSec, 2.0);
 }
 
+TEST_F(ParallelDriverFixture, SeedFromBBWarmStartsChainZero)
+{
+    Problem p = makeProblem(conv1dAlgo(), "pd-seed", {130, 4});
+    MapSpace space(*arch, p);
+    CostModel model(space);
+    ParallelSearchConfig pcfg;
+    pcfg.chains = 3;
+    pcfg.threads = 1;
+    pcfg.chain.seedFrom = "BB";
+    pcfg.chain.seedNodes = 16;
+    ParallelGradientSearcher seeded(model, result->surrogate, pcfg);
+
+    Rng r1(21), r2(21);
+    SearchResult a = seeded.run(SearchBudget::bySteps(90), r1);
+    SearchResult b = seeded.run(SearchBudget::bySteps(90), r2);
+    EXPECT_TRUE(space.isMember(a.best));
+    EXPECT_TRUE(std::isfinite(a.bestNormEdp));
+    EXPECT_DOUBLE_EQ(a.bestNormEdp, b.bestNormEdp);
+    EXPECT_EQ(a.best, b.best);
+
+    // Seeding replaces chain 0's start after the random draws, so the
+    // unseeded run with the same seed still works from the same stream.
+    ParallelSearchConfig plain = pcfg;
+    plain.chain.seedFrom.clear();
+    Rng r3(21);
+    SearchResult c = ParallelGradientSearcher(model, result->surrogate,
+                                              plain)
+                         .run(SearchBudget::bySteps(90), r3);
+    EXPECT_TRUE(space.isMember(c.best));
+}
+
 TEST(TimingModel, PaperCalibratedRatios)
 {
     TimingModel t = TimingModel::paperCalibrated();

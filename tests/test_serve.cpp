@@ -639,6 +639,48 @@ TEST_F(ServeFixture, BadLinesAndBadMethodsAreIsolated)
     server.stop();
 }
 
+TEST_F(ServeFixture, BranchAndBoundMethodIsServable)
+{
+    ServeConfig cfg = baseConfig();
+    SearchServer server(cfg);
+    server.start();
+
+    ServeClient c;
+    ASSERT_TRUE(c.connectTo(server.port()));
+    ServeRequest req;
+    req.id = "bb-serve";
+    req.arch = "paper";
+    req.algo = "conv1d";
+    req.problemName = "serve-bb";
+    req.bounds = {16, 4};
+    req.method = "BB:maxNodes=300";
+    req.steps = 80;
+    req.seed = 7;
+    ASSERT_TRUE(c.sendRequest(req));
+    ASSERT_TRUE(c.waitFor("accepted", "bb-serve").has_value());
+    std::optional<JsonValue> result = c.waitFor("result", "bb-serve");
+    ASSERT_TRUE(result.has_value());
+
+    std::optional<double> best =
+        parseHexDouble(result->getStr("bestNormEdp", ""));
+    ASSERT_TRUE(best.has_value());
+    EXPECT_TRUE(std::isfinite(*best));
+    EXPECT_GE(*best, 1.0 - 1e-9); // admissible normalization
+
+    // The served best mapping round-trips and is a space member.
+    const JsonValue *runs = result->find("runs");
+    ASSERT_NE(runs, nullptr);
+    ASSERT_FALSE(runs->array.empty());
+    const JsonValue *bestMap = runs->array[0].find("best");
+    ASSERT_NE(bestMap, nullptr);
+    std::optional<Mapping> mapping = mappingFromJson(*bestMap);
+    ASSERT_TRUE(mapping.has_value());
+    Problem problem = makeProblem(conv1dAlgo(), "serve-bb", {16, 4});
+    MapSpace space(*arch, problem);
+    EXPECT_TRUE(space.isMember(*mapping));
+    server.stop();
+}
+
 TEST_F(ServeFixture, OversizedLineIsRejectedAndConnectionDropped)
 {
     ServeConfig cfg = baseConfig();
