@@ -4,7 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <map>
-#include <mutex>
+#include "common/mutex.hpp"
 #include <tuple>
 
 #include "common/string_util.hpp"
@@ -191,23 +191,41 @@ FactorizationTable::repair(std::span<const int64_t> factors,
     return fixed;
 }
 
+namespace {
+
+/**
+ * Process-wide factorization-table cache. Guarded by a mutex (and
+ * compiler-checked as such): dataset-labeling lanes and batched
+ * searchers sample concurrently, and the first draw for a new bound
+ * may land on any lane. std::map never invalidates node references, so
+ * a returned reference stays valid unguarded for program lifetime; hot
+ * paths (CostTables) resolve their tables once and keep the pointers.
+ */
+struct FactorTableCache
+{
+    Mutex mtx;
+    std::map<std::tuple<int64_t, int, int64_t>, FactorizationTable>
+        entries MM_GUARDED_BY(mtx);
+};
+
+FactorTableCache &
+factorCache()
+{
+    static FactorTableCache cache;
+    return cache;
+}
+
+} // namespace
+
 const FactorizationTable &
 factorTable(int64_t bound, int slots, int64_t maxFactor)
 {
-    // Guarded by a mutex: dataset-labeling lanes and batched searchers
-    // sample concurrently, and the first draw for a new bound may land
-    // on any lane. std::map never invalidates node references, so the
-    // returned reference stays valid unguarded for program lifetime;
-    // hot paths (CostTables) resolve their tables once and keep the
-    // pointers.
-    static std::mutex mtx;
-    static std::map<std::tuple<int64_t, int, int64_t>, FactorizationTable>
-        cache;
+    FactorTableCache &cache = factorCache();
     auto key = std::make_tuple(bound, slots, maxFactor);
-    std::lock_guard<std::mutex> lock(mtx);
-    auto it = cache.find(key);
-    if (it == cache.end()) {
-        it = cache
+    MutexLock lock(cache.mtx);
+    auto it = cache.entries.find(key);
+    if (it == cache.entries.end()) {
+        it = cache.entries
                  .emplace(std::piecewise_construct,
                           std::forward_as_tuple(key),
                           std::forward_as_tuple(bound, slots, maxFactor))

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstdlib>
-#include <mutex>
+#include "common/mutex.hpp"
 
 #include "common/env.hpp"
 #include "common/error.hpp"
@@ -172,7 +172,7 @@ FaultInjector::ensureEnvInit()
 void
 FaultInjector::configure(FaultPlan newPlan)
 {
-    std::lock_guard<std::mutex> lock(m);
+    MutexLock lock(m);
     plan = std::move(newPlan);
     rng = Rng(plan.seed);
     committedBytes = 0;
@@ -200,7 +200,7 @@ int
 FaultInjector::onWrite(const std::string &path, uint64_t bytes)
 {
     (void)path;
-    std::lock_guard<std::mutex> lock(m);
+    MutexLock lock(m);
     if (plan.empty())
         return 0;
     // The byte budget models a filling disk: once crossed, every
@@ -222,7 +222,7 @@ int
 FaultInjector::onRead(const std::string &path)
 {
     (void)path;
-    std::lock_guard<std::mutex> lock(m);
+    MutexLock lock(m);
     if (plan.readP > 0.0 && rng.bernoulli(plan.readP)) {
         ++readFaults;
         return EIO;
@@ -236,7 +236,7 @@ FaultInjector::shouldFlipCommittedByte(const std::string &path)
     const std::optional<size_t> idx = shardIndexOfPath(path);
     if (!idx.has_value())
         return false;
-    std::lock_guard<std::mutex> lock(m);
+    MutexLock lock(m);
     auto it = std::find(flipsPending.begin(), flipsPending.end(), *idx);
     if (it == flipsPending.end())
         return false;
@@ -248,21 +248,21 @@ FaultInjector::shouldFlipCommittedByte(const std::string &path)
 uint64_t
 FaultInjector::injectedWriteFaults() const
 {
-    std::lock_guard<std::mutex> lock(m);
+    MutexLock lock(m);
     return writeFaults;
 }
 
 uint64_t
 FaultInjector::injectedReadFaults() const
 {
-    std::lock_guard<std::mutex> lock(m);
+    MutexLock lock(m);
     return readFaults;
 }
 
 uint64_t
 FaultInjector::injectedFlips() const
 {
-    std::lock_guard<std::mutex> lock(m);
+    MutexLock lock(m);
     return flips;
 }
 

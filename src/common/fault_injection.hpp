@@ -40,11 +40,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "common/rng.hpp"
 
 namespace mm {
@@ -107,13 +107,13 @@ class FaultInjector
     }
 
     /** Install @p plan (tests); an empty plan disarms. */
-    void configure(FaultPlan plan);
+    void configure(FaultPlan plan) MM_EXCLUDES(m);
 
     /** Re-read MM_FAULTS/MM_FAULT_SEED (tests). */
-    void configureFromEnv();
+    void configureFromEnv() MM_EXCLUDES(m);
 
     /** Drop any armed plan and reset counters/flip state. */
-    void disarm();
+    void disarm() MM_EXCLUDES(m);
 
     /**
      * Write hook: called once per atomic file commit with the target
@@ -121,25 +121,25 @@ class FaultInjector
      * (EIO for a transient write fault, ENOSPC past the byte budget)
      * or 0 to let the commit proceed.
      */
-    int onWrite(const std::string &path, uint64_t bytes);
+    int onWrite(const std::string &path, uint64_t bytes) MM_EXCLUDES(m);
 
     /**
      * Read hook: called once per file open on the verified read paths.
      * Returns the errno to inject (EIO) or 0.
      */
-    int onRead(const std::string &path);
+    int onRead(const std::string &path) MM_EXCLUDES(m);
 
     /**
      * Flip hook: true when @p path is a shard file named by a
      * flip:shard clause that has not fired yet. The caller flips one
      * byte of the committed bytes; each listed shard fires once.
      */
-    bool shouldFlipCommittedByte(const std::string &path);
+    bool shouldFlipCommittedByte(const std::string &path) MM_EXCLUDES(m);
 
     /** Total faults injected so far (tests/diagnostics). */
-    uint64_t injectedWriteFaults() const;
-    uint64_t injectedReadFaults() const;
-    uint64_t injectedFlips() const;
+    uint64_t injectedWriteFaults() const MM_EXCLUDES(m);
+    uint64_t injectedReadFaults() const MM_EXCLUDES(m);
+    uint64_t injectedFlips() const MM_EXCLUDES(m);
 
   private:
     FaultInjector() = default;
@@ -147,14 +147,14 @@ class FaultInjector
 
     inline static std::atomic<bool> armedFlag{false};
 
-    mutable std::mutex m;
-    FaultPlan plan;
-    Rng rng{1};
-    uint64_t committedBytes = 0;
-    std::vector<size_t> flipsPending;
-    uint64_t writeFaults = 0;
-    uint64_t readFaults = 0;
-    uint64_t flips = 0;
+    mutable Mutex m;
+    FaultPlan plan MM_GUARDED_BY(m);
+    Rng rng MM_GUARDED_BY(m) = Rng(1);
+    uint64_t committedBytes MM_GUARDED_BY(m) = 0;
+    std::vector<size_t> flipsPending MM_GUARDED_BY(m);
+    uint64_t writeFaults MM_GUARDED_BY(m) = 0;
+    uint64_t readFaults MM_GUARDED_BY(m) = 0;
+    uint64_t flips MM_GUARDED_BY(m) = 0;
 };
 
 /**

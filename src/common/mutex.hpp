@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Capability-annotated locking primitives.
+ *
+ * libstdc++'s std::mutex / std::lock_guard / std::condition_variable
+ * carry no thread-safety attributes, so clang's capability analysis
+ * cannot see a std::lock_guard acquire anything — every MM_GUARDED_BY
+ * access under one would be a false positive. These wrappers restore
+ * visibility:
+ *
+ *   Mutex      an annotated std::mutex (MM_CAPABILITY). Fields guarded
+ *              by one are declared `T f MM_GUARDED_BY(m);`.
+ *   MutexLock  the annotated scoped holder (MM_SCOPED_CAPABILITY), with
+ *              relock support (unlock()/lock()) for code that opens the
+ *              lock around a long operation — the analysis tracks the
+ *              open window and flags guarded accesses inside it.
+ *   CondVar    a condition variable waiting on a Mutex. wait() is
+ *              MM_REQUIRES(m): the analysis enforces the caller holds
+ *              the mutex, and treats the wait's internal unlock/relock
+ *              as a net no-op, which is exactly the caller-visible
+ *              contract. Always wait in a `while (!predicate)` loop —
+ *              a predicate lambda would be analyzed as a separate
+ *              function and lose the capability context.
+ *
+ * Zero-cost facade: Mutex is exactly a std::mutex, MutexLock is the
+ * moral equivalent of std::unique_lock, and CondVar wraps
+ * std::condition_variable_any (whose wait(BasicLockable&) is what makes
+ * an annotated, relockable mutex type possible at all).
+ */
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.hpp"
+
+namespace mm {
+
+/** Annotated exclusive mutex; the capability MM_GUARDED_BY names. */
+class MM_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void
+    lock() MM_ACQUIRE()
+    {
+        m.lock();
+    }
+
+    void
+    unlock() MM_RELEASE()
+    {
+        m.unlock();
+    }
+
+    bool
+    try_lock() MM_TRY_ACQUIRE(true)
+    {
+        return m.try_lock();
+    }
+
+  private:
+    std::mutex m;
+};
+
+/**
+ * RAII holder of a Mutex — the annotated std::lock_guard/unique_lock.
+ * unlock()/lock() reopen and reclose the critical section in place
+ * (e.g. around a blocking operation); the destructor releases only if
+ * currently held.
+ */
+class MM_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &m) MM_ACQUIRE(m) : mu(m), held(true)
+    {
+        mu.lock();
+    }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+    ~MutexLock() MM_RELEASE()
+    {
+        if (held)
+            mu.unlock();
+    }
+
+    /** Open the critical section early (before a blocking call). */
+    void
+    unlock() MM_RELEASE()
+    {
+        held = false;
+        mu.unlock();
+    }
+
+    /** Re-enter the critical section opened by unlock(). */
+    void
+    lock() MM_ACQUIRE()
+    {
+        mu.lock();
+        held = true;
+    }
+
+  private:
+    Mutex &mu;
+    bool held;
+};
+
+/**
+ * Condition variable over Mutex. Both waits require the mutex held and
+ * return with it held; use a while loop, never a predicate lambda (see
+ * file comment).
+ */
+class CondVar
+{
+  public:
+    CondVar() = default;
+    CondVar(const CondVar &) = delete;
+    CondVar &operator=(const CondVar &) = delete;
+
+    /** Atomically release @p m, sleep, reacquire; may wake spuriously. */
+    void
+    wait(Mutex &m) MM_REQUIRES(m)
+    {
+        cv.wait(m);
+    }
+
+    void
+    notify_one()
+    {
+        cv.notify_one();
+    }
+
+    void
+    notify_all()
+    {
+        cv.notify_all();
+    }
+
+  private:
+    std::condition_variable_any cv;
+};
+
+} // namespace mm

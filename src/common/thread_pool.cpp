@@ -31,7 +31,7 @@ ThreadPool::ThreadPool(size_t threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mtx);
+        MutexLock lock(mtx);
         stopping = true;
     }
     workCv.notify_all();
@@ -42,35 +42,34 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::workerLoop()
 {
-    std::unique_lock<std::mutex> lock(mtx);
+    MutexLock lock(mtx);
     for (;;) {
-        workCv.wait(lock, [this] {
-            return stopping || (jobFn != nullptr && nextIndex < jobSize);
-        });
+        while (!stopping && (jobFn == nullptr || nextIndex >= jobSize))
+            workCv.wait(mtx);
         if (stopping)
             return;
-        runIndices(lock);
+        runIndices();
     }
 }
 
 void
-ThreadPool::runIndices(std::unique_lock<std::mutex> &lock)
+ThreadPool::runIndices()
 {
     while (jobFn != nullptr && nextIndex < jobSize) {
         const size_t i = nextIndex++;
         ++inFlight;
         const std::function<void(size_t)> *fn = jobFn;
-        lock.unlock();
+        mtx.unlock();
         std::exception_ptr err;
         const ThreadPool *prevActive = tlsActivePool;
         tlsActivePool = this;
         try {
             (*fn)(i);
-        } catch (...) {
+        } catch (...) { // mmlint:allow(catch-all) captured, not dropped
             err = std::current_exception();
         }
         tlsActivePool = prevActive;
-        lock.lock();
+        mtx.lock();
         if (err && !firstError)
             firstError = err;
         --inFlight;
@@ -92,10 +91,11 @@ ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn)
         return;
     }
 
-    std::unique_lock<std::mutex> lock(mtx);
+    MutexLock lock(mtx);
     // Concurrent submitters from distinct threads queue up for the
     // single job slot instead of asserting.
-    doneCv.wait(lock, [this] { return jobFn == nullptr; });
+    while (jobFn != nullptr)
+        doneCv.wait(mtx);
     jobFn = &fn;
     jobSize = n;
     nextIndex = 0;
@@ -103,9 +103,9 @@ ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn)
     firstError = nullptr;
     workCv.notify_all();
 
-    runIndices(lock);
-    doneCv.wait(lock,
-                [this] { return nextIndex >= jobSize && inFlight == 0; });
+    runIndices();
+    while (nextIndex < jobSize || inFlight != 0)
+        doneCv.wait(mtx);
     jobFn = nullptr;
     std::exception_ptr err = firstError;
     firstError = nullptr;
@@ -124,7 +124,7 @@ SerialWorker::SerialWorker() : worker([this] { workerLoop(); }) {}
 SerialWorker::~SerialWorker()
 {
     {
-        std::lock_guard<std::mutex> lock(mtx);
+        MutexLock lock(mtx);
         stopping = true;
     }
     workCv.notify_all();
@@ -134,9 +134,10 @@ SerialWorker::~SerialWorker()
 void
 SerialWorker::workerLoop()
 {
-    std::unique_lock<std::mutex> lock(mtx);
+    MutexLock lock(mtx);
     for (;;) {
-        workCv.wait(lock, [this] { return stopping || !queue.empty(); });
+        while (!stopping && queue.empty())
+            workCv.wait(mtx);
         if (stopping && queue.empty())
             return;
         std::function<void()> task = std::move(queue.front());
@@ -146,7 +147,7 @@ SerialWorker::workerLoop()
         std::exception_ptr err;
         try {
             task();
-        } catch (...) {
+        } catch (...) { // mmlint:allow(catch-all) captured, not dropped
             err = std::current_exception();
         }
         lock.lock();
@@ -169,7 +170,7 @@ SerialWorker::submit(std::function<void()> task)
 {
     std::exception_ptr err;
     {
-        std::lock_guard<std::mutex> lock(mtx);
+        MutexLock lock(mtx);
         if (error) {
             err = error;
             error = nullptr;
@@ -187,11 +188,9 @@ SerialWorker::throttle(size_t maxPending)
 {
     std::exception_ptr err;
     {
-        std::unique_lock<std::mutex> lock(mtx);
-        idleCv.wait(lock, [&] {
-            return error != nullptr
-                   || queue.size() + inFlight <= maxPending;
-        });
+        MutexLock lock(mtx);
+        while (error == nullptr && queue.size() + inFlight > maxPending)
+            idleCv.wait(mtx);
         if (error) {
             err = error;
             error = nullptr;
@@ -204,7 +203,7 @@ SerialWorker::throttle(size_t maxPending)
 size_t
 SerialWorker::pending() const
 {
-    std::lock_guard<std::mutex> lock(mtx);
+    MutexLock lock(mtx);
     return queue.size() + inFlight;
 }
 

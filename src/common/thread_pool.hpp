@@ -11,14 +11,14 @@
  */
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.hpp"
 
 namespace mm {
 
@@ -47,24 +47,28 @@ class ThreadPool
      * inline on the calling thread) and from multiple external threads
      * at once (submissions serialize on the single job slot).
      */
-    void parallelFor(size_t n, const std::function<void(size_t)> &fn);
+    void parallelFor(size_t n, const std::function<void(size_t)> &fn)
+        MM_EXCLUDES(mtx);
 
   private:
-    void workerLoop();
+    void workerLoop() MM_EXCLUDES(mtx);
 
-    /** Claim and run indices until the job is drained (lock held). */
-    void runIndices(std::unique_lock<std::mutex> &lock);
+    /**
+     * Claim and run indices until the job is drained. Enters and
+     * leaves with mtx held; opens it around each fn(i) call.
+     */
+    void runIndices() MM_REQUIRES(mtx);
 
-    std::vector<std::thread> workers;
-    std::mutex mtx;
-    std::condition_variable workCv;
-    std::condition_variable doneCv;
-    const std::function<void(size_t)> *jobFn = nullptr;
-    size_t jobSize = 0;
-    size_t nextIndex = 0;
-    size_t inFlight = 0;
-    std::exception_ptr firstError;
-    bool stopping = false;
+    std::vector<std::thread> workers; ///< immutable after construction
+    Mutex mtx;
+    CondVar workCv;
+    CondVar doneCv;
+    const std::function<void(size_t)> *jobFn MM_GUARDED_BY(mtx) = nullptr;
+    size_t jobSize MM_GUARDED_BY(mtx) = 0;
+    size_t nextIndex MM_GUARDED_BY(mtx) = 0;
+    size_t inFlight MM_GUARDED_BY(mtx) = 0;
+    std::exception_ptr firstError MM_GUARDED_BY(mtx);
+    bool stopping MM_GUARDED_BY(mtx) = false;
 };
 
 /**
@@ -96,7 +100,7 @@ class SerialWorker
     SerialWorker &operator=(const SerialWorker &) = delete;
 
     /** Enqueue @p task; rethrows a prior task's pending exception. */
-    void submit(std::function<void()> task);
+    void submit(std::function<void()> task) MM_EXCLUDES(mtx);
 
     /**
      * Block until at most @p maxPending tasks are queued or running;
@@ -105,24 +109,25 @@ class SerialWorker
      * buffer: at most the latest submission can still be in flight, so
      * every earlier buffer is free.
      */
-    void throttle(size_t maxPending);
+    void throttle(size_t maxPending) MM_EXCLUDES(mtx);
 
     /** Block until the queue is empty and the worker idle; rethrows. */
-    void drain() { throttle(0); }
+    void drain() MM_EXCLUDES(mtx) { throttle(0); }
 
     /** Queued + running tasks (racy snapshot; for tests/heuristics). */
-    size_t pending() const;
+    size_t pending() const MM_EXCLUDES(mtx);
 
   private:
-    void workerLoop();
+    void workerLoop() MM_EXCLUDES(mtx);
 
-    mutable std::mutex mtx;
-    std::condition_variable workCv;
-    std::condition_variable idleCv;
-    std::deque<std::function<void()>> queue;
-    size_t inFlight = 0; ///< 0 or 1: the task currently executing
-    std::exception_ptr error;
-    bool stopping = false;
+    mutable Mutex mtx;
+    CondVar workCv;
+    CondVar idleCv;
+    std::deque<std::function<void()>> queue MM_GUARDED_BY(mtx);
+    /** 0 or 1: the task currently executing. */
+    size_t inFlight MM_GUARDED_BY(mtx) = 0;
+    std::exception_ptr error MM_GUARDED_BY(mtx);
+    bool stopping MM_GUARDED_BY(mtx) = false;
     std::thread worker;
 };
 

@@ -7,7 +7,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
-#include <mutex>
+#include "common/mutex.hpp"
 #include <vector>
 
 #include "common/env.hpp"
@@ -31,10 +31,10 @@ constexpr const char *kEntrySuffix = ".surrogate";
  * just-loaded entry gets evicted. Cross-process interleavings remain
  * best effort (eviction re-stats each victim before removing it).
  */
-std::mutex &
+Mutex &
 lruMutex()
 {
-    static std::mutex m;
+    static Mutex m;
     return m;
 }
 
@@ -115,7 +115,7 @@ SurrogateCache::load(const std::string &fingerprint) const
     // under MM_NO_MMAP, a full fallback slurp) and deserialization
     // happen outside it, so concurrent loads never serialize on I/O.
     {
-        std::lock_guard<std::mutex> lock(lruMutex());
+        MutexLock lock(lruMutex());
         std::error_code tec;
         if (!fs::exists(path, tec) || tec)
             return std::nullopt;
@@ -201,7 +201,7 @@ SurrogateCache::evictOverCap() const
     // after sees the entry already gone (a plain miss). O(n) scan +
     // O(evicted) removals: nth_element partitions out the stalest
     // entries without sorting the whole list.
-    std::lock_guard<std::mutex> lock(lruMutex());
+    MutexLock lock(lruMutex());
     std::vector<fs::path> entries = listEntries(root);
     if (int64_t(entries.size()) <= cap)
         return;

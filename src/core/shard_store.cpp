@@ -723,7 +723,7 @@ ShardedDatasetReader::ShardPtr
 ShardedDatasetReader::pinShard(size_t idx) const
 {
     CacheWay &way = ways[idx % ways.size()];
-    std::lock_guard<std::mutex> lock(way.m);
+    MutexLock lock(way.m);
     CacheWay::Slot *victim = &way.slots[0];
     for (CacheWay::Slot &slot : way.slots) {
         if (slot.idx == idx) {
@@ -767,7 +767,7 @@ ShardedDatasetReader::prefetch(std::vector<size_t> shards) const
     // exact duplicates coalesced and drop-oldest on overflow.
     bool startPump = false;
     {
-        std::lock_guard<std::mutex> lock(prefetchMtx);
+        MutexLock lock(prefetchMtx);
         bool duplicate = false;
         for (const std::vector<size_t> &pending : prefetchQueue) {
             if (pending == shards) {
@@ -791,11 +791,11 @@ ShardedDatasetReader::prefetch(std::vector<size_t> shards) const
         return;
     try {
         prefetcher->submit([this] { pumpPrefetchQueue(); });
-    } catch (...) {
+    } catch (...) { // mmlint:allow(catch-all) prefetch is best-effort
         // Best effort end to end: a failed submission must not escape
         // into the training loop or leave the pump flag latched
         // (prefetch would be silently dead for the rest of the run).
-        std::lock_guard<std::mutex> lock(prefetchMtx);
+        MutexLock lock(prefetchMtx);
         prefetchPumpActive = false;
     }
 }
@@ -810,7 +810,7 @@ ShardedDatasetReader::pumpPrefetchQueue() const
     for (;;) {
         std::vector<size_t> next;
         {
-            std::lock_guard<std::mutex> lock(prefetchMtx);
+            MutexLock lock(prefetchMtx);
             if (prefetchQueue.empty()) {
                 prefetchPumpActive = false;
                 return;
@@ -823,7 +823,7 @@ ShardedDatasetReader::pumpPrefetchQueue() const
                 (void)pinShard(idx);
                 prefetchedCount.fetch_add(1, std::memory_order_relaxed);
             }
-        } catch (...) {
+        } catch (...) { // mmlint:allow(catch-all) see below
             // A failed background read is dropped: the synchronous
             // path surfaces the real error (with the shard named) if
             // and when the shard is actually needed.
@@ -834,7 +834,7 @@ ShardedDatasetReader::pumpPrefetchQueue() const
 size_t
 ShardedDatasetReader::pendingPrefetches() const
 {
-    std::lock_guard<std::mutex> lock(prefetchMtx);
+    MutexLock lock(prefetchMtx);
     return prefetchQueue.size();
 }
 

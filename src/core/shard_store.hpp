@@ -52,7 +52,7 @@
 #include <functional>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
+#include "common/mutex.hpp"
 #include <optional>
 #include <span>
 #include <string>
@@ -417,7 +417,8 @@ class ShardedDatasetReader
      * the training loop has most likely already consumed). Best effort
      * and never blocking: no effect on results, only on wall time.
      */
-    void prefetch(std::vector<size_t> shards) const;
+    void prefetch(std::vector<size_t> shards) const
+        MM_EXCLUDES(prefetchMtx);
 
     /** Prefetch look-ahead depth (0 = disabled). */
     size_t prefetchDepth() const { return prefetchCount; }
@@ -429,7 +430,7 @@ class ShardedDatasetReader
     uint64_t droppedPrefetches() const { return prefetchDropCount.load(); }
 
     /** Queued prefetch requests not yet started (racy; tests). */
-    size_t pendingPrefetches() const;
+    size_t pendingPrefetches() const MM_EXCLUDES(prefetchMtx);
 
     /** Raw feature row @p row (single-threaded convenience). */
     std::span<const float> xRow(size_t row);
@@ -447,13 +448,13 @@ class ShardedDatasetReader
             uint64_t stamp = 0;
             ShardPtr shard;
         };
-        mutable std::mutex m;
-        std::vector<Slot> slots;
-        uint64_t tick = 0;
+        mutable Mutex m;
+        std::vector<Slot> slots MM_GUARDED_BY(m);
+        uint64_t tick MM_GUARDED_BY(m) = 0;
     };
 
     const DecodedShard &pinnedRowShard(size_t row);
-    void pumpPrefetchQueue() const;
+    void pumpPrefetchQueue() const MM_EXCLUDES(prefetchMtx);
 
     std::string root;
     ShardManifest manifest;
@@ -465,10 +466,11 @@ class ShardedDatasetReader
     size_t rowMemoIdx = size_t(-1);
     size_t prefetchCount = 0;
     /** Bounded FIFO of pending warm-up requests (see prefetch()). */
-    mutable std::mutex prefetchMtx;
-    mutable std::deque<std::vector<size_t>> prefetchQueue;
+    mutable Mutex prefetchMtx;
+    mutable std::deque<std::vector<size_t>>
+        prefetchQueue MM_GUARDED_BY(prefetchMtx);
     /** True while a queue-draining task is submitted or running. */
-    mutable bool prefetchPumpActive = false;
+    mutable bool prefetchPumpActive MM_GUARDED_BY(prefetchMtx) = false;
     mutable std::atomic<uint64_t> prefetchedCount{0};
     mutable std::atomic<uint64_t> prefetchDropCount{0};
     /** Declared last: destroyed (drained) before the cache it touches. */

@@ -29,16 +29,15 @@ requestToJson(const ServeRequest &req)
            + ",\"seed\":" + std::to_string(req.seed)
            + ",\"progressEvery\":" + std::to_string(req.progressEvery)
            + ",\"trace\":" + (req.trace ? "true" : "false");
-    char buf[64];
-    if (req.virtualSec > 0.0) {
-        std::snprintf(buf, sizeof(buf), ",\"virtualSec\":%.17g",
-                      req.virtualSec);
-        out += buf;
-    }
-    if (req.wallSec > 0.0) {
-        std::snprintf(buf, sizeof(buf), ",\"wallSec\":%.17g", req.wallSec);
-        out += buf;
-    }
+    // Budgets ride the wire as quoted hexfloats like every other double
+    // in the protocol: %.17g round-trips, but its text depends on the
+    // libc's shortest-representation rounding, and the server-side cap
+    // intersection must see bit-identical budgets regardless of which
+    // client produced the line.
+    if (req.virtualSec > 0.0)
+        out += ",\"virtualSec\":" + jsonHexDouble(req.virtualSec);
+    if (req.wallSec > 0.0)
+        out += ",\"wallSec\":" + jsonHexDouble(req.wallSec);
     out.push_back('}');
     return out;
 }

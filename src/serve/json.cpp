@@ -315,7 +315,18 @@ double
 JsonValue::getDouble(std::string_view key, double fallback) const
 {
     const JsonValue *v = find(key);
-    return v != nullptr && v->isNumber() ? v->asDouble() : fallback;
+    if (v == nullptr)
+        return fallback;
+    if (v->isNumber())
+        return v->asDouble();
+    // Doubles on this wire are quoted hexfloat strings (jsonHexDouble);
+    // accept them anywhere a double is read so senders never need the
+    // lossy decimal form.
+    if (v->isString()) {
+        if (std::optional<double> d = parseHexDouble(v->str))
+            return *d;
+    }
+    return fallback;
 }
 
 bool

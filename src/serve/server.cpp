@@ -47,14 +47,14 @@ struct SearchServer::Connection
     /** Send one line (appends '\n'); a failed send marks the
      * connection dead so later writes become no-ops. */
     bool
-    writeLine(const std::string &line)
+    writeLine(const std::string &line) MM_EXCLUDES(writeMtx)
     {
-        std::lock_guard<std::mutex> lock(writeMtx);
+        MutexLock lock(writeMtx);
         return writeLineLocked(line);
     }
 
     bool
-    writeLineLocked(const std::string &line)
+    writeLineLocked(const std::string &line) MM_REQUIRES(writeMtx)
     {
         if (!alive.load(std::memory_order_relaxed))
             return false;
@@ -80,9 +80,9 @@ struct SearchServer::Connection
     }
 
     void
-    registerJob(const std::shared_ptr<Job> &job)
+    registerJob(const std::shared_ptr<Job> &job) MM_EXCLUDES(jobsMtx)
     {
-        std::lock_guard<std::mutex> lock(jobsMtx);
+        MutexLock lock(jobsMtx);
         // Finished jobs leave expired weak_ptrs behind; prune here so
         // a long-lived connection's list stays proportional to its
         // in-flight work, not its lifetime request count.
@@ -95,14 +95,14 @@ struct SearchServer::Connection
     }
 
     /** Disconnect/shutdown path: stop every search this client owns. */
-    void cancelJobs();
+    void cancelJobs() MM_EXCLUDES(jobsMtx);
 
     int fd;
-    std::mutex writeMtx;
+    Mutex writeMtx;
     std::atomic<bool> alive{true};
     std::atomic<bool> readerDone{false};
-    std::mutex jobsMtx;
-    std::vector<std::weak_ptr<Job>> jobs;
+    Mutex jobsMtx;
+    std::vector<std::weak_ptr<Job>> jobs MM_GUARDED_BY(jobsMtx);
 };
 
 /** One admitted request: its spec, its client, its stop token. */
@@ -116,7 +116,7 @@ struct SearchServer::Job
 void
 SearchServer::Connection::cancelJobs()
 {
-    std::lock_guard<std::mutex> lock(jobsMtx);
+    MutexLock lock(jobsMtx);
     for (const std::weak_ptr<Job> &weak : jobs)
         if (std::shared_ptr<Job> job = weak.lock())
             job->stop.requestStop();
@@ -213,7 +213,7 @@ SearchServer::stop()
 
     // Flush the queue as cancelled and stop the in-flight searches.
     {
-        std::lock_guard<std::mutex> lock(jobMtx);
+        MutexLock lock(jobMtx);
         counters.cancelled.fetch_add(queue.size(),
                                      std::memory_order_relaxed);
         queue.clear();
@@ -224,7 +224,7 @@ SearchServer::stop()
     // recv() return immediately — joining first could deadlock on a
     // worker wedged inside a progress write.
     {
-        std::lock_guard<std::mutex> lock(connMtx);
+        MutexLock lock(connMtx);
         for (ReaderSlot &slot : readers) {
             slot.conn->alive.store(false, std::memory_order_relaxed);
             slot.conn->cancelJobs();
@@ -241,7 +241,7 @@ SearchServer::stop()
     for (;;) {
         ReaderSlot slot;
         {
-            std::lock_guard<std::mutex> lock(connMtx);
+            MutexLock lock(connMtx);
             if (readers.empty())
                 break;
             slot = std::move(readers.front());
@@ -268,15 +268,23 @@ SearchServer::installSigusr1(SearchServer *server)
 void
 SearchServer::reapFinishedReaders()
 {
-    std::lock_guard<std::mutex> lock(connMtx);
-    for (auto it = readers.begin(); it != readers.end();) {
-        if (it->conn->readerDone.load(std::memory_order_acquire)) {
-            it->thread.join();
-            it = readers.erase(it);
-        } else {
-            ++it;
+    // Splice finished slots out under the lock, then join them outside
+    // it: a reader that has set readerDone is past its last guarded
+    // access but may still be running its epilogue, and joining while
+    // holding connMtx would stall the accept loop (and every new
+    // client) behind that epilogue for no reason.
+    std::list<ReaderSlot> finished;
+    {
+        MutexLock lock(connMtx);
+        for (auto it = readers.begin(); it != readers.end();) {
+            auto next = std::next(it);
+            if (it->conn->readerDone.load(std::memory_order_acquire))
+                finished.splice(finished.end(), readers, it);
+            it = next;
         }
     }
+    for (ReaderSlot &slot : finished)
+        slot.thread.join();
 }
 
 void
@@ -307,7 +315,7 @@ SearchServer::acceptLoop()
                      sizeof(sendTimeout));
         reapFinishedReaders();
         auto conn = std::make_shared<Connection>(fd);
-        std::lock_guard<std::mutex> lock(connMtx);
+        MutexLock lock(connMtx);
         readers.push_back(
             {conn, std::thread([this, conn] { readerLoop(conn); })});
     }
@@ -364,10 +372,10 @@ SearchServer::handleLine(const std::shared_ptr<Connection> &conn,
     // connection's write lock, so a fast worker cannot emit progress
     // for this job before its accepted line is on the wire.
     const std::string id = req->id;
-    std::lock_guard<std::mutex> writeLock(conn->writeMtx);
+    MutexLock writeLock(conn->writeMtx);
     bool admitted = false;
     {
-        std::lock_guard<std::mutex> lock(jobMtx);
+        MutexLock lock(jobMtx);
         if (!stopping.load() && queue.size() < cfg.queueCap) {
             auto job = std::make_shared<Job>();
             job->req = std::move(*req);
@@ -396,10 +404,9 @@ SearchServer::workerLoop()
     for (;;) {
         std::shared_ptr<Job> job;
         {
-            std::unique_lock<std::mutex> lock(jobMtx);
-            jobCv.wait(lock, [&] {
-                return stopping.load() || !queue.empty();
-            });
+            MutexLock lock(jobMtx);
+            while (!stopping.load() && queue.empty())
+                jobCv.wait(jobMtx);
             if (queue.empty())
                 return; // stopping and drained
             job = std::move(queue.front());

@@ -30,14 +30,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.hpp"
 
 #include "serve/protocol.hpp"
 #include "serve/surrogate_pool.hpp"
@@ -83,7 +83,7 @@ class SearchServer
 
     /** Graceful shutdown: stop accepting, cancel in-flight searches,
      * drain and join everything. Idempotent. */
-    void stop();
+    void stop() MM_EXCLUDES(jobMtx, connMtx);
 
     /** Bound port (resolved after start(), useful with port 0). */
     int port() const { return boundPort; }
@@ -104,13 +104,13 @@ class SearchServer
     struct Connection;
     struct Job;
 
-    void acceptLoop();
+    void acceptLoop() MM_EXCLUDES(connMtx);
     void readerLoop(std::shared_ptr<Connection> conn);
     void handleLine(const std::shared_ptr<Connection> &conn,
-                    const std::string &line);
-    void workerLoop();
+                    const std::string &line) MM_EXCLUDES(jobMtx);
+    void workerLoop() MM_EXCLUDES(jobMtx);
     void runJob(Job &job);
-    void reapFinishedReaders();
+    void reapFinishedReaders() MM_EXCLUDES(connMtx);
 
     ServeConfig cfg;
     ServeMetrics counters;
@@ -126,17 +126,17 @@ class SearchServer
     std::thread acceptThread;
     std::vector<std::thread> workers;
 
-    std::mutex jobMtx;
-    std::condition_variable jobCv;
-    std::deque<std::shared_ptr<Job>> queue;
+    Mutex jobMtx;
+    CondVar jobCv;
+    std::deque<std::shared_ptr<Job>> queue MM_GUARDED_BY(jobMtx);
 
-    std::mutex connMtx;
+    Mutex connMtx;
     struct ReaderSlot
     {
         std::shared_ptr<Connection> conn;
         std::thread thread;
     };
-    std::list<ReaderSlot> readers;
+    std::list<ReaderSlot> readers MM_GUARDED_BY(connMtx);
 };
 
 } // namespace mm::serve

@@ -26,7 +26,7 @@ SurrogatePool::acquire(const AcceleratorSpec &arch,
     std::shared_ptr<Flight> flight;
     bool leader = false;
     {
-        std::lock_guard<std::mutex> lock(mtx);
+        MutexLock lock(mtx);
         auto hit = resident.find(key);
         if (hit != resident.end()) {
             if (metrics != nullptr)
@@ -42,8 +42,9 @@ SurrogatePool::acquire(const AcceleratorSpec &arch,
 
     if (!leader) {
         // Single-flight follower: wait for the leader's outcome.
-        std::unique_lock<std::mutex> lock(flight->m);
-        flight->cv.wait(lock, [&] { return flight->done; });
+        MutexLock lock(flight->m);
+        while (!flight->done)
+            flight->cv.wait(flight->m);
         if (flight->error != nullptr)
             std::rethrow_exception(flight->error);
         return flight->model;
@@ -69,24 +70,24 @@ SurrogatePool::acquire(const AcceleratorSpec &arch,
                 metrics->poolTrainings.fetch_add(
                     1, std::memory_order_relaxed);
             {
-                std::lock_guard<std::mutex> lock(mtx);
+                MutexLock lock(mtx);
                 ++trainCount;
             }
             if (useCache)
                 cache.store(key, *model);
         }
-    } catch (...) {
+    } catch (...) { // mmlint:allow(catch-all) republished to followers
         error = std::current_exception();
     }
 
     {
-        std::lock_guard<std::mutex> lock(mtx);
+        MutexLock lock(mtx);
         if (model != nullptr)
             resident.emplace(key, model);
         inFlight.erase(key);
     }
     {
-        std::lock_guard<std::mutex> lock(flight->m);
+        MutexLock lock(flight->m);
         flight->model = model;
         flight->error = error;
         flight->done = true;
@@ -100,14 +101,14 @@ SurrogatePool::acquire(const AcceleratorSpec &arch,
 size_t
 SurrogatePool::residentCount() const
 {
-    std::lock_guard<std::mutex> lock(mtx);
+    MutexLock lock(mtx);
     return resident.size();
 }
 
 uint64_t
 SurrogatePool::trainings() const
 {
-    std::lock_guard<std::mutex> lock(mtx);
+    MutexLock lock(mtx);
     return trainCount;
 }
 

@@ -20,12 +20,12 @@
  */
 #pragma once
 
-#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
+
+#include "common/mutex.hpp"
 
 #include "core/cache.hpp"
 #include "core/phase1.hpp"
@@ -60,22 +60,23 @@ class SurrogatePool
      * threw on a failed cold miss.
      */
     std::shared_ptr<Surrogate> acquire(const AcceleratorSpec &arch,
-                                       const AlgorithmSpec &algo);
+                                       const AlgorithmSpec &algo)
+        MM_EXCLUDES(mtx);
 
     /** Resident master copies (memory tier size). */
-    size_t residentCount() const;
+    size_t residentCount() const MM_EXCLUDES(mtx);
 
     /** Phase-1 trainings this pool actually ran. */
-    uint64_t trainings() const;
+    uint64_t trainings() const MM_EXCLUDES(mtx);
 
   private:
     struct Flight
     {
-        std::mutex m;
-        std::condition_variable cv;
-        bool done = false;
-        std::shared_ptr<Surrogate> model;
-        std::exception_ptr error;
+        Mutex m;
+        CondVar cv;
+        bool done MM_GUARDED_BY(m) = false;
+        std::shared_ptr<Surrogate> model MM_GUARDED_BY(m);
+        std::exception_ptr error MM_GUARDED_BY(m);
     };
 
     Phase1Config cfg;
@@ -84,10 +85,12 @@ class SurrogatePool
     ServeMetrics *metrics;
     Trainer trainer;
 
-    mutable std::mutex mtx;
-    std::map<std::string, std::shared_ptr<Surrogate>> resident;
-    std::map<std::string, std::shared_ptr<Flight>> inFlight;
-    uint64_t trainCount = 0;
+    mutable Mutex mtx;
+    std::map<std::string, std::shared_ptr<Surrogate>>
+        resident MM_GUARDED_BY(mtx);
+    std::map<std::string, std::shared_ptr<Flight>>
+        inFlight MM_GUARDED_BY(mtx);
+    uint64_t trainCount MM_GUARDED_BY(mtx) = 0;
 };
 
 } // namespace mm::serve

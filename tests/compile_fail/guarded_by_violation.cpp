@@ -1,0 +1,37 @@
+/**
+ * Negative-compile probe: writing an MM_GUARDED_BY field without its
+ * mutex must fail under -Werror=thread-safety. The CMake harness
+ * builds this twice: as-is it must NOT compile (WILL_FAIL ctest entry);
+ * with -DMM_COMPILE_FAIL_FIXED the properly locked variant must
+ * compile, proving the failure comes from the violation and not from a
+ * broken harness.
+ */
+#include "common/mutex.hpp"
+
+namespace {
+
+struct Counter
+{
+    mm::Mutex m;
+    int value MM_GUARDED_BY(m) = 0;
+
+    void
+    bump() MM_EXCLUDES(m)
+    {
+#ifdef MM_COMPILE_FAIL_FIXED
+        mm::MutexLock lock(m);
+        ++value;
+#else
+        ++value; // unguarded write: thread-safety analysis must reject
+#endif
+    }
+};
+
+} // namespace
+
+void
+compileFailGuardedByProbe()
+{
+    Counter c;
+    c.bump();
+}

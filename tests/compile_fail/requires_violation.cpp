@@ -1,0 +1,42 @@
+/**
+ * Negative-compile probe: calling an MM_REQUIRES(m) function without
+ * holding m must fail under -Werror=thread-safety. Built twice by the
+ * CMake harness: unpatched it must NOT compile (WILL_FAIL), with
+ * -DMM_COMPILE_FAIL_FIXED the caller takes the lock first and must
+ * compile.
+ */
+#include "common/mutex.hpp"
+
+namespace {
+
+struct Queue
+{
+    mm::Mutex m;
+    int depth MM_GUARDED_BY(m) = 0;
+
+    void
+    drainLocked() MM_REQUIRES(m)
+    {
+        depth = 0;
+    }
+
+    void
+    drain() MM_EXCLUDES(m)
+    {
+#ifdef MM_COMPILE_FAIL_FIXED
+        mm::MutexLock lock(m);
+        drainLocked();
+#else
+        drainLocked(); // caller does not hold m: analysis must reject
+#endif
+    }
+};
+
+} // namespace
+
+void
+compileFailRequiresProbe()
+{
+    Queue q;
+    q.drain();
+}

@@ -1,0 +1,292 @@
+/**
+ * @file
+ * mmlint engine tests: every rule fires on a known-bad snippet, stays
+ * quiet on the idiomatic equivalent, respects its path scoping, and is
+ * silenced by a same-line `mmlint:allow(rule)` comment.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+using mmlint::Diagnostic;
+using mmlint::lintSource;
+
+std::vector<std::string>
+rulesFired(const std::string &path, const std::string &src)
+{
+    std::vector<std::string> rules;
+    for (const Diagnostic &d : lintSource(path, src))
+        rules.push_back(d.rule);
+    return rules;
+}
+
+bool
+fires(const std::string &path, const std::string &src,
+      const std::string &rule)
+{
+    auto rules = rulesFired(path, src);
+    return std::find(rules.begin(), rules.end(), rule) != rules.end();
+}
+
+// ---------------------------------------------------------------------------
+// raw-random
+// ---------------------------------------------------------------------------
+
+TEST(MmlintRawRandom, FiresOnRandSrandAndRandomDevice)
+{
+    EXPECT_TRUE(fires("src/search/anneal.cpp",
+                      "int x = rand() % 7;", "raw-random"));
+    EXPECT_TRUE(fires("src/search/anneal.cpp",
+                      "void f() { srand(42); }", "raw-random"));
+    EXPECT_TRUE(fires("src/search/anneal.cpp",
+                      "std::random_device rd;", "raw-random"));
+}
+
+TEST(MmlintRawRandom, FiresOnTimeSeeding)
+{
+    EXPECT_TRUE(fires("src/search/anneal.cpp",
+                      "uint64_t seed = time(nullptr);", "raw-random"));
+    EXPECT_TRUE(fires("src/search/anneal.cpp",
+                      "srand(unsigned(time(0)));", "raw-random"));
+}
+
+TEST(MmlintRawRandom, QuietOnSeededRngAndPlainTimeCalls)
+{
+    EXPECT_FALSE(fires("src/search/anneal.cpp",
+                       "mm::Rng rng(seed); auto v = rng.uniformInt(0, 9);",
+                       "raw-random"));
+    // time() with a real argument is the POSIX out-param form, not
+    // seeding.
+    EXPECT_FALSE(fires("src/search/anneal.cpp",
+                       "time_t t; time(&t);", "raw-random"));
+    // Identifiers merely containing the banned names are fine.
+    EXPECT_FALSE(fires("src/search/anneal.cpp",
+                       "int operand = grand(); int runtime = 0;",
+                       "raw-random"));
+}
+
+TEST(MmlintRawRandom, ExemptInsideCommonRng)
+{
+    EXPECT_FALSE(fires("src/common/rng.hpp",
+                       "std::random_device rd;", "raw-random"));
+}
+
+// ---------------------------------------------------------------------------
+// unordered-iteration
+// ---------------------------------------------------------------------------
+
+TEST(MmlintUnorderedIteration, FiresOnRangeForOverUnorderedMap)
+{
+    const std::string src = R"(
+        std::unordered_map<std::string, int> counts;
+        void f() {
+            for (const auto &kv : counts)
+                use(kv);
+        }
+    )";
+    EXPECT_TRUE(fires("src/search/genetic.cpp", src,
+                      "unordered-iteration"));
+    EXPECT_TRUE(fires("src/costmodel/cost.cpp", src,
+                      "unordered-iteration"));
+    EXPECT_TRUE(fires("src/bound/bounds.cpp", src,
+                      "unordered-iteration"));
+}
+
+TEST(MmlintUnorderedIteration, QuietOnOrderedMapAndLookups)
+{
+    const std::string ordered = R"(
+        std::map<std::string, int> counts;
+        void f() {
+            for (const auto &kv : counts)
+                use(kv);
+        }
+    )";
+    EXPECT_FALSE(fires("src/search/genetic.cpp", ordered,
+                       "unordered-iteration"));
+    // Point lookups into an unordered container are order-independent.
+    const std::string lookup = R"(
+        std::unordered_map<std::string, int> counts;
+        int g(const std::string &k) { return counts.at(k); }
+    )";
+    EXPECT_FALSE(fires("src/search/genetic.cpp", lookup,
+                       "unordered-iteration"));
+}
+
+TEST(MmlintUnorderedIteration, ScopedToResultPathTrees)
+{
+    const std::string src = R"(
+        std::unordered_set<int> seen;
+        void f() { for (int v : seen) use(v); }
+    )";
+    EXPECT_TRUE(fires("src/search/x.cpp", src, "unordered-iteration"));
+    EXPECT_FALSE(fires("src/serve/x.cpp", src, "unordered-iteration"));
+    EXPECT_FALSE(fires("src/core/x.cpp", src, "unordered-iteration"));
+}
+
+// ---------------------------------------------------------------------------
+// serve-decimal-float
+// ---------------------------------------------------------------------------
+
+TEST(MmlintServeDecimalFloat, FiresOnPrintfFloatConversions)
+{
+    EXPECT_TRUE(fires("src/serve/client.cpp",
+                      R"(snprintf(b, sizeof(b), "%.17g", v);)",
+                      "serve-decimal-float"));
+    EXPECT_TRUE(fires("src/serve/proto.cpp",
+                      R"(const char *fmt = "val=%f";)",
+                      "serve-decimal-float"));
+    EXPECT_TRUE(fires("src/serve/proto.cpp",
+                      R"(const char *fmt = "%-+12.6E";)",
+                      "serve-decimal-float"));
+}
+
+TEST(MmlintServeDecimalFloat, FiresOnStreamManipulators)
+{
+    EXPECT_TRUE(fires("src/serve/proto.cpp",
+                      "os << std::setprecision(17) << v;",
+                      "serve-decimal-float"));
+    EXPECT_TRUE(fires("src/serve/proto.cpp",
+                      "os << std::fixed << v;", "serve-decimal-float"));
+}
+
+TEST(MmlintServeDecimalFloat, QuietOnHexfloatAndNonFloatFormats)
+{
+    EXPECT_FALSE(fires("src/serve/json.cpp",
+                       R"(snprintf(b, sizeof(b), "\"%a\"", v);)",
+                       "serve-decimal-float"));
+    EXPECT_FALSE(fires("src/serve/proto.cpp",
+                       R"(snprintf(b, sizeof(b), "%s:%d 100%%", s, i);)",
+                       "serve-decimal-float"));
+    // `fixed` as a plain identifier is not the manipulator.
+    EXPECT_FALSE(fires("src/serve/proto.cpp",
+                       "std::vector<int64_t> fixed(slots, 1);",
+                       "serve-decimal-float"));
+}
+
+TEST(MmlintServeDecimalFloat, ScopedToServe)
+{
+    EXPECT_FALSE(fires("src/common/string_util.cpp",
+                       R"(snprintf(b, sizeof(b), "%.3f", v);)",
+                       "serve-decimal-float"));
+}
+
+// ---------------------------------------------------------------------------
+// naked-new
+// ---------------------------------------------------------------------------
+
+TEST(MmlintNakedNew, FiresOnNewAndDeleteExpressions)
+{
+    EXPECT_TRUE(fires("src/core/x.cpp", "int *p = new int(3);",
+                      "naked-new"));
+    EXPECT_TRUE(fires("src/core/x.cpp", "void f(int *p) { delete p; }",
+                      "naked-new"));
+}
+
+TEST(MmlintNakedNew, QuietOnDeletedFunctionsAndOperatorForms)
+{
+    EXPECT_FALSE(fires("src/core/x.cpp",
+                       "Foo(const Foo &) = delete;", "naked-new"));
+    EXPECT_FALSE(fires(
+        "src/tensor/matrix.hpp",
+        "::operator delete(p, std::align_val_t(Align));", "naked-new"));
+    // Words in comments and strings never fire.
+    EXPECT_FALSE(fires("src/core/x.cpp",
+                       "// a brand new approach\nconst char *s = \"new\";",
+                       "naked-new"));
+}
+
+// ---------------------------------------------------------------------------
+// catch-all
+// ---------------------------------------------------------------------------
+
+TEST(MmlintCatchAll, FiresOnCatchEllipsis)
+{
+    EXPECT_TRUE(fires("src/core/x.cpp",
+                      "try { f(); } catch (...) { }", "catch-all"));
+}
+
+TEST(MmlintCatchAll, QuietOnTypedCatch)
+{
+    EXPECT_FALSE(fires("src/core/x.cpp",
+                       "try { f(); } catch (const mm::IoError &e) { g(e); }",
+                       "catch-all"));
+}
+
+// ---------------------------------------------------------------------------
+// raw-getenv
+// ---------------------------------------------------------------------------
+
+TEST(MmlintRawGetenv, FiresOutsideCommonEnv)
+{
+    EXPECT_TRUE(fires("src/core/x.cpp",
+                      "const char *v = std::getenv(\"MM_SEED\");",
+                      "raw-getenv"));
+    EXPECT_TRUE(fires("src/serve/x.cpp",
+                      "const char *v = getenv(\"HOME\");", "raw-getenv"));
+}
+
+TEST(MmlintRawGetenv, ExemptInsideCommonEnv)
+{
+    EXPECT_FALSE(fires("src/common/env.cpp",
+                       "const char *v = std::getenv(name);", "raw-getenv"));
+}
+
+// ---------------------------------------------------------------------------
+// The allow escape hatch and diagnostics plumbing
+// ---------------------------------------------------------------------------
+
+TEST(MmlintAllow, SameLineAllowSuppressesExactlyThatRule)
+{
+    EXPECT_FALSE(fires(
+        "src/core/x.cpp",
+        "try { f(); } catch (...) { } // mmlint:allow(catch-all) rethrown",
+        "catch-all"));
+    // The allow names a different rule: no suppression.
+    EXPECT_TRUE(fires(
+        "src/core/x.cpp",
+        "try { f(); } catch (...) { } // mmlint:allow(naked-new)",
+        "catch-all"));
+    // Allow on a neighbouring line: no suppression.
+    EXPECT_TRUE(fires("src/core/x.cpp",
+                      "// mmlint:allow(catch-all)\n"
+                      "try { f(); } catch (...) { }",
+                      "catch-all"));
+}
+
+TEST(MmlintAllow, CommaListSuppressesSeveralRules)
+{
+    const std::string src =
+        "int *p = new int(rand()); "
+        "// mmlint:allow(naked-new, raw-random) fixture";
+    EXPECT_FALSE(fires("src/core/x.cpp", src, "naked-new"));
+    EXPECT_FALSE(fires("src/core/x.cpp", src, "raw-random"));
+}
+
+TEST(MmlintDiagnostics, CarryPathLineAndStableFormat)
+{
+    auto diags = lintSource("src/core/x.cpp",
+                            "int a;\nint *p = new int(3);\n");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].path, "src/core/x.cpp");
+    EXPECT_EQ(diags[0].line, 2);
+    EXPECT_EQ(diags[0].rule, "naked-new");
+    const std::string text = mmlint::formatDiagnostic(diags[0]);
+    EXPECT_EQ(text.rfind("src/core/x.cpp:2: [naked-new]", 0), 0u) << text;
+}
+
+TEST(MmlintDiagnostics, RuleCatalogIsComplete)
+{
+    const std::vector<std::string> expected{
+        "raw-random",    "unordered-iteration", "serve-decimal-float",
+        "naked-new",     "catch-all",           "raw-getenv",
+    };
+    EXPECT_EQ(mmlint::ruleNames(), expected);
+}
+
+} // namespace

@@ -230,6 +230,30 @@ TEST(ServeProtocol, BudgetIntersectsServerWallCap)
     EXPECT_EQ(b.maxWallSec, 30.0);
 }
 
+TEST(ServeProtocol, ClientBudgetsTravelAsHexfloatBitExact)
+{
+    // Regression: budgets used to ride the wire as %.17g decimals —
+    // the one double field whose text depended on the client libc's
+    // rounding. They must travel as quoted hexfloats like every other
+    // double and parse back bit-identical.
+    ServeRequest req;
+    req.id = "b1";
+    req.algo = "conv1d";
+    req.bounds = {64, 3};
+    req.steps = 10;
+    req.virtualSec = 0.1;       // not exactly representable
+    req.wallSec = 1.0 / 3.0;    // ditto
+    const std::string line = requestToJson(req);
+    EXPECT_NE(line.find("\"virtualSec\":\"0x"), std::string::npos) << line;
+    EXPECT_NE(line.find("\"wallSec\":\"0x"), std::string::npos) << line;
+
+    std::string err;
+    std::optional<ServeRequest> back = parseRequest(line, &err);
+    ASSERT_TRUE(back.has_value()) << err;
+    EXPECT_EQ(bits(back->virtualSec), bits(req.virtualSec));
+    EXPECT_EQ(bits(back->wallSec), bits(req.wallSec));
+}
+
 TEST(ServeProtocol, MappingRoundTripsThroughJson)
 {
     AcceleratorSpec arch = AcceleratorSpec::tinyDefault();
@@ -526,6 +550,44 @@ TEST_F(ServeFixture, DisconnectCancelsAndFreesTheWorker)
     ASSERT_TRUE(d.sendRequest(small));
     ASSERT_TRUE(d.waitFor("accepted", "after").has_value());
     std::optional<JsonValue> result = d.waitFor("result", "after");
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->getInt("failedRuns", -1), 0);
+    server.stop();
+}
+
+TEST_F(ServeFixture, ConnectionChurnIsReapedAndServerStaysLive)
+{
+    // Regression for the reader reaper: finished reader threads are
+    // spliced out under connMtx but joined outside it, so a burst of
+    // short-lived connections must neither wedge the accept loop nor
+    // leak reader slots — the server stays responsive throughout.
+    ServeConfig cfg = baseConfig();
+    cfg.workers = 1;
+    cfg.queueCap = 4;
+    SearchServer server(cfg);
+    server.start();
+
+    for (int round = 0; round < 12; ++round) {
+        ServeClient c;
+        ASSERT_TRUE(c.connectTo(server.port())) << "round " << round;
+        if (round % 3 == 0) {
+            // Some churners speak a little garbage first; the reply
+            // proves the reader processed it before the disconnect.
+            ASSERT_TRUE(c.sendLine("{\"nope\":1}"));
+            ASSERT_TRUE(c.waitFor("rejected", "").has_value());
+        }
+    } // each round's hard close marks its reader finished
+
+    // The next accept reaps the backlog; a real request still runs
+    // end to end.
+    ServeClient d;
+    ASSERT_TRUE(d.connectTo(server.port()));
+    ServeRequest req = longRandomRequest("churn");
+    req.steps = 64;
+    req.progressEvery = 0;
+    ASSERT_TRUE(d.sendRequest(req));
+    ASSERT_TRUE(d.waitFor("accepted", "churn").has_value());
+    std::optional<JsonValue> result = d.waitFor("result", "churn");
     ASSERT_TRUE(result.has_value());
     EXPECT_EQ(result->getInt("failedRuns", -1), 0);
     server.stop();

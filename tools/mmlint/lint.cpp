@@ -1,0 +1,559 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+
+namespace mmlint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+enum class TokKind
+{
+    Ident,  ///< identifiers and keywords
+    Number, ///< numeric literals
+    Str,    ///< string literal (text = decoded-enough payload)
+    Punct,  ///< operators/punctuation ("::", "...", "->" kept whole)
+};
+
+struct Token
+{
+    TokKind kind;
+    std::string text;
+    int line;
+};
+
+/**
+ * A lexed file: the token stream (comments and preprocessor lines
+ * stripped) plus the per-line `mmlint:allow(...)` suppressions found
+ * in comments.
+ */
+struct Lexed
+{
+    std::vector<Token> tokens;
+    std::map<int, std::set<std::string>> allows;
+};
+
+void
+recordAllows(Lexed &out, const std::string &comment, int line)
+{
+    const std::string tag = "mmlint:allow(";
+    size_t pos = 0;
+    while ((pos = comment.find(tag, pos)) != std::string::npos) {
+        size_t begin = pos + tag.size();
+        size_t end = comment.find(')', begin);
+        if (end == std::string::npos)
+            return;
+        std::string inner = comment.substr(begin, end - begin);
+        std::string rule;
+        for (char c : inner) {
+            if (c == ',') {
+                if (!rule.empty())
+                    out.allows[line].insert(rule);
+                rule.clear();
+            } else if (!std::isspace(static_cast<unsigned char>(c))) {
+                rule.push_back(c);
+            }
+        }
+        if (!rule.empty())
+            out.allows[line].insert(rule);
+        pos = end + 1;
+    }
+}
+
+Lexed
+lex(const std::string &src)
+{
+    Lexed out;
+    size_t i = 0;
+    const size_t n = src.size();
+    int line = 1;
+    bool atLineStart = true;
+
+    auto peek = [&](size_t off) -> char {
+        return i + off < n ? src[i + off] : '\0';
+    };
+
+    while (i < n) {
+        char c = src[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            atLineStart = true;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        // Preprocessor directive: skip the whole (continued) line.
+        if (c == '#' && atLineStart) {
+            while (i < n) {
+                if (src[i] == '\n') {
+                    if (i > 0 && src[i - 1] == '\\') {
+                        ++line;
+                        ++i;
+                        continue;
+                    }
+                    break;
+                }
+                ++i;
+            }
+            continue;
+        }
+        atLineStart = false;
+        // Line comment.
+        if (c == '/' && peek(1) == '/') {
+            size_t end = src.find('\n', i);
+            if (end == std::string::npos)
+                end = n;
+            recordAllows(out, src.substr(i, end - i), line);
+            i = end;
+            continue;
+        }
+        // Block comment (allows attach to the line each piece is on).
+        if (c == '/' && peek(1) == '*') {
+            size_t j = i + 2;
+            size_t pieceStart = i;
+            int pieceLine = line;
+            while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) {
+                if (src[j] == '\n') {
+                    recordAllows(out, src.substr(pieceStart, j - pieceStart),
+                                 pieceLine);
+                    pieceStart = j + 1;
+                    pieceLine = line + 1;
+                    ++line;
+                }
+                ++j;
+            }
+            size_t pieceEnd = std::min(j + 2, n);
+            recordAllows(out, src.substr(pieceStart, pieceEnd - pieceStart),
+                         pieceLine);
+            i = pieceEnd;
+            continue;
+        }
+        // Raw string literal.
+        if (c == 'R' && peek(1) == '"') {
+            size_t j = i + 2;
+            std::string delim;
+            while (j < n && src[j] != '(')
+                delim.push_back(src[j++]);
+            std::string close = ")" + delim + "\"";
+            size_t end = src.find(close, j);
+            if (end == std::string::npos)
+                end = n;
+            std::string payload = src.substr(j + 1, end - (j + 1));
+            out.tokens.push_back({TokKind::Str, payload, line});
+            line += int(std::count(src.begin() + long(i),
+                                   src.begin()
+                                       + long(std::min(end + close.size(),
+                                                       n)),
+                                   '\n'));
+            i = std::min(end + close.size(), n);
+            continue;
+        }
+        // String / char literal.
+        if (c == '"' || c == '\'') {
+            char quote = c;
+            size_t j = i + 1;
+            std::string payload;
+            while (j < n && src[j] != quote) {
+                if (src[j] == '\\' && j + 1 < n) {
+                    payload.push_back(src[j]);
+                    payload.push_back(src[j + 1]);
+                    j += 2;
+                    continue;
+                }
+                if (src[j] == '\n')
+                    ++line; // unterminated; keep line counts honest
+                payload.push_back(src[j]);
+                ++j;
+            }
+            if (quote == '"')
+                out.tokens.push_back({TokKind::Str, payload, line});
+            i = j + 1;
+            continue;
+        }
+        // Identifier / keyword.
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            size_t j = i;
+            while (j < n
+                   && (std::isalnum(static_cast<unsigned char>(src[j]))
+                       || src[j] == '_'))
+                ++j;
+            out.tokens.push_back({TokKind::Ident, src.substr(i, j - i),
+                                  line});
+            i = j;
+            continue;
+        }
+        // Number.
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            size_t j = i;
+            while (j < n
+                   && (std::isalnum(static_cast<unsigned char>(src[j]))
+                       || src[j] == '.' || src[j] == '\''))
+                ++j;
+            out.tokens.push_back({TokKind::Number, src.substr(i, j - i),
+                                  line});
+            i = j;
+            continue;
+        }
+        // Punctuation; keep the few multi-char tokens the rules need.
+        if (c == ':' && peek(1) == ':') {
+            out.tokens.push_back({TokKind::Punct, "::", line});
+            i += 2;
+            continue;
+        }
+        if (c == '.' && peek(1) == '.' && peek(2) == '.') {
+            out.tokens.push_back({TokKind::Punct, "...", line});
+            i += 3;
+            continue;
+        }
+        if (c == '-' && peek(1) == '>') {
+            out.tokens.push_back({TokKind::Punct, "->", line});
+            i += 2;
+            continue;
+        }
+        out.tokens.push_back({TokKind::Punct, std::string(1, c), line});
+        ++i;
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Rule helpers
+// ---------------------------------------------------------------------------
+
+/** The path portion after the last "src/" ("" = not under a src/). */
+std::string
+srcRelative(const std::string &path)
+{
+    size_t pos = path.rfind("src/");
+    if (pos == std::string::npos)
+        return path;
+    return path.substr(pos + 4);
+}
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.rfind(prefix, 0) == 0;
+}
+
+struct Linter
+{
+    const std::string &path;
+    const std::string rel;
+    const Lexed lexed;
+    std::vector<Diagnostic> diags;
+
+    Linter(const std::string &p, const std::string &content)
+        : path(p), rel(srcRelative(p)), lexed(lex(content))
+    {
+    }
+
+    const Token *
+    tok(size_t i) const
+    {
+        return i < lexed.tokens.size() ? &lexed.tokens[i] : nullptr;
+    }
+
+    bool
+    allowed(const std::string &rule, int line) const
+    {
+        auto it = lexed.allows.find(line);
+        return it != lexed.allows.end() && it->second.count(rule) > 0;
+    }
+
+    void
+    report(const std::string &rule, int line, std::string message)
+    {
+        if (allowed(rule, line))
+            return;
+        diags.push_back({path, line, rule, std::move(message)});
+    }
+
+    // -- raw-random ---------------------------------------------------------
+
+    void
+    rawRandom()
+    {
+        if (startsWith(rel, "common/rng"))
+            return; // the one blessed randomness module
+        const std::set<std::string> banned{"rand", "srand", "drand48",
+                                           "srand48", "lrand48"};
+        const auto &t = lexed.tokens;
+        for (size_t i = 0; i < t.size(); ++i) {
+            if (t[i].kind != TokKind::Ident)
+                continue;
+            const Token *next = tok(i + 1);
+            if (banned.count(t[i].text) > 0 && next != nullptr
+                && next->text == "(") {
+                report("raw-random", t[i].line,
+                       t[i].text
+                           + "() draws unseeded entropy; use a seeded "
+                             "mm::Rng stream (common/rng.hpp)");
+            } else if (t[i].text == "random_device") {
+                report("raw-random", t[i].line,
+                       "std::random_device is non-reproducible; derive "
+                       "streams from the run seed (common/rng.hpp)");
+            } else if (t[i].text == "time" && next != nullptr
+                       && next->text == "(") {
+                const Token *arg = tok(i + 2);
+                if (arg != nullptr
+                    && (arg->text == "0" || arg->text == "NULL"
+                        || arg->text == "nullptr")) {
+                    report("raw-random", t[i].line,
+                           "time()-seeded randomness breaks bitwise "
+                           "reproducibility; seed from the run config");
+                }
+            }
+        }
+    }
+
+    // -- unordered-iteration ------------------------------------------------
+
+    void
+    unorderedIteration()
+    {
+        if (!startsWith(rel, "search/") && !startsWith(rel, "costmodel/")
+            && !startsWith(rel, "bound/"))
+            return;
+        const auto &t = lexed.tokens;
+
+        // Pass 1: names declared with an unordered container type.
+        std::set<std::string> unorderedVars;
+        for (size_t i = 0; i < t.size(); ++i) {
+            if (t[i].kind != TokKind::Ident
+                || (t[i].text != "unordered_map"
+                    && t[i].text != "unordered_set"
+                    && t[i].text != "unordered_multimap"
+                    && t[i].text != "unordered_multiset"))
+                continue;
+            size_t j = i + 1;
+            if (tok(j) == nullptr || tok(j)->text != "<")
+                continue;
+            int depth = 0;
+            for (; j < t.size(); ++j) {
+                if (t[j].text == "<")
+                    ++depth;
+                else if (t[j].text == ">" && --depth == 0) {
+                    ++j;
+                    break;
+                }
+            }
+            // Past the template args: `&`/`*` then the declared name.
+            while (tok(j) != nullptr
+                   && (tok(j)->text == "&" || tok(j)->text == "*"))
+                ++j;
+            if (tok(j) != nullptr && tok(j)->kind == TokKind::Ident)
+                unorderedVars.insert(tok(j)->text);
+        }
+
+        // Pass 2: range-for whose range expression touches one of them.
+        for (size_t i = 0; i + 1 < t.size(); ++i) {
+            if (t[i].kind != TokKind::Ident || t[i].text != "for"
+                || t[i + 1].text != "(")
+                continue;
+            int depth = 0;
+            size_t colon = 0, end = 0;
+            for (size_t j = i + 1; j < t.size(); ++j) {
+                if (t[j].text == "(")
+                    ++depth;
+                else if (t[j].text == ")" && --depth == 0) {
+                    end = j;
+                    break;
+                } else if (t[j].text == ":" && depth == 1 && colon == 0)
+                    colon = j;
+                else if (t[j].text == ";" && depth == 1) {
+                    colon = 0; // classic for loop, not range-for
+                    break;
+                }
+            }
+            if (colon == 0 || end == 0)
+                continue;
+            for (size_t j = colon + 1; j < end; ++j) {
+                if (t[j].kind == TokKind::Ident
+                    && unorderedVars.count(t[j].text) > 0) {
+                    report("unordered-iteration", t[i].line,
+                           "range-for over unordered container '"
+                               + t[j].text
+                               + "': iteration order is salt-dependent; "
+                                 "copy to a sorted container first");
+                    break;
+                }
+            }
+        }
+    }
+
+    // -- serve-decimal-float ------------------------------------------------
+
+    /** True if @p s holds a printf decimal float conversion. */
+    static bool
+    hasDecimalFloatFormat(const std::string &s)
+    {
+        for (size_t i = 0; i + 1 < s.size(); ++i) {
+            if (s[i] != '%')
+                continue;
+            size_t j = i + 1;
+            if (s[j] == '%') {
+                i = j; // literal %%
+                continue;
+            }
+            while (j < s.size()
+                   && (s[j] == '-' || s[j] == '+' || s[j] == ' '
+                       || s[j] == '#' || s[j] == '0'))
+                ++j;
+            while (j < s.size()
+                   && (std::isdigit(static_cast<unsigned char>(s[j]))
+                       || s[j] == '*'))
+                ++j;
+            if (j < s.size() && s[j] == '.') {
+                ++j;
+                while (j < s.size()
+                       && (std::isdigit(static_cast<unsigned char>(s[j]))
+                           || s[j] == '*'))
+                    ++j;
+            }
+            while (j < s.size() && (s[j] == 'l' || s[j] == 'L'))
+                ++j;
+            if (j < s.size()
+                && (s[j] == 'f' || s[j] == 'F' || s[j] == 'e'
+                    || s[j] == 'E' || s[j] == 'g' || s[j] == 'G'))
+                return true; // %a/%A (hexfloat) deliberately not listed
+        }
+        return false;
+    }
+
+    void
+    serveDecimalFloat()
+    {
+        if (!startsWith(rel, "serve/"))
+            return;
+        const auto &t = lexed.tokens;
+        for (size_t i = 0; i < t.size(); ++i) {
+            if (t[i].kind == TokKind::Str
+                && hasDecimalFloatFormat(t[i].text)) {
+                report("serve-decimal-float", t[i].line,
+                       "decimal float formatting on the serve wire; use "
+                       "jsonHexDouble (%a) so values round-trip bitwise");
+            } else if (t[i].kind == TokKind::Ident
+                       && (t[i].text == "setprecision"
+                           || ((t[i].text == "fixed"
+                                || t[i].text == "scientific")
+                               && i > 0 && t[i - 1].text == "::"))) {
+                report("serve-decimal-float", t[i].line,
+                       "stream float formatting in serve/; use "
+                       "jsonHexDouble for wire values");
+            }
+        }
+    }
+
+    // -- naked-new ----------------------------------------------------------
+
+    void
+    nakedNew()
+    {
+        const auto &t = lexed.tokens;
+        for (size_t i = 0; i < t.size(); ++i) {
+            if (t[i].kind != TokKind::Ident)
+                continue;
+            const std::string &prev = i > 0 ? t[i - 1].text : std::string();
+            if (t[i].text == "new") {
+                if (prev == "operator")
+                    continue; // allocator interface, not an expression
+                report("naked-new", t[i].line,
+                       "naked new: own allocations with "
+                       "std::unique_ptr/std::vector (RAII only)");
+            } else if (t[i].text == "delete") {
+                if (prev == "operator" || prev == "=")
+                    continue; // operator delete / deleted function
+                report("naked-new", t[i].line,
+                       "naked delete: the matching owner should be a "
+                       "smart pointer or container");
+            }
+        }
+    }
+
+    // -- catch-all ----------------------------------------------------------
+
+    void
+    catchAll()
+    {
+        const auto &t = lexed.tokens;
+        for (size_t i = 0; i + 3 < t.size(); ++i) {
+            if (t[i].kind == TokKind::Ident && t[i].text == "catch"
+                && t[i + 1].text == "(" && t[i + 2].text == "..."
+                && t[i + 3].text == ")") {
+                report("catch-all", t[i].line,
+                       "catch (...) drops the typed mm error taxonomy; "
+                       "catch the specific error (common/error.hpp) or "
+                       "justify with an allow comment");
+            }
+        }
+    }
+
+    // -- raw-getenv ---------------------------------------------------------
+
+    void
+    rawGetenv()
+    {
+        if (startsWith(rel, "common/env"))
+            return; // the one blessed environment module
+        const auto &t = lexed.tokens;
+        for (size_t i = 0; i < t.size(); ++i) {
+            if (t[i].kind == TokKind::Ident
+                && (t[i].text == "getenv" || t[i].text == "secure_getenv")
+                && tok(i + 1) != nullptr && tok(i + 1)->text == "(") {
+                report("raw-getenv", t[i].line,
+                       "direct getenv(); use the typed helpers in "
+                       "common/env.hpp (envInt/envSize/envDouble/...)");
+            }
+        }
+    }
+};
+
+} // namespace
+
+const std::vector<std::string> &
+ruleNames()
+{
+    static const std::vector<std::string> names{
+        "raw-random",    "unordered-iteration", "serve-decimal-float",
+        "naked-new",     "catch-all",           "raw-getenv",
+    };
+    return names;
+}
+
+std::vector<Diagnostic>
+lintSource(const std::string &path, const std::string &content)
+{
+    Linter lint(path, content);
+    lint.rawRandom();
+    lint.unorderedIteration();
+    lint.serveDecimalFloat();
+    lint.nakedNew();
+    lint.catchAll();
+    lint.rawGetenv();
+    std::sort(lint.diags.begin(), lint.diags.end(),
+              [](const Diagnostic &a, const Diagnostic &b) {
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.rule < b.rule;
+              });
+    return lint.diags;
+}
+
+std::string
+formatDiagnostic(const Diagnostic &d)
+{
+    return d.path + ":" + std::to_string(d.line) + ": [" + d.rule + "] "
+           + d.message;
+}
+
+} // namespace mmlint

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * mmlint — the project's domain lint engine.
+ *
+ * Clang's thread-safety analysis (common/thread_annotations.hpp) proves
+ * lock discipline; mmlint covers the project invariants no general
+ * compiler pass knows about:
+ *
+ *   raw-random            All randomness flows through common/rng's
+ *                         seeded streams. rand()/srand()/drand48(),
+ *                         std::random_device and time()-seeding create
+ *                         unseeded entropy that breaks bitwise
+ *                         reproducibility.
+ *   unordered-iteration   search/, costmodel/ and bound/ results must
+ *                         not depend on hash-table iteration order
+ *                         (libstdc++'s is salt- and history-dependent).
+ *                         Range-for over a std::unordered_map/set in
+ *                         those trees is flagged.
+ *   serve-decimal-float   Doubles cross the serve/ wire as quoted
+ *                         hexfloats (jsonHexDouble). printf-style
+ *                         decimal float conversions (%f/%e/%g) and
+ *                         stream float manipulators in serve/ are
+ *                         lossy or libc-dependent.
+ *   naked-new             Ownership is RAII-only; raw new/delete
+ *                         expressions are flagged (operator new/delete
+ *                         declarations and `= delete` are not).
+ *   catch-all             `catch (...)` silently drops the typed mm
+ *                         error taxonomy (IoError, CorruptionError,
+ *                         ...). Sites that genuinely capture-and-
+ *                         republish carry an allow comment.
+ *   raw-getenv            Environment access goes through common/env
+ *                         (typed, default-aware, testable); direct
+ *                         getenv() calls elsewhere are flagged.
+ *
+ * Escape hatch: a `// mmlint:allow(rule)` (or `allow(rule-a,rule-b)`)
+ * comment on the offending line suppresses that rule there. Every
+ * allow is expected to carry a justification in the same comment.
+ *
+ * The engine is dependency-free (no mm library) so the lint binary and
+ * its tests build even when the main tree is broken.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mmlint {
+
+/** One finding: where, which rule, and a human-readable message. */
+struct Diagnostic
+{
+    std::string path;
+    int line = 0;
+    std::string rule;
+    std::string message;
+};
+
+/** Names of every rule, in reporting order (for --list-rules). */
+const std::vector<std::string> &ruleNames();
+
+/**
+ * Lint one translation unit. @p path decides rule scoping (the portion
+ * after the last "src/" names the subtree; a path with no "src/" is
+ * linted as if at the source root). @p content is the full file text.
+ */
+std::vector<Diagnostic> lintSource(const std::string &path,
+                                   const std::string &content);
+
+/** Render @p d as "path:line: [rule] message". */
+std::string formatDiagnostic(const Diagnostic &d);
+
+} // namespace mmlint

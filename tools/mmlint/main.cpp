@@ -1,0 +1,96 @@
+/**
+ * @file
+ * mmlint driver: lint C++ sources under the given paths (default:
+ * src/) and exit non-zero if any rule fires. Run from the repo root or
+ * pass explicit paths; CI and ctest both gate on it.
+ *
+ *   mmlint [--list-rules] [path...]
+ */
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool
+isCxxSource(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+}
+
+int
+lintFile(const fs::path &p, size_t &fileCount, size_t &diagCount)
+{
+    std::ifstream in(p, std::ios::binary);
+    if (!in) {
+        std::cerr << "mmlint: cannot read " << p.string() << "\n";
+        return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    ++fileCount;
+    for (const mmlint::Diagnostic &d :
+         mmlint::lintSource(p.generic_string(), ss.str())) {
+        std::cout << mmlint::formatDiagnostic(d) << "\n";
+        ++diagCount;
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> roots;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--list-rules") {
+            for (const std::string &r : mmlint::ruleNames())
+                std::cout << r << "\n";
+            return 0;
+        }
+        if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: mmlint [--list-rules] [path...]\n";
+            return 0;
+        }
+        roots.push_back(arg);
+    }
+    if (roots.empty())
+        roots.push_back("src");
+
+    size_t files = 0, diags = 0;
+    for (const std::string &root : roots) {
+        std::error_code ec;
+        if (fs::is_directory(root, ec)) {
+            // Sorted walk: diagnostics come out in a stable order.
+            std::vector<fs::path> paths;
+            for (const auto &entry :
+                 fs::recursive_directory_iterator(root, ec))
+                if (entry.is_regular_file() && isCxxSource(entry.path()))
+                    paths.push_back(entry.path());
+            std::sort(paths.begin(), paths.end());
+            for (const fs::path &p : paths)
+                if (int rc = lintFile(p, files, diags); rc != 0)
+                    return rc;
+        } else if (fs::is_regular_file(root, ec)) {
+            if (int rc = lintFile(root, files, diags); rc != 0)
+                return rc;
+        } else {
+            std::cerr << "mmlint: no such path: " << root << "\n";
+            return 2;
+        }
+    }
+    std::cerr << "mmlint: " << files << " files, " << diags
+              << " finding(s)\n";
+    return diags == 0 ? 0 : 1;
+}
